@@ -1,0 +1,156 @@
+// Ablations of the design choices DESIGN.md calls out:
+//
+//  1. LC-range pre-filter (Section V, step 1): answer Q2 with the ordered
+//     Lamport index bounding the candidate set, vs. a VC-only scan over all
+//     nodes. Quantifies what the scalar index buys on large graphs.
+//
+//  2. Flush interval (Section IV-A): the intra-encoder's flush cadence
+//     trades database round trips against buffering; measured as total
+//     encode+store time for one batch size per flush.
+//
+//  3. Vector-clock comparison strategy: the O(1) Fidge/Mattern position test
+//     vs. the full component-wise VC(a) < VC(b) comparison.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/causal_query.h"
+#include "core/horus.h"
+#include "gen/synthetic.h"
+
+namespace {
+
+using namespace horus;
+
+// ---------------------------------------------------------------------------
+// 1. Q2 with vs. without the LC-range pre-filter
+// ---------------------------------------------------------------------------
+
+void BM_Q2_WithLcPrefilter(benchmark::State& state) {
+  const auto num_events = static_cast<std::size_t>(state.range(0));
+  const auto span = static_cast<graph::NodeId>(state.range(1));
+  Horus& horus = bench::synthetic_horus(num_events);
+  const auto query = horus.query();
+  const auto n =
+      static_cast<graph::NodeId>(horus.graph().store().node_count());
+  const graph::NodeId a = n / 4;
+  const graph::NodeId b = a + span;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(query.get_causal_graph(a, b));
+  }
+  state.SetLabel("LC index range + VC pruning");
+}
+
+void BM_Q2_VcOnlyFullScan(benchmark::State& state) {
+  const auto num_events = static_cast<std::size_t>(state.range(0));
+  const auto span = static_cast<graph::NodeId>(state.range(1));
+  Horus& horus = bench::synthetic_horus(num_events);
+  const auto& clocks = horus.clocks();
+  const auto n =
+      static_cast<graph::NodeId>(horus.graph().store().node_count());
+  const graph::NodeId a = n / 4;
+  const graph::NodeId b = a + span;
+  for (auto _ : state) {
+    // Ablated: no LC bound — test every node with vector clocks.
+    std::vector<graph::NodeId> kept;
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (v == a || v == b ||
+          (clocks.happens_before(a, v) && clocks.happens_before(v, b))) {
+        kept.push_back(v);
+      }
+    }
+    benchmark::DoNotOptimize(kept);
+  }
+  state.SetLabel("VC-only full scan (no LC bound)");
+}
+
+// ---------------------------------------------------------------------------
+// 2. Flush interval of the intra-process encoder
+// ---------------------------------------------------------------------------
+
+void BM_FlushInterval(benchmark::State& state) {
+  const auto flush_every = static_cast<std::size_t>(state.range(0));
+  gen::ClientServerOptions options;
+  options.num_events = 20'000;
+  const auto events = gen::client_server_events(options);
+  std::size_t peak_pending = 0;
+  for (auto _ : state) {
+    Horus horus;
+    std::size_t since_flush = 0;
+    for (const Event& e : events) {
+      horus.ingest(e);
+      if (++since_flush >= flush_every) {
+        peak_pending = std::max(peak_pending, horus.intra().pending());
+        horus.intra().flush();
+        horus.inter().flush();
+        since_flush = 0;
+      }
+    }
+    horus.seal();
+    benchmark::DoNotOptimize(horus.graph().store().node_count());
+  }
+  state.counters["peak_buffered"] =
+      benchmark::Counter(static_cast<double>(peak_pending));
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events.size()) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+
+// ---------------------------------------------------------------------------
+// 3. Happens-before test: O(1) position test vs full VC comparison
+// ---------------------------------------------------------------------------
+
+void BM_Q1_PositionTest(benchmark::State& state) {
+  Horus& horus = bench::synthetic_horus(100'000);
+  const auto& clocks = horus.clocks();
+  const auto n =
+      static_cast<graph::NodeId>(horus.graph().store().node_count());
+  for (auto _ : state) {
+    for (graph::NodeId i = 0; i < 64; ++i) {
+      benchmark::DoNotOptimize(
+          clocks.happens_before(i * 512 % n, (i * 977 + 13) % n));
+    }
+  }
+  state.SetLabel("Fidge/Mattern position test (O(1))");
+}
+
+void BM_Q1_FullVcCompare(benchmark::State& state) {
+  Horus& horus = bench::synthetic_horus(100'000);
+  const auto& clocks = horus.clocks();
+  const auto n =
+      static_cast<graph::NodeId>(horus.graph().store().node_count());
+  for (auto _ : state) {
+    for (graph::NodeId i = 0; i < 64; ++i) {
+      benchmark::DoNotOptimize(
+          clocks.vc_less(i * 512 % n, (i * 977 + 13) % n));
+    }
+  }
+  state.SetLabel("full component-wise VC comparison");
+}
+
+}  // namespace
+
+// {events, causal span}: the LC bound pays off when the query's span is
+// small relative to the graph; with wide spans the dense VC scan catches up
+// (an honest crossover worth knowing about).
+BENCHMARK(BM_Q2_WithLcPrefilter)
+    ->Args({100'000, 100})
+    ->Args({100'000, 10'000})
+    ->Args({10'000, 100})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Q2_VcOnlyFullScan)
+    ->Args({100'000, 100})
+    ->Args({100'000, 10'000})
+    ->Args({10'000, 100})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_FlushInterval)
+    ->Arg(1)
+    ->Arg(10)
+    ->Arg(100)
+    ->Arg(1'000)
+    ->Arg(10'000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Q1_PositionTest)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Q1_FullVcCompare)->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

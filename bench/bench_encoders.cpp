@@ -1,0 +1,111 @@
+// Micro-benchmarks of the individual pipeline stages — where the per-event
+// budget of Figure 5's end-to-end throughput goes: wire (de)serialization,
+// intra-process encoding (timeline insert + graph write), inter-process
+// encoding (causal-pair matching + edge write), and clock assignment.
+#include <benchmark/benchmark.h>
+
+#include "common/json.h"
+#include "core/horus.h"
+#include "gen/synthetic.h"
+
+namespace {
+
+using namespace horus;
+
+std::vector<Event> workload() {
+  gen::ClientServerOptions options;
+  options.num_events = 20'000;
+  return gen::client_server_events(options);
+}
+
+void BM_EventSerializeToWire(benchmark::State& state) {
+  const auto events = workload();
+  for (auto _ : state) {
+    for (const Event& e : events) {
+      benchmark::DoNotOptimize(e.to_json().dump());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(events.size()));
+}
+
+void BM_EventParseFromWire(benchmark::State& state) {
+  const auto events = workload();
+  std::vector<std::string> wire;
+  wire.reserve(events.size());
+  for (const Event& e : events) wire.push_back(e.to_json().dump());
+  for (auto _ : state) {
+    for (const std::string& line : wire) {
+      benchmark::DoNotOptimize(Event::from_json(Json::parse(line)));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(wire.size()));
+}
+
+void BM_IntraEncoder(benchmark::State& state) {
+  const auto events = workload();
+  const auto flush_every = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    ExecutionGraph graph;
+    IntraProcessEncoder encoder(graph, {});
+    std::size_t since = 0;
+    for (const Event& e : events) {
+      encoder.on_event(e);
+      if (++since >= flush_every) {
+        encoder.flush();
+        since = 0;
+      }
+    }
+    encoder.flush();
+    benchmark::DoNotOptimize(graph.store().node_count());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(events.size()));
+}
+
+void BM_InterEncoder(benchmark::State& state) {
+  const auto events = workload();
+  // Pre-persist nodes so only pair matching + edge writes are measured.
+  for (auto _ : state) {
+    state.PauseTiming();
+    ExecutionGraph graph;
+    for (const Event& e : events) {
+      graph.add_event(e, timeline_key(e, TimelineGranularity::kProcess));
+    }
+    InterProcessEncoder encoder(graph);
+    state.ResumeTiming();
+    for (const Event& e : events) encoder.on_event(e);
+    encoder.flush();
+    benchmark::DoNotOptimize(encoder.edges_flushed());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(events.size()));
+}
+
+void BM_ClockAssignment(benchmark::State& state) {
+  const auto events = workload();
+  for (auto _ : state) {
+    state.PauseTiming();
+    Horus horus;
+    for (const Event& e : events) horus.ingest(e);
+    horus.intra().flush();
+    horus.inter().flush();
+    LogicalClockAssigner assigner(horus.graph());
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(assigner.assign());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(events.size()));
+}
+
+}  // namespace
+
+BENCHMARK(BM_EventSerializeToWire)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EventParseFromWire)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_IntraEncoder)->Arg(100)->Arg(10'000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_InterEncoder)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ClockAssignment)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

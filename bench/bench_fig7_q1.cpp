@@ -1,0 +1,85 @@
+// Figure 7 reproduction: query Q1 ("may a causally affect b?") — the graph
+// database's shortest-path traversal vs. Horus' logical-time comparison,
+// across graph sizes.
+//
+// Paper reference (ms, log-log): traversal grows from 1.84 ms @100 events to
+// 109 ms @100k; Horus stays flat (1.8-5 ms, dominated by query overhead) and
+// is ~30x faster at 100k. Ten event pairs per size, each pair's causal graph
+// spanning 10% of the events; both approaches are insensitive to pair
+// location.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench_util.h"
+#include "core/causal_query.h"
+#include "graph/traversal.h"
+
+namespace {
+
+using namespace horus;
+
+/// Ten (a, b) pairs whose causal span is ~10% of the graph each.
+std::vector<std::pair<graph::NodeId, graph::NodeId>> pairs_for(
+    std::size_t num_events) {
+  // The synthetic execution is a 2-process ladder; node ids follow flush
+  // order (both timelines' chains). Use positions within one timeline chain
+  // spread over the graph.
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> out;
+  const auto n = static_cast<graph::NodeId>(num_events);
+  const graph::NodeId span = n / 10;
+  for (graph::NodeId i = 0; i < 10; ++i) {
+    const graph::NodeId a = i * (n - span - 1) / 10;
+    out.emplace_back(a, a + span);
+  }
+  return out;
+}
+
+void BM_Q1_ShortestPath(benchmark::State& state) {
+  const auto num_events = static_cast<std::size_t>(state.range(0));
+  Horus& horus = bench::synthetic_horus(num_events);
+  const auto& store = horus.graph().store();
+  const auto pairs = pairs_for(store.node_count());
+  std::size_t visited = 0;
+  for (auto _ : state) {
+    for (const auto& [a, b] : pairs) {
+      auto result = graph::shortest_path(store, a, b);
+      visited += result.visited;
+      benchmark::DoNotOptimize(result.found());
+    }
+  }
+  state.counters["visited/query"] = benchmark::Counter(
+      static_cast<double>(visited) /
+      (static_cast<double>(state.iterations()) * pairs.size()));
+  state.SetLabel("traversal baseline");
+}
+
+void BM_Q1_HorusVectorClocks(benchmark::State& state) {
+  const auto num_events = static_cast<std::size_t>(state.range(0));
+  Horus& horus = bench::synthetic_horus(num_events);
+  const auto query = horus.query();
+  const auto pairs = pairs_for(horus.graph().store().node_count());
+  for (auto _ : state) {
+    for (const auto& [a, b] : pairs) {
+      benchmark::DoNotOptimize(query.happens_before_vc(a, b));
+    }
+  }
+  state.SetLabel("logical time (VC comparison)");
+}
+
+}  // namespace
+
+BENCHMARK(BM_Q1_ShortestPath)
+    ->Arg(100)
+    ->Arg(1'000)
+    ->Arg(10'000)
+    ->Arg(100'000)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Q1_HorusVectorClocks)
+    ->Arg(100)
+    ->Arg(1'000)
+    ->Arg(10'000)
+    ->Arg(100'000)
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

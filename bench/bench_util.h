@@ -1,0 +1,41 @@
+// Shared helpers for the benchmark binaries: cached synthetic execution
+// graphs (building a 100k-event graph once per size, not once per benchmark)
+// and paper-reference printing.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <memory>
+
+#include "core/horus.h"
+#include "gen/synthetic.h"
+
+namespace horus::bench {
+
+/// A sealed Horus instance over the Section-VII synthetic client-server
+/// workload with `num_events` events.
+inline Horus& synthetic_horus(std::size_t num_events) {
+  static std::map<std::size_t, std::unique_ptr<Horus>> cache;
+  auto it = cache.find(num_events);
+  if (it == cache.end()) {
+    auto horus = std::make_unique<Horus>();
+    gen::ClientServerOptions options;
+    options.num_events = num_events;
+    for (Event& e : gen::client_server_events(options)) {
+      horus->ingest(std::move(e));
+    }
+    horus->seal();
+    it = cache.emplace(num_events, std::move(horus)).first;
+  }
+  return *it->second;
+}
+
+using BenchClock = std::chrono::steady_clock;
+
+inline double ms_since(BenchClock::time_point start) {
+  return std::chrono::duration<double, std::milli>(BenchClock::now() - start)
+      .count();
+}
+
+}  // namespace horus::bench

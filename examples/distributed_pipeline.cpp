@@ -1,0 +1,79 @@
+// The distributed deployment (Figure 2 of the paper): adapters publish into
+// partitioned, persistent queues; multiple intra-/inter-process encoder
+// workers consume them with partition affinity; the broker's state survives
+// a restart (committed offsets resume, no events lost).
+//
+//   $ ./examples/distributed_pipeline [events] [workers]
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "core/logical_clocks.h"
+#include "core/pipeline.h"
+#include "gen/synthetic.h"
+#include "queue/broker.h"
+
+int main(int argc, char** argv) {
+  using namespace horus;
+
+  const std::size_t num_events =
+      argc > 1 ? static_cast<std::size_t>(std::stoull(argv[1])) : 20'000;
+  const int workers = argc > 2 ? std::stoi(argv[2]) : 2;
+
+  gen::ClientServerOptions gen_options;
+  gen_options.num_events = num_events;
+  const auto events = gen::client_server_events(gen_options);
+
+  queue::Broker broker;
+  ExecutionGraph graph;
+  PipelineOptions options;
+  options.partitions = workers * 2;
+  options.intra_workers = workers;
+  options.inter_workers = workers;
+  options.event_flush_interval_ms = 50;
+  options.relationship_flush_interval_ms = 50;
+  Pipeline pipeline(broker, graph, options);
+
+  std::printf("pipeline: %d partitions, %d intra + %d inter workers\n",
+              options.partitions, options.intra_workers,
+              options.inter_workers);
+
+  pipeline.start();
+  for (const Event& e : events) pipeline.publish(e);
+  pipeline.drain();
+  pipeline.stop();
+
+  std::printf("published %llu events; graph: %zu nodes, %zu relationships "
+              "(expected %zu)\n",
+              static_cast<unsigned long long>(pipeline.events_published()),
+              graph.store().node_count(), graph.store().edge_count(),
+              gen::client_server_edges(events.size()));
+
+  LogicalClockAssigner assigner(graph);
+  const std::size_t assigned = assigner.assign();
+  std::printf("assigned logical time to %zu events across %zu timelines\n",
+              assigned, assigner.clocks().timeline_count());
+
+  // Durability: persist the broker, reload it, verify committed offsets
+  // resume at the end of each partition (nothing left to re-process).
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "horus_pipeline_demo")
+          .string();
+  broker.persist(dir);
+  queue::Broker reloaded;
+  reloaded.load(dir);
+  std::uint64_t replayable = 0;
+  queue::Topic& topic = reloaded.topic("horus.events");
+  for (int p = 0; p < topic.num_partitions(); ++p) {
+    const auto committed =
+        reloaded.committed_offset("horus-intra-" +
+                                      std::to_string(p % options.intra_workers),
+                                  "horus.events", p);
+    replayable += topic.partition(p).end_offset() - committed;
+  }
+  std::printf("broker persisted to %s and reloaded: %llu uncommitted "
+              "events would be replayed after a crash (at-least-once)\n",
+              dir.c_str(), static_cast<unsigned long long>(replayable));
+  std::filesystem::remove_all(dir);
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Quickstart: build a causal graph from a synthetic two-process execution,
+// then answer the two fundamental causal queries.
+//
+//   $ ./examples/quickstart
+//
+// Demonstrates the embedded API end to end:
+//   1. generate events (they arrive with skewed physical timestamps);
+//   2. ingest them into Horus (intra- + inter-process HB encoding);
+//   3. seal (flush + logical-time assignment);
+//   4. ask Q1 (happens-before) and Q2 (causal sub-graph).
+#include <cstdio>
+
+#include "core/horus.h"
+#include "gen/synthetic.h"
+
+int main() {
+  using namespace horus;
+
+  // 1. A synchronous client-server execution: 40 events, 58 causal edges.
+  //    P2's clock is 50 ms behind, so raw timestamps lie about causality.
+  gen::ClientServerOptions options;
+  options.num_events = 40;
+  auto events = gen::client_server_events(options);
+
+  // 2-3. Ingest in arrival order and seal.
+  Horus horus;
+  for (Event& e : events) horus.ingest(std::move(e));
+  horus.seal();
+
+  std::printf("stored %zu events, %zu causal relationships, %zu timelines\n\n",
+              horus.graph().store().node_count(),
+              horus.graph().store().edge_count(),
+              horus.clocks().timeline_count());
+
+  // 4a. Q1: does the first send causally affect the last receive?
+  const auto query = horus.query();
+  const graph::NodeId first = 0;
+  const auto last =
+      static_cast<graph::NodeId>(horus.graph().store().node_count() - 1);
+  std::printf("Q1  happensBefore(#%u, #%u) = %s\n", first, last,
+              query.happens_before(first, last) ? "true" : "false");
+
+  // 4b. Q2: the causal sub-graph between two mid-execution events.
+  const graph::NodeId a = 4;
+  const graph::NodeId b = 16;
+  const auto causal = query.get_causal_graph(a, b);
+  std::printf("Q2  getCausalGraph(#%u, #%u): %zu nodes "
+              "(LC range bounded %zu candidates), %zu edges\n\n",
+              a, b, causal.nodes.size(), causal.lc_candidates,
+              causal.edges.size());
+
+  std::printf("causal order (Lamport | vector clock | event):\n");
+  for (const graph::NodeId v : causal.nodes) {
+    const auto& props = horus.graph().store().node_properties(v);
+    const auto& label = horus.graph().store().node_label(v);
+    std::printf("  LC=%-3lld VC=%-8s %-4s on %s\n",
+                static_cast<long long>(horus.clocks().lamport(v)),
+                horus.clocks().vc_string(v).c_str(), label.c_str(),
+                std::get<std::string>(props.at("thread")).c_str());
+  }
+
+  // The motivating defect: a causally-ordered pair whose timestamps lie.
+  for (const auto& [x, y] : causal.edges) {
+    const auto tx = std::get<std::int64_t>(
+        horus.graph().store().property(x, kPropTimestamp));
+    const auto ty = std::get<std::int64_t>(
+        horus.graph().store().property(y, kPropTimestamp));
+    if (tx > ty) {
+      std::printf("\nnote: #%u -> #%u is causal, yet #%u's physical "
+                  "timestamp is %lld ns *later* —\nthis is why sorting "
+                  "logs by timestamp breaks (clock skew across hosts).\n",
+                  x, y, x, static_cast<long long>(tx - ty));
+      break;
+    }
+  }
+  return 0;
+}

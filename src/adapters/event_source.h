@@ -1,0 +1,10 @@
+// Event-source abstraction: adapters normalize heterogeneous raw records
+// (kernel probes, logging-library output) into horus::Event and push them to
+// an EventSinkFn — in the full pipeline, the sink enqueues into the sources
+// topic of the event queue (step 1 of the paper's Figure 2).
+//
+// The EventSinkFn alias itself lives in event/event.h so that pipeline
+// stages can consume it without depending on this module.
+#pragma once
+
+#include "event/event.h"

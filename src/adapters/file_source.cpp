@@ -1,0 +1,90 @@
+#include "adapters/file_source.h"
+
+#include <fstream>
+
+#include "common/diag.h"
+#include "common/json.h"
+
+namespace horus {
+
+FileTailSource::FileTailSource(std::uint64_t id_range_start, EventSinkFn sink)
+    : log4j_(id_range_start, sink), logrus_(id_range_start + (1ULL << 32),
+                                            std::move(sink)) {}
+
+void FileTailSource::add_file(const std::string& path, LogFormat format) {
+  TailedFile file;
+  file.format = format;
+  files_.emplace(path, file);
+}
+
+std::size_t FileTailSource::poll() {
+  std::size_t shipped_now = 0;
+  for (auto& [path, state] : files_) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) continue;  // not created yet
+
+    in.seekg(0, std::ios::end);
+    const auto size = static_cast<std::uint64_t>(in.tellg());
+    if (size < state.offset) {
+      // Truncation/rotation: start over (Filebeat's behaviour on new inode
+      // is more elaborate; restart-from-zero is the honest simple policy).
+      state.offset = 0;
+      state.partial_line.clear();
+    }
+    if (size == state.offset) continue;
+
+    in.seekg(static_cast<std::streamoff>(state.offset));
+    std::string chunk(size - state.offset, '\0');
+    in.read(chunk.data(), static_cast<std::streamsize>(chunk.size()));
+    state.offset = size;
+
+    std::string buffer = std::move(state.partial_line);
+    buffer += chunk;
+    std::size_t start = 0;
+    while (true) {
+      const std::size_t nl = buffer.find('\n', start);
+      if (nl == std::string::npos) {
+        state.partial_line = buffer.substr(start);
+        break;
+      }
+      const std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      if (line.empty()) continue;
+      try {
+        if (state.format == LogFormat::kLog4j) {
+          log4j_.on_log_line(line);
+        } else {
+          logrus_.on_log_line(line);
+        }
+        ++shipped_;
+        ++shipped_now;
+      } catch (const JsonError& e) {
+        ++parse_errors_;
+        diag(DiagLevel::kWarn, "file-source",
+             path + ": skipping malformed line: " + e.what());
+      }
+    }
+  }
+  return shipped_now;
+}
+
+std::string FileTailSource::save_offsets() const {
+  Json registry = Json::object();
+  for (const auto& [path, state] : files_) {
+    registry[path] = static_cast<std::int64_t>(
+        state.offset - state.partial_line.size());
+  }
+  return registry.dump();
+}
+
+void FileTailSource::load_offsets(const std::string& registry) {
+  const Json j = Json::parse(registry);
+  for (auto& [path, state] : files_) {
+    if (j.contains(path)) {
+      state.offset = static_cast<std::uint64_t>(j.at(path).as_int());
+      state.partial_line.clear();
+    }
+  }
+}
+
+}  // namespace horus

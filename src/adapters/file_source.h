@@ -1,0 +1,68 @@
+// File-tailing event source — the Filebeat stand-in.
+//
+// The paper's deployment places "a Filebeat daemon on each instance to
+// continuously send container log messages to Logstash". This source plays
+// that role for the offline pipeline: it tails one or more log files
+// (JSON-lines in Log4j-appender or Logrus format), remembers its read
+// offsets, and ships every new line through the matching adapter into an
+// EventSinkFn. poll() can be called repeatedly as the files grow; offsets
+// can be persisted so a restarted shipper resumes where it left off
+// (at-least-once, like the real thing).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "adapters/log4j_adapter.h"
+#include "adapters/logrus_adapter.h"
+
+namespace horus {
+
+enum class LogFormat { kLog4j, kLogrus };
+
+class FileTailSource {
+ public:
+  /// @param id_range_start base of the EventId range for events shipped by
+  ///        this source (shared by its internal adapters).
+  FileTailSource(std::uint64_t id_range_start, EventSinkFn sink);
+
+  /// Registers a file to tail. Missing files are tolerated (tailing starts
+  /// when they appear).
+  void add_file(const std::string& path, LogFormat format);
+
+  /// Reads all new complete lines from every registered file and ships
+  /// them. Returns the number of events shipped. Malformed lines are
+  /// counted (see parse_errors()) and skipped — one bad line must not stall
+  /// the shipper.
+  std::size_t poll();
+
+  [[nodiscard]] std::uint64_t events_shipped() const noexcept {
+    return shipped_;
+  }
+  [[nodiscard]] std::uint64_t parse_errors() const noexcept {
+    return parse_errors_;
+  }
+
+  /// Serializes per-file offsets (a "registry file", in Filebeat terms).
+  [[nodiscard]] std::string save_offsets() const;
+
+  /// Restores offsets saved by save_offsets(); files still need add_file().
+  void load_offsets(const std::string& registry);
+
+ private:
+  struct TailedFile {
+    LogFormat format = LogFormat::kLog4j;
+    std::uint64_t offset = 0;   ///< bytes consumed
+    std::string partial_line;   ///< bytes after the last newline
+  };
+
+  Log4jAdapter log4j_;
+  LogrusAdapter logrus_;
+  std::map<std::string, TailedFile> files_;
+  std::uint64_t shipped_ = 0;
+  std::uint64_t parse_errors_ = 0;
+};
+
+}  // namespace horus

@@ -1,0 +1,21 @@
+#include "adapters/log4j_adapter.h"
+
+namespace horus {
+
+void Log4jAdapter::on_log_line(const std::string& json_line) {
+  on_record(sim::LogRecord::from_json_line(json_line));
+}
+
+void Log4jAdapter::on_record(const sim::LogRecord& record) {
+  Event e;
+  e.id = ids_.next();
+  e.type = EventType::kLog;
+  e.thread = record.thread;
+  e.service = record.service;
+  e.timestamp = record.timestamp;
+  e.payload = LogPayload{record.message, record.logger};
+  ++count_;
+  sink_(std::move(e));
+}
+
+}  // namespace horus

@@ -1,0 +1,40 @@
+// Adapter for the Log4j-style JSON appender.
+//
+// The paper's Log4j adapter is "a simple formatter which outputs log
+// messages as JSON objects indicating the timestamp, the name of the
+// process/thread, and the textual message". This adapter consumes those
+// JSON lines (or in-memory LogRecords) and produces LOG events.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "adapters/event_source.h"
+#include "tracer/probe_record.h"
+
+namespace horus {
+
+class Log4jAdapter {
+ public:
+  Log4jAdapter(std::uint64_t id_range_start, EventSinkFn sink)
+      : ids_(id_range_start), sink_(std::move(sink)) {}
+
+  /// Parses one appender JSON line and forwards the LOG event.
+  /// Throws JsonError on malformed lines.
+  void on_log_line(const std::string& json_line);
+
+  /// Direct path bypassing serialization (used when the appender runs
+  /// in-process with the adapter).
+  void on_record(const sim::LogRecord& record);
+
+  [[nodiscard]] std::uint64_t events_emitted() const noexcept {
+    return count_;
+  }
+
+ private:
+  EventIdAllocator ids_;
+  EventSinkFn sink_;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace horus

@@ -1,0 +1,102 @@
+#include "adapters/logrus_adapter.h"
+
+#include <array>
+#include <cstdio>
+#include <ctime>
+
+#include "common/json.h"
+
+namespace horus {
+
+TimeNs parse_rfc3339_ns(const std::string& text) {
+  // Accepted: YYYY-MM-DDThh:mm:ss[.frac](Z|±hh:mm)
+  int year = 0;
+  int month = 0;
+  int day = 0;
+  int hour = 0;
+  int minute = 0;
+  int second = 0;
+  int consumed = 0;
+  if (std::sscanf(text.c_str(), "%4d-%2d-%2dT%2d:%2d:%2d%n", &year, &month,
+                  &day, &hour, &minute, &second, &consumed) != 6) {
+    throw JsonError("logrus: malformed RFC3339 timestamp '" + text + "'");
+  }
+  std::size_t pos = static_cast<std::size_t>(consumed);
+
+  std::int64_t frac_ns = 0;
+  if (pos < text.size() && text[pos] == '.') {
+    ++pos;
+    std::int64_t scale = 100'000'000;
+    while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') {
+      frac_ns += (text[pos] - '0') * scale;
+      scale /= 10;
+      ++pos;
+    }
+  }
+
+  std::int64_t offset_seconds = 0;
+  if (pos < text.size()) {
+    const char c = text[pos];
+    if (c == 'Z' || c == 'z') {
+      ++pos;
+    } else if (c == '+' || c == '-') {
+      int oh = 0;
+      int om = 0;
+      if (std::sscanf(text.c_str() + pos + 1, "%2d:%2d", &oh, &om) != 2) {
+        throw JsonError("logrus: malformed timezone in '" + text + "'");
+      }
+      offset_seconds = (oh * 3600 + om * 60) * (c == '+' ? 1 : -1);
+      pos += 6;
+    }
+  }
+  if (pos != text.size()) {
+    throw JsonError("logrus: trailing characters in timestamp '" + text + "'");
+  }
+
+  std::tm tm{};
+  tm.tm_year = year - 1900;
+  tm.tm_mon = month - 1;
+  tm.tm_mday = day;
+  tm.tm_hour = hour;
+  tm.tm_min = minute;
+  tm.tm_sec = second;
+  const std::time_t utc = timegm(&tm);
+  if (utc == static_cast<std::time_t>(-1)) {
+    throw JsonError("logrus: out-of-range timestamp '" + text + "'");
+  }
+  return (static_cast<std::int64_t>(utc) - offset_seconds) * 1'000'000'000 +
+         frac_ns;
+}
+
+void LogrusAdapter::on_log_line(const std::string& json_line) {
+  const Json j = Json::parse(json_line);
+
+  Event e;
+  e.id = ids_.next();
+  e.type = EventType::kLog;
+
+  // Identity fields, per common Logrus deployment conventions.
+  e.thread.host = j.get_or("host", j.get_or("hostname", std::string{}));
+  if (e.thread.host.empty()) {
+    throw JsonError("logrus: line lacks host/hostname field");
+  }
+  e.thread.pid = static_cast<std::int32_t>(j.get_or("pid", std::int64_t{0}));
+  e.thread.tid =
+      static_cast<std::int32_t>(j.get_or("goroutine", std::int64_t{1}));
+  e.service = j.get_or("service", j.get_or("app", e.thread.host));
+
+  if (j.contains("ts") && j.at("ts").is_int()) {
+    e.timestamp = j.at("ts").as_int();
+  } else if (j.contains("time") && j.at("time").is_string()) {
+    e.timestamp = parse_rfc3339_ns(j.at("time").as_string());
+  } else {
+    throw JsonError("logrus: line lacks ts/time field");
+  }
+
+  e.payload = LogPayload{j.get_or("msg", j.get_or("message", std::string{})),
+                         "logrus"};
+  ++count_;
+  sink_(std::move(e));
+}
+
+}  // namespace horus

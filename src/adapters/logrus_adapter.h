@@ -1,0 +1,47 @@
+// Adapter for Logrus-style structured logs (the additional logging-library
+// adapter the paper lists as planned work).
+//
+// Logrus (the de-facto structured logger for Go services) emits JSON lines
+// of the form
+//
+//   {"time":"...","level":"info","msg":"...", <custom fields...>}
+//
+// Go services do not expose pid/tid the way JVM services do, so deployments
+// attach process identity as custom fields. This adapter accepts the common
+// conventions: `host`/`hostname`, `pid`, `goroutine` (used as the thread
+// id), and `service`/`app` for the component name; timestamps are either a
+// `ts` integer (nanoseconds) or an RFC3339-ish `time` string.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "adapters/event_source.h"
+
+namespace horus {
+
+class LogrusAdapter {
+ public:
+  LogrusAdapter(std::uint64_t id_range_start, EventSinkFn sink)
+      : ids_(id_range_start), sink_(std::move(sink)) {}
+
+  /// Parses one Logrus JSON line and forwards the LOG event.
+  /// Throws JsonError on malformed lines or missing identity fields.
+  void on_log_line(const std::string& json_line);
+
+  [[nodiscard]] std::uint64_t events_emitted() const noexcept {
+    return count_;
+  }
+
+ private:
+  EventIdAllocator ids_;
+  EventSinkFn sink_;
+  std::uint64_t count_ = 0;
+};
+
+/// Parses an RFC3339 timestamp ("2021-06-01T12:34:56.789Z", offset forms
+/// accepted) to nanoseconds since the epoch. Throws JsonError on malformed
+/// input.
+[[nodiscard]] TimeNs parse_rfc3339_ns(const std::string& text);
+
+}  // namespace horus

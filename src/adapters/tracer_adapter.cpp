@@ -1,0 +1,23 @@
+#include "adapters/tracer_adapter.h"
+
+namespace horus {
+
+void TracerAdapter::on_probe(const sim::ProbeRecord& record) {
+  Event e;
+  e.id = ids_.next();
+  e.type = record.type;
+  e.thread = record.thread;
+  e.service = record.container;
+  e.timestamp = record.timestamp;
+  if (record.net) {
+    e.payload = *record.net;
+  } else if (record.child) {
+    e.payload = ThreadPayload{*record.child};
+  } else if (!record.fsync_path.empty()) {
+    e.payload = FsyncPayload{record.fsync_path};
+  }
+  ++count_;
+  sink_(std::move(e));
+}
+
+}  // namespace horus

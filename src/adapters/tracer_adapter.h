@@ -1,0 +1,35 @@
+// Adapter for the kernel-level tracer (the eBPF probe stream).
+//
+// Normalizes ProbeRecords into Events: assigns globally unique event ids
+// from this adapter's id range and maps the container name (attached to each
+// probe, as the paper configures for Docker) to the Event's service field.
+#pragma once
+
+#include <cstdint>
+
+#include "adapters/event_source.h"
+#include "tracer/probe_record.h"
+
+namespace horus {
+
+class TracerAdapter {
+ public:
+  /// @param id_range_start first EventId this adapter may assign; give each
+  ///        adapter a disjoint range (e.g. multiples of 1<<40).
+  TracerAdapter(std::uint64_t id_range_start, EventSinkFn sink)
+      : ids_(id_range_start), sink_(std::move(sink)) {}
+
+  /// Normalizes and forwards one probe record.
+  void on_probe(const sim::ProbeRecord& record);
+
+  [[nodiscard]] std::uint64_t events_emitted() const noexcept {
+    return count_;
+  }
+
+ private:
+  EventIdAllocator ids_;
+  EventSinkFn sink_;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace horus

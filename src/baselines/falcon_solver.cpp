@@ -1,0 +1,42 @@
+#include "baselines/falcon_solver.h"
+
+namespace horus::baselines {
+
+SolverResult FalconSolver::solve(std::size_t max_passes) const {
+  SolverResult result;
+  result.clocks.assign(num_variables_, 1);
+
+  // Iterative bound repair: sweep the constraint list (in the order the
+  // constraints arrived — no dependency analysis) raising lower bounds until
+  // a fixpoint. A violated constraint a < b forces clock[b] := clock[a] + 1,
+  // which may invalidate constraints processed earlier in the sweep, so the
+  // whole list is swept again — this re-sweeping is where the super-linear
+  // cost comes from when chains are long and constraints arrive unordered.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++result.passes;
+    if (max_passes != 0 && result.passes > max_passes) {
+      result.satisfiable = false;
+      result.clocks.clear();
+      return result;
+    }
+    // A satisfiable system reaches fixpoint with every clock <= n. A clock
+    // exceeding n proves a positive cycle.
+    if (result.passes > static_cast<std::size_t>(num_variables_) + 1) {
+      result.satisfiable = false;
+      result.clocks.clear();
+      return result;
+    }
+    for (const OrderConstraint& c : constraints_) {
+      ++result.evaluations;
+      if (result.clocks[c.before] >= result.clocks[c.after]) {
+        result.clocks[c.after] = result.clocks[c.before] + 1;
+        changed = true;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace horus::baselines

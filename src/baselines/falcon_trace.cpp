@@ -1,0 +1,141 @@
+#include "baselines/falcon_trace.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/json.h"
+
+namespace horus::baselines {
+
+namespace {
+
+/// Falcon's event records use lower-case type names with a "thread" of the
+/// form "<tid>@<host>" plus explicit pid, and socket attributes flattened.
+std::string falcon_type(EventType type) {
+  switch (type) {
+    case EventType::kLog: return "LOG";
+    case EventType::kSnd: return "SND";
+    case EventType::kRcv: return "RCV";
+    case EventType::kConnect: return "CONNECT";
+    case EventType::kAccept: return "ACCEPT";
+    case EventType::kCreate: return "CREATE";
+    case EventType::kFork: return "FORK";
+    case EventType::kStart: return "START";
+    case EventType::kEnd: return "END";
+    case EventType::kJoin: return "JOIN";
+    case EventType::kFsync: return "FSYNC";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace
+
+std::string export_falcon_trace(const std::vector<Event>& events) {
+  std::string out;
+  for (const Event& e : events) {
+    Json j = Json::object();
+    j["id"] = static_cast<std::int64_t>(value_of(e.id));
+    j["type"] = falcon_type(e.type);
+    j["thread"] = std::to_string(e.thread.tid) + "@" + e.thread.host;
+    j["pid"] = static_cast<std::int64_t>(e.thread.pid);
+    j["timestamp"] = e.timestamp;
+    j["comm"] = e.service;
+    if (const auto* n = e.net()) {
+      j["src"] = n->channel.src.ip;
+      j["src_port"] = static_cast<std::int64_t>(n->channel.src.port);
+      j["dst"] = n->channel.dst.ip;
+      j["dst_port"] = static_cast<std::int64_t>(n->channel.dst.port);
+      j["offset"] = static_cast<std::int64_t>(n->offset);
+      j["size"] = static_cast<std::int64_t>(n->size);
+      j["socket"] = n->channel.to_string();
+    } else if (const auto* c = e.child()) {
+      j["child"] = std::to_string(c->child.tid) + "@" + c->child.host;
+      j["child_pid"] = static_cast<std::int64_t>(c->child.pid);
+    } else if (const auto* l = e.log()) {
+      j["message"] = l->message;
+    } else if (const auto* f = e.fsync()) {
+      j["path"] = f->path;
+    }
+    out += j.dump();
+    out += '\n';
+  }
+  return out;
+}
+
+void write_falcon_trace(const std::vector<Event>& events,
+                        const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("falcon trace: cannot open " + path);
+  out << export_falcon_trace(events);
+}
+
+namespace {
+
+ThreadRef parse_thread(const Json& j, std::string_view thread_key,
+                       std::string_view pid_key) {
+  const std::string& spec = j.at(thread_key).as_string();
+  const auto at = spec.find('@');
+  if (at == std::string::npos) {
+    throw JsonError("falcon trace: malformed thread '" + spec + "'");
+  }
+  ThreadRef ref;
+  ref.tid = std::stoi(spec.substr(0, at));
+  ref.host = spec.substr(at + 1);
+  ref.pid = static_cast<std::int32_t>(j.at(pid_key).as_int());
+  return ref;
+}
+
+}  // namespace
+
+std::vector<Event> parse_falcon_trace(const std::string& text) {
+  std::vector<Event> out;
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (line.empty()) continue;
+    const Json j = Json::parse(line);
+    Event e;
+    e.id = static_cast<EventId>(
+        static_cast<std::uint64_t>(j.at("id").as_int()));
+    const auto type = event_type_from_string(j.at("type").as_string());
+    if (!type) {
+      throw JsonError("falcon trace: unknown type " +
+                      j.at("type").as_string());
+    }
+    e.type = *type;
+    e.thread = parse_thread(j, "thread", "pid");
+    e.timestamp = j.at("timestamp").as_int();
+    e.service = j.get_or("comm", std::string{});
+    if (j.contains("src")) {
+      NetPayload n;
+      n.channel.src = SocketAddr{
+          j.at("src").as_string(),
+          static_cast<std::uint16_t>(j.at("src_port").as_int())};
+      n.channel.dst = SocketAddr{
+          j.at("dst").as_string(),
+          static_cast<std::uint16_t>(j.at("dst_port").as_int())};
+      n.offset = static_cast<std::uint64_t>(j.get_or("offset", std::int64_t{0}));
+      n.size = static_cast<std::uint64_t>(j.get_or("size", std::int64_t{0}));
+      e.payload = n;
+    } else if (j.contains("child")) {
+      e.payload = ThreadPayload{parse_thread(j, "child", "child_pid")};
+    } else if (j.contains("message")) {
+      e.payload = LogPayload{j.at("message").as_string(), "falcon"};
+    } else if (j.contains("path")) {
+      e.payload = FsyncPayload{j.at("path").as_string()};
+    }
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+std::vector<Event> read_falcon_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("falcon trace: cannot open " + path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return parse_falcon_trace(text);
+}
+
+}  // namespace horus::baselines

@@ -1,0 +1,32 @@
+// Falcon-compatible trace export/import.
+//
+// The paper's Figure 6 methodology: "we exported the unordered events in the
+// format compatible with the Falcon's solver". Falcon consumes a JSON-lines
+// event trace (one object per event with type, thread identity, timestamp
+// and the syscall attributes); this module writes and reads that format so
+// the solver baseline can be driven from files exactly like the original
+// toolchain — and so traces captured here can be handed to other tools.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "event/event.h"
+
+namespace horus::baselines {
+
+/// Serializes events as Falcon-style JSON lines.
+[[nodiscard]] std::string export_falcon_trace(const std::vector<Event>& events);
+
+/// Writes the trace to a file; throws std::runtime_error on I/O failure.
+void write_falcon_trace(const std::vector<Event>& events,
+                        const std::string& path);
+
+/// Parses a Falcon-style JSON-lines trace. Throws JsonError on malformed
+/// lines.
+[[nodiscard]] std::vector<Event> parse_falcon_trace(const std::string& text);
+
+/// Reads a trace file; throws std::runtime_error on I/O failure.
+[[nodiscard]] std::vector<Event> read_falcon_trace(const std::string& path);
+
+}  // namespace horus::baselines

@@ -1,0 +1,37 @@
+#include "common/diag.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace horus {
+
+namespace {
+std::atomic<DiagLevel> g_level{DiagLevel::kOff};
+std::mutex g_mutex;
+
+const char* level_name(DiagLevel level) {
+  switch (level) {
+    case DiagLevel::kDebug: return "DEBUG";
+    case DiagLevel::kInfo: return "INFO";
+    case DiagLevel::kWarn: return "WARN";
+    case DiagLevel::kError: return "ERROR";
+    case DiagLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_diag_level(DiagLevel level) { g_level.store(level); }
+
+DiagLevel diag_level() { return g_level.load(); }
+
+void diag(DiagLevel level, const std::string& component,
+          const std::string& message) {
+  if (level < g_level.load(std::memory_order_relaxed)) return;
+  const std::lock_guard lock(g_mutex);
+  std::fprintf(stderr, "[horus:%s] %s: %s\n", level_name(level),
+               component.c_str(), message.c_str());
+}
+
+}  // namespace horus

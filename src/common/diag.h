@@ -1,0 +1,20 @@
+// Internal diagnostics for the Horus pipeline itself (not application logs —
+// those are *data* in this system). Severity-filtered, thread-safe, and
+// silent by default so tests and benches stay clean.
+#pragma once
+
+#include <string>
+
+namespace horus {
+
+enum class DiagLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum severity that is emitted (default: kOff).
+void set_diag_level(DiagLevel level);
+[[nodiscard]] DiagLevel diag_level();
+
+/// Emits one diagnostic line to stderr if `level` passes the filter.
+void diag(DiagLevel level, const std::string& component,
+          const std::string& message);
+
+}  // namespace horus

@@ -1,0 +1,118 @@
+// Strong identifier types shared across all Horus modules.
+//
+// Horus tracks events from many hosts, processes and threads. To avoid the
+// classic "everything is an int" bug class, identifiers get distinct types
+// with explicit conversions only.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace horus {
+
+/// Globally unique identifier of an event in an execution trace.
+///
+/// Ids are assigned by the component that first materializes the event (the
+/// tracer or a log adapter) and are stable across the whole pipeline: the
+/// same id names the event in the queue, in the encoders and as a graph node.
+enum class EventId : std::uint64_t {};
+
+[[nodiscard]] constexpr std::uint64_t value_of(EventId id) noexcept {
+  return static_cast<std::uint64_t>(id);
+}
+
+constexpr EventId kInvalidEventId = EventId{~std::uint64_t{0}};
+
+/// Identity of a thread of execution: host + process id + thread id.
+///
+/// The paper's "process timeline" is keyed by this triple — two threads of
+/// the same OS process have independent program orders and therefore
+/// independent timelines.
+struct ThreadRef {
+  std::string host;
+  std::int32_t pid = 0;
+  std::int32_t tid = 0;
+
+  [[nodiscard]] bool operator==(const ThreadRef&) const = default;
+  [[nodiscard]] auto operator<=>(const ThreadRef&) const = default;
+
+  /// Canonical printable form, e.g. "hostA/1204.7".
+  [[nodiscard]] std::string to_string() const {
+    return host + "/" + std::to_string(pid) + "." + std::to_string(tid);
+  }
+};
+
+/// Identity of one endpoint of a network channel.
+struct SocketAddr {
+  std::string ip;
+  std::uint16_t port = 0;
+
+  [[nodiscard]] bool operator==(const SocketAddr&) const = default;
+  [[nodiscard]] auto operator<=>(const SocketAddr&) const = default;
+
+  [[nodiscard]] std::string to_string() const {
+    return ip + ":" + std::to_string(port);
+  }
+};
+
+/// A directed network channel (the TCP 4-tuple, oriented src -> dst).
+///
+/// SND events on a channel pair with RCV events on the same channel; the
+/// reverse direction is a distinct channel.
+struct ChannelId {
+  SocketAddr src;
+  SocketAddr dst;
+
+  [[nodiscard]] bool operator==(const ChannelId&) const = default;
+  [[nodiscard]] auto operator<=>(const ChannelId&) const = default;
+
+  [[nodiscard]] std::string to_string() const {
+    return src.to_string() + "->" + dst.to_string();
+  }
+
+  /// The opposite direction of this channel.
+  [[nodiscard]] ChannelId reversed() const { return ChannelId{dst, src}; }
+};
+
+namespace detail {
+// FNV-1a, sufficient for unordered_map keys here.
+inline std::size_t hash_combine(std::size_t seed, std::size_t v) noexcept {
+  return seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+}  // namespace detail
+
+}  // namespace horus
+
+template <>
+struct std::hash<horus::EventId> {
+  std::size_t operator()(horus::EventId id) const noexcept {
+    return std::hash<std::uint64_t>{}(horus::value_of(id));
+  }
+};
+
+template <>
+struct std::hash<horus::ThreadRef> {
+  std::size_t operator()(const horus::ThreadRef& t) const noexcept {
+    std::size_t h = std::hash<std::string>{}(t.host);
+    h = horus::detail::hash_combine(h, std::hash<std::int32_t>{}(t.pid));
+    h = horus::detail::hash_combine(h, std::hash<std::int32_t>{}(t.tid));
+    return h;
+  }
+};
+
+template <>
+struct std::hash<horus::SocketAddr> {
+  std::size_t operator()(const horus::SocketAddr& a) const noexcept {
+    return horus::detail::hash_combine(std::hash<std::string>{}(a.ip),
+                                       std::hash<std::uint16_t>{}(a.port));
+  }
+};
+
+template <>
+struct std::hash<horus::ChannelId> {
+  std::size_t operator()(const horus::ChannelId& c) const noexcept {
+    return horus::detail::hash_combine(std::hash<horus::SocketAddr>{}(c.src),
+                                       std::hash<horus::SocketAddr>{}(c.dst));
+  }
+};

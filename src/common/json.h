@@ -1,0 +1,126 @@
+// Minimal JSON value model, parser and serializer.
+//
+// Horus ships events between components as JSON objects (the Log4j adapter
+// emits JSON, the queue persists JSON lines, the tracer normalizes kernel
+// events to the same schema). No third-party JSON dependency is available
+// offline, so this is a small, strict implementation of RFC 8259 sufficient
+// for the project's needs: UTF-8 pass-through, \uXXXX escapes, full number
+// grammar, and friendly error messages with byte offsets.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace horus {
+
+class Json;
+
+/// Error thrown on malformed JSON input or on type-mismatched access.
+class JsonError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// An immutable-by-convention JSON value: null, bool, integer, double,
+/// string, array or object. Integers are kept distinct from doubles so that
+/// 64-bit event ids and byte offsets round-trip exactly.
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  // std::map keeps object keys ordered, which makes serialized output
+  // deterministic — important for golden-file tests.
+  using Object = std::map<std::string, Json, std::less<>>;
+
+  Json() noexcept : value_(nullptr) {}
+  Json(std::nullptr_t) noexcept : value_(nullptr) {}
+  Json(bool b) noexcept : value_(b) {}
+  Json(std::int64_t i) noexcept : value_(i) {}
+  Json(int i) noexcept : value_(static_cast<std::int64_t>(i)) {}
+  Json(std::uint64_t u) : value_(static_cast<std::int64_t>(u)) {}
+  Json(double d) noexcept : value_(d) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) noexcept : value_(std::move(s)) {}
+  Json(std::string_view s) : value_(std::string(s)) {}
+  Json(Array a) noexcept : value_(std::move(a)) {}
+  Json(Object o) noexcept : value_(std::move(o)) {}
+
+  [[nodiscard]] static Json array() { return Json(Array{}); }
+  [[nodiscard]] static Json object() { return Json(Object{}); }
+
+  [[nodiscard]] bool is_null() const noexcept {
+    return std::holds_alternative<std::nullptr_t>(value_);
+  }
+  [[nodiscard]] bool is_bool() const noexcept {
+    return std::holds_alternative<bool>(value_);
+  }
+  [[nodiscard]] bool is_int() const noexcept {
+    return std::holds_alternative<std::int64_t>(value_);
+  }
+  [[nodiscard]] bool is_double() const noexcept {
+    return std::holds_alternative<double>(value_);
+  }
+  [[nodiscard]] bool is_number() const noexcept {
+    return is_int() || is_double();
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return std::holds_alternative<std::string>(value_);
+  }
+  [[nodiscard]] bool is_array() const noexcept {
+    return std::holds_alternative<Array>(value_);
+  }
+  [[nodiscard]] bool is_object() const noexcept {
+    return std::holds_alternative<Object>(value_);
+  }
+
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] std::int64_t as_int() const;
+  /// Numeric access with int->double widening.
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] Array& as_array();
+  [[nodiscard]] const Object& as_object() const;
+  [[nodiscard]] Object& as_object();
+
+  /// Object member access; throws JsonError if absent or not an object.
+  [[nodiscard]] const Json& at(std::string_view key) const;
+  /// Object member access creating the member (and coercing null to object).
+  Json& operator[](std::string_view key);
+  /// True if this is an object containing `key`.
+  [[nodiscard]] bool contains(std::string_view key) const noexcept;
+  /// Member value or `fallback` when absent. Object-only convenience.
+  [[nodiscard]] std::string get_or(std::string_view key,
+                                   std::string fallback) const;
+  [[nodiscard]] std::int64_t get_or(std::string_view key,
+                                    std::int64_t fallback) const;
+
+  void push_back(Json v);
+
+  [[nodiscard]] bool operator==(const Json& other) const = default;
+
+  /// Compact single-line serialization.
+  [[nodiscard]] std::string dump() const;
+  /// Pretty-printed serialization with `indent` spaces per level.
+  [[nodiscard]] std::string dump_pretty(int indent = 2) const;
+
+  /// Parses a complete JSON document; trailing non-whitespace is an error.
+  [[nodiscard]] static Json parse(std::string_view text);
+
+ private:
+  std::variant<std::nullptr_t, bool, std::int64_t, double, std::string, Array,
+               Object>
+      value_;
+
+  void dump_to(std::string& out, int indent, int depth) const;
+};
+
+/// Escapes `s` as the body of a JSON string literal (no surrounding quotes).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+}  // namespace horus

@@ -1,0 +1,19 @@
+#include "common/sim_clock.h"
+
+#include <array>
+#include <cstdio>
+
+namespace horus {
+
+std::string format_time_ns(TimeNs t) {
+  const bool neg = t < 0;
+  if (neg) t = -t;
+  const auto secs = t / 1'000'000'000;
+  const auto micros = (t % 1'000'000'000) / 1'000;
+  std::array<char, 40> buf{};
+  std::snprintf(buf.data(), buf.size(), "%s%lld.%06llds", neg ? "-" : "",
+                static_cast<long long>(secs), static_cast<long long>(micros));
+  return buf.data();
+}
+
+}  // namespace horus

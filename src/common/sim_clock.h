@@ -1,0 +1,96 @@
+// Simulated physical clocks with per-host drift.
+//
+// The motivation for Horus is that physical clocks on different machines
+// drift apart, so ordering a distributed log by timestamp does not yield a
+// causal order. This module models exactly that: a single global "true time"
+// (virtual nanoseconds, advanced by the simulation driver) and one
+// HostClock per host that maps true time to that host's *observed* physical
+// time through an offset and a rate error. Within a host the observed clock
+// is strictly monotonic (mirroring CLOCK_MONOTONIC, which the paper requires
+// as the common timestamp source of co-located tracers), but across hosts
+// observed timestamps can be arbitrarily skewed.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <unordered_map>
+
+namespace horus {
+
+/// Nanoseconds of simulated time. Plain integral alias: timestamps cross
+/// serialization boundaries constantly and an opaque type would add friction
+/// with no added safety at this layer.
+using TimeNs = std::int64_t;
+
+/// One host's physical clock, derived from global true time.
+///
+/// observed(t) = offset + t * rate, made strictly monotonic by never
+/// returning a value <= the previous reading (models CLOCK_MONOTONIC's
+/// guarantee under NTP slew).
+class HostClock {
+ public:
+  /// @param offset_ns  initial skew relative to true time (may be negative)
+  /// @param drift_ppm  rate error in parts-per-million; 0 = perfect clock
+  HostClock(TimeNs offset_ns, double drift_ppm) noexcept
+      : offset_ns_(offset_ns), rate_(1.0 + drift_ppm / 1e6) {}
+
+  /// Observed physical timestamp at global true time `true_ns`.
+  [[nodiscard]] TimeNs observe(TimeNs true_ns) noexcept {
+    auto observed = offset_ns_ +
+                    static_cast<TimeNs>(static_cast<double>(true_ns) * rate_);
+    if (observed <= last_) observed = last_ + 1;
+    last_ = observed;
+    return observed;
+  }
+
+  [[nodiscard]] TimeNs offset_ns() const noexcept { return offset_ns_; }
+  [[nodiscard]] double rate() const noexcept { return rate_; }
+
+ private:
+  TimeNs offset_ns_;
+  double rate_;
+  TimeNs last_ = std::numeric_limits<TimeNs>::min();
+};
+
+/// The simulation's global time source plus the registry of host clocks.
+///
+/// Components advance true time through the driver; all per-host observed
+/// timestamps are derived from it. Not thread-safe by design: the simulated
+/// kernel serializes all activity on one driver.
+class ClockDriver {
+ public:
+  /// Registers (or re-configures) a host clock.
+  void add_host(const std::string& host, TimeNs offset_ns, double drift_ppm) {
+    clocks_.insert_or_assign(host, HostClock(offset_ns, drift_ppm));
+  }
+
+  [[nodiscard]] bool has_host(const std::string& host) const {
+    return clocks_.contains(host);
+  }
+
+  /// Current global true time.
+  [[nodiscard]] TimeNs now() const noexcept { return true_ns_; }
+
+  /// Advances global true time by `delta_ns` (must be >= 0).
+  void advance(TimeNs delta_ns) noexcept { true_ns_ += delta_ns; }
+
+  /// Observed physical time on `host` right now. Hosts not registered get a
+  /// perfect clock implicitly (offset 0, no drift).
+  [[nodiscard]] TimeNs observe(const std::string& host) {
+    auto it = clocks_.find(host);
+    if (it == clocks_.end()) {
+      it = clocks_.emplace(host, HostClock(0, 0.0)).first;
+    }
+    return it->second.observe(true_ns_);
+  }
+
+ private:
+  TimeNs true_ns_ = 0;
+  std::unordered_map<std::string, HostClock> clocks_;
+};
+
+/// Formats a TimeNs as "seconds.micros" for human-readable output.
+[[nodiscard]] std::string format_time_ns(TimeNs t);
+
+}  // namespace horus

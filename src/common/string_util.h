@@ -1,0 +1,33 @@
+// Small string helpers used across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace horus {
+
+/// Splits on a single-character delimiter. Empty fields are preserved;
+/// splitting the empty string yields one empty field.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char delim);
+
+/// Joins with a delimiter string.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view delim);
+
+/// Case-sensitive prefix/suffix/substring tests.
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+[[nodiscard]] bool ends_with(std::string_view s, std::string_view suffix);
+[[nodiscard]] bool contains(std::string_view haystack, std::string_view needle);
+
+/// Strips ASCII whitespace from both ends.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+/// ASCII lowercase copy.
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+/// printf-style formatting into a std::string.
+[[nodiscard]] std::string str_format(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace horus

@@ -1,0 +1,79 @@
+#include "core/causal_query.h"
+
+#include <algorithm>
+
+namespace horus {
+
+bool CausalQueryEngine::happens_before(graph::NodeId a,
+                                       graph::NodeId b) const {
+  return clocks_.happens_before(a, b);
+}
+
+bool CausalQueryEngine::happens_before_vc(graph::NodeId a,
+                                          graph::NodeId b) const {
+  return clocks_.vc_less(a, b);
+}
+
+CausalGraphResult CausalQueryEngine::get_causal_graph(graph::NodeId a,
+                                                      graph::NodeId b,
+                                                      bool only_logs) const {
+  CausalGraphResult result;
+  const graph::GraphStore& store = graph_.store();
+
+  const std::int64_t lc_a = clocks_.lamport(a);
+  const std::int64_t lc_b = clocks_.lamport(b);
+  if (lc_a == 0 || lc_b == 0 || lc_a > lc_b) return result;
+  if (a != b && !clocks_.happens_before(a, b)) return result;
+
+  // Step 1: LC-bounded over-approximation via the ordered index.
+  const std::vector<graph::NodeId> candidates =
+      store.range_scan(kPropLamport, lc_a, lc_b);
+  result.lc_candidates = candidates.size();
+
+  // Step 2: vector-clock pruning of events concurrent with a or b.
+  std::vector<graph::NodeId> kept;
+  kept.reserve(candidates.size());
+  for (const graph::NodeId v : candidates) {
+    if (v == a || v == b) {
+      kept.push_back(v);
+      continue;
+    }
+    if (clocks_.happens_before(a, v) && clocks_.happens_before(v, b)) {
+      kept.push_back(v);
+    }
+  }
+
+  if (only_logs) {
+    std::erase_if(kept, [&](graph::NodeId v) {
+      if (v == a || v == b) return false;
+      return store.node_label(v) != "LOG";
+    });
+  }
+
+  // Stable causal presentation order: Lamport clock, node id as tiebreaker.
+  std::sort(kept.begin(), kept.end(), [&](graph::NodeId x, graph::NodeId y) {
+    const auto lx = clocks_.lamport(x);
+    const auto ly = clocks_.lamport(y);
+    if (lx != ly) return lx < ly;
+    return x < y;
+  });
+
+  // Step 3: induced edge set.
+  std::vector<bool> in_set;
+  graph::NodeId max_id = 0;
+  for (const graph::NodeId v : kept) max_id = std::max(max_id, v);
+  in_set.resize(static_cast<std::size_t>(max_id) + 1, false);
+  for (const graph::NodeId v : kept) in_set[v] = true;
+  for (const graph::NodeId v : kept) {
+    for (const graph::Edge& e : store.out_edges(v)) {
+      if (e.to < in_set.size() && in_set[e.to]) {
+        result.edges.emplace_back(v, e.to);
+      }
+    }
+  }
+
+  result.nodes = std::move(kept);
+  return result;
+}
+
+}  // namespace horus

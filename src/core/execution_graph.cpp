@@ -1,0 +1,147 @@
+#include "core/execution_graph.h"
+
+#include <stdexcept>
+
+#include "graph/graph_io.h"
+
+namespace horus {
+
+graph::PropertyMap event_to_properties(const Event& event) {
+  graph::PropertyMap props;
+  props.emplace(std::string(kPropEventId),
+                static_cast<std::int64_t>(value_of(event.id)));
+  props.emplace(std::string(kPropHost), event.service);
+  props.emplace(std::string(kPropThread), event.thread.to_string());
+  props.emplace(std::string(kPropTimestamp), event.timestamp);
+  props.emplace("eventType", std::string(to_string(event.type)));
+  if (const auto* l = event.log()) {
+    props.emplace(std::string(kPropMessage), l->message);
+    props.emplace("logger", l->logger);
+  } else if (const auto* n = event.net()) {
+    props.emplace("src", n->channel.src.to_string());
+    props.emplace("dst", n->channel.dst.to_string());
+    props.emplace("offset", static_cast<std::int64_t>(n->offset));
+    props.emplace("size", static_cast<std::int64_t>(n->size));
+  } else if (const auto* c = event.child()) {
+    props.emplace("childThread", c->child.to_string());
+  } else if (const auto* f = event.fsync()) {
+    props.emplace("path", f->path);
+  }
+  return props;
+}
+
+ExecutionGraph::ExecutionGraph() {
+  // The Horus query strategy needs: an ordered index on the Lamport clock
+  // (LC range bounding), a hash index on eventId (node lookup by id) and on
+  // host (the case-study query's anchor filters).
+  store_.create_ordered_index(kPropLamport);
+  store_.create_index(kPropEventId);
+  store_.create_index(kPropHost);
+}
+
+std::string timeline_key(const Event& event, TimelineGranularity granularity) {
+  if (granularity == TimelineGranularity::kThread) {
+    return event.thread.to_string();
+  }
+  return event.thread.host + "/" + std::to_string(event.thread.pid);
+}
+
+graph::NodeId ExecutionGraph::add_event(const Event& event,
+                                        const std::string& timeline) {
+  {
+    const std::lock_guard lock(mutex_);
+    auto it = node_by_event_.find(event.id);
+    if (it != node_by_event_.end()) return it->second;
+  }
+  graph::PropertyMap props = event_to_properties(event);
+  props.emplace(std::string(kPropTimeline), timeline);
+  const graph::NodeId node =
+      store_.add_node(to_string(event.type), std::move(props));
+  const std::lock_guard lock(mutex_);
+  node_by_event_.emplace(event.id, node);
+  auto [tail_it, inserted] = tails_.try_emplace(
+      timeline, TimelineTail{event.id, event.timestamp});
+  if (!inserted && (event.timestamp > tail_it->second.timestamp ||
+                    (event.timestamp == tail_it->second.timestamp &&
+                     event.id > tail_it->second.id))) {
+    tail_it->second = TimelineTail{event.id, event.timestamp};
+  }
+  return node;
+}
+
+std::optional<ExecutionGraph::TimelineTail> ExecutionGraph::timeline_tail(
+    const std::string& timeline) const {
+  const std::lock_guard lock(mutex_);
+  auto it = tails_.find(timeline);
+  if (it == tails_.end()) return std::nullopt;
+  return it->second;
+}
+
+void ExecutionGraph::add_intra_edge(EventId from, EventId to) {
+  const auto a = node_of(from);
+  const auto b = node_of(to);
+  if (!a || !b) {
+    throw std::logic_error("execution graph: intra edge on unknown event");
+  }
+  store_.add_edge(*a, *b, kIntraEdgeType);
+}
+
+void ExecutionGraph::add_inter_edge(EventId from, EventId to) {
+  const auto a = node_of(from);
+  const auto b = node_of(to);
+  if (!a || !b) {
+    throw std::logic_error("execution graph: inter edge on unknown event");
+  }
+  store_.add_edge(*a, *b, kInterEdgeType);
+}
+
+std::optional<graph::NodeId> ExecutionGraph::node_of(EventId id) const {
+  const std::lock_guard lock(mutex_);
+  auto it = node_by_event_.find(id);
+  if (it == node_by_event_.end()) return std::nullopt;
+  return it->second;
+}
+
+EventId ExecutionGraph::event_of(graph::NodeId node) const {
+  const auto v = store_.property(node, kPropEventId);
+  if (const auto* i = std::get_if<std::int64_t>(&v)) {
+    return static_cast<EventId>(static_cast<std::uint64_t>(*i));
+  }
+  throw std::logic_error("execution graph: node without eventId");
+}
+
+std::size_t ExecutionGraph::event_count() const {
+  const std::lock_guard lock(mutex_);
+  return node_by_event_.size();
+}
+
+void ExecutionGraph::save(const std::string& path) const {
+  graph::save_graph_file(store_, path);
+}
+
+void ExecutionGraph::load(const std::string& path) {
+  graph::load_graph_file(store_, path);
+  const std::lock_guard lock(mutex_);
+  for (graph::NodeId v = 0; v < store_.node_count(); ++v) {
+    const auto id = store_.property(v, kPropEventId);
+    const auto* i = std::get_if<std::int64_t>(&id);
+    if (i == nullptr) continue;
+    const auto event_id = static_cast<EventId>(static_cast<std::uint64_t>(*i));
+    node_by_event_.emplace(event_id, v);
+
+    const auto timeline = store_.property(v, kPropTimeline);
+    const auto ts = store_.property(v, kPropTimestamp);
+    const auto* tl = std::get_if<std::string>(&timeline);
+    const auto* t = std::get_if<std::int64_t>(&ts);
+    if (tl == nullptr || t == nullptr) continue;
+    auto [tail_it, inserted] =
+        tails_.try_emplace(*tl, TimelineTail{event_id, *t});
+    if (!inserted && (*t > tail_it->second.timestamp ||
+                      (*t == tail_it->second.timestamp &&
+                       event_id > tail_it->second.id))) {
+      tail_it->second = TimelineTail{event_id, *t};
+    }
+  }
+}
+
+}  // namespace horus

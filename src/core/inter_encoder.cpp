@@ -1,0 +1,193 @@
+#include "core/inter_encoder.h"
+
+#include <algorithm>
+
+namespace horus {
+
+// ---------------------------------------------------------------------------
+// MessageDeliveryRule
+// ---------------------------------------------------------------------------
+
+void MessageDeliveryRule::on_event(const Event& event,
+                                   std::vector<CausalPair>& out) {
+  const auto* net = event.net();
+  if (net == nullptr || net->size == 0) return;
+  if (event.type != EventType::kSnd && event.type != EventType::kRcv) return;
+
+  ChannelState& state = channels_[net->channel];
+  Range range{event.id, net->offset, net->offset + net->size};
+  if (event.type == EventType::kSnd) {
+    state.sends.push_back(range);
+  } else {
+    state.receives.push_back(range);
+  }
+  ++pending_;
+  match(state, out);
+}
+
+void MessageDeliveryRule::match(ChannelState& state,
+                                std::vector<CausalPair>& out) {
+  // Both queues are ordered by byte offset (TCP order). A send pairs with
+  // every receive overlapping its [begin, end) range. A send is retired once
+  // receives have covered it entirely; a receive is retired once sends have
+  // covered it entirely. Because either side can arrive at the encoder
+  // first, matching advances whichever side is complete.
+  while (!state.sends.empty() && !state.receives.empty()) {
+    Range& snd = state.sends.front();
+    Range& rcv = state.receives.front();
+    if (snd.end <= rcv.begin) {
+      // Send fully below the first pending receive: every receive for it was
+      // already matched (they arrive in offset order), so retire it.
+      state.sends.pop_front();
+      --pending_;
+      continue;
+    }
+    if (rcv.end <= snd.begin) {
+      state.receives.pop_front();
+      --pending_;
+      continue;
+    }
+    // Overlap: emit the causal pair.
+    out.push_back(CausalPair{snd.id, rcv.id, name()});
+    // Retire whichever range finishes first; keep the other for further
+    // overlaps (one SND -> many partial RCVs, or one RCV covering many SNDs).
+    if (snd.end <= rcv.end) {
+      state.sends.pop_front();
+      --pending_;
+      if (rcv.end == snd.end) {
+        state.receives.pop_front();
+        --pending_;
+      }
+    } else {
+      state.receives.pop_front();
+      --pending_;
+    }
+  }
+}
+
+std::size_t MessageDeliveryRule::pending() const noexcept { return pending_; }
+
+// ---------------------------------------------------------------------------
+// ConnectionRule
+// ---------------------------------------------------------------------------
+
+void ConnectionRule::on_event(const Event& event,
+                              std::vector<CausalPair>& out) {
+  const auto* net = event.net();
+  if (net == nullptr) return;
+  if (event.type == EventType::kConnect) {
+    if (auto it = accepts_.find(net->channel); it != accepts_.end()) {
+      out.push_back(CausalPair{event.id, it->second, name()});
+      accepts_.erase(it);
+    } else {
+      connects_.emplace(net->channel, event.id);
+    }
+  } else if (event.type == EventType::kAccept) {
+    if (auto it = connects_.find(net->channel); it != connects_.end()) {
+      out.push_back(CausalPair{it->second, event.id, name()});
+      connects_.erase(it);
+    } else {
+      accepts_.emplace(net->channel, event.id);
+    }
+  }
+}
+
+std::size_t ConnectionRule::pending() const noexcept {
+  return connects_.size() + accepts_.size();
+}
+
+// ---------------------------------------------------------------------------
+// LifecycleRule
+// ---------------------------------------------------------------------------
+
+void LifecycleRule::on_event(const Event& event, std::vector<CausalPair>& out) {
+  switch (event.type) {
+    case EventType::kCreate:
+    case EventType::kFork: {
+      const auto* c = event.child();
+      if (c == nullptr) return;
+      if (auto it = starts_.find(c->child); it != starts_.end()) {
+        out.push_back(CausalPair{event.id, it->second, name()});
+        starts_.erase(it);
+      } else {
+        creates_.emplace(c->child, event.id);
+      }
+      break;
+    }
+    case EventType::kStart: {
+      if (auto it = creates_.find(event.thread); it != creates_.end()) {
+        out.push_back(CausalPair{it->second, event.id, name()});
+        creates_.erase(it);
+      } else {
+        starts_.emplace(event.thread, event.id);
+      }
+      break;
+    }
+    case EventType::kEnd: {
+      if (auto it = joins_.find(event.thread); it != joins_.end()) {
+        for (EventId join : it->second) {
+          out.push_back(CausalPair{event.id, join, name()});
+        }
+        joins_.erase(it);
+      }
+      ends_.emplace(event.thread, event.id);
+      break;
+    }
+    case EventType::kJoin: {
+      const auto* c = event.child();
+      if (c == nullptr) return;
+      if (auto it = ends_.find(c->child); it != ends_.end()) {
+        out.push_back(CausalPair{it->second, event.id, name()});
+        // Keep the END: several threads may join the same child.
+      } else {
+        joins_[c->child].push_back(event.id);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+std::size_t LifecycleRule::pending() const noexcept {
+  std::size_t n = creates_.size() + starts_.size();
+  for (const auto& [thread, joins] : joins_) n += joins.size();
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// InterProcessEncoder
+// ---------------------------------------------------------------------------
+
+InterProcessEncoder::InterProcessEncoder(ExecutionGraph& graph)
+    : graph_(graph) {
+  rules_.push_back(std::make_unique<MessageDeliveryRule>());
+  rules_.push_back(std::make_unique<ConnectionRule>());
+  rules_.push_back(std::make_unique<LifecycleRule>());
+}
+
+void InterProcessEncoder::add_rule(std::unique_ptr<CausalRule> rule) {
+  rules_.push_back(std::move(rule));
+}
+
+void InterProcessEncoder::on_event(const Event& event) {
+  for (const auto& rule : rules_) {
+    rule->on_event(event, complete_);
+  }
+}
+
+void InterProcessEncoder::flush() {
+  for (const CausalPair& pair : complete_) {
+    graph_.add_inter_edge(pair.from, pair.to);
+  }
+  edges_flushed_ += complete_.size();
+  complete_.clear();
+}
+
+std::size_t InterProcessEncoder::pending() const noexcept {
+  std::size_t n = 0;
+  for (const auto& rule : rules_) n += rule->pending();
+  return n;
+}
+
+}  // namespace horus

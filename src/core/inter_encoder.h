@@ -1,0 +1,149 @@
+// Inter-Process HB Encoder — second stage of the Horus pipeline
+// (Section IV-B of the paper).
+//
+// Computes happens-before relationships *between* processes. Unlike the
+// intra stage, this never relies on timestamps: causality comes from message
+// identity — event attributes captured by the kernel probes that
+// unequivocally tie a departure to an arrival. Built-in rules:
+//
+//   SND -> RCV       same channel, overlapping byte ranges (TCP delivery &
+//                    ordering guarantees; one SND may pair with several
+//                    partial RCVs)
+//   CONNECT -> ACCEPT same channel
+//   CREATE -> START  parent's create of thread T precedes T's first event
+//   FORK -> START    same, for processes
+//   END -> JOIN      child T's last event precedes the parent's join on T
+//
+// The rule set is an open registry (CausalRule interface): new event kinds
+// and happens-before sources can be added without touching the encoder —
+// the extensibility the paper calls out.
+//
+// The encoder is a streaming operator: incomplete pairs are kept in memory
+// until the matching event is consumed from the queue; completed pairs are
+// buffered and flushed to the graph in periodic batches.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/execution_graph.h"
+#include "event/event.h"
+
+namespace horus {
+
+/// A completed inter-process causal pair.
+struct CausalPair {
+  EventId from = kInvalidEventId;
+  EventId to = kInvalidEventId;
+  std::string_view rule;  ///< name of the producing rule (static storage)
+};
+
+/// One happens-before source. Implementations keep whatever pending state
+/// they need; on_event() reports every pair completed by the new event.
+class CausalRule {
+ public:
+  virtual ~CausalRule() = default;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// Feeds one event (in per-timeline causal order); appends completed
+  /// pairs to `out`.
+  virtual void on_event(const Event& event, std::vector<CausalPair>& out) = 0;
+
+  /// Number of events currently waiting for their counterpart.
+  [[nodiscard]] virtual std::size_t pending() const noexcept = 0;
+};
+
+/// SND->RCV pairing by channel + byte-range overlap.
+class MessageDeliveryRule final : public CausalRule {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "message-delivery";
+  }
+  void on_event(const Event& event, std::vector<CausalPair>& out) override;
+  [[nodiscard]] std::size_t pending() const noexcept override;
+
+ private:
+  struct Range {
+    EventId id;
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;  ///< exclusive
+  };
+  struct ChannelState {
+    std::deque<Range> sends;     ///< unmatched or partially matched sends
+    std::deque<Range> receives;  ///< receives waiting for their send
+  };
+  std::unordered_map<ChannelId, ChannelState> channels_;
+  std::size_t pending_ = 0;
+
+  void match(ChannelState& state, std::vector<CausalPair>& out);
+};
+
+/// CONNECT->ACCEPT pairing by channel.
+class ConnectionRule final : public CausalRule {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "connection";
+  }
+  void on_event(const Event& event, std::vector<CausalPair>& out) override;
+  [[nodiscard]] std::size_t pending() const noexcept override;
+
+ private:
+  std::unordered_map<ChannelId, EventId> connects_;
+  std::unordered_map<ChannelId, EventId> accepts_;
+};
+
+/// CREATE/FORK->START and END->JOIN pairing by child-thread identity.
+class LifecycleRule final : public CausalRule {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "lifecycle";
+  }
+  void on_event(const Event& event, std::vector<CausalPair>& out) override;
+  [[nodiscard]] std::size_t pending() const noexcept override;
+
+ private:
+  std::unordered_map<ThreadRef, EventId> creates_;  ///< by child thread
+  std::unordered_map<ThreadRef, EventId> starts_;   ///< by own thread
+  std::unordered_map<ThreadRef, EventId> ends_;     ///< by own thread
+  std::unordered_map<ThreadRef, std::vector<EventId>> joins_;  ///< by child
+};
+
+class InterProcessEncoder {
+ public:
+  /// Constructs with the built-in rule set.
+  explicit InterProcessEncoder(ExecutionGraph& graph);
+
+  /// Registers an additional causality rule.
+  void add_rule(std::unique_ptr<CausalRule> rule);
+
+  /// Feeds one event (must already be persisted by the intra stage).
+  void on_event(const Event& event);
+
+  /// Flushes buffered complete pairs as HB edges into the graph.
+  void flush();
+
+  /// Completed-but-unflushed pairs.
+  [[nodiscard]] std::size_t buffered() const noexcept {
+    return complete_.size();
+  }
+  /// Events still waiting for a counterpart, across all rules.
+  [[nodiscard]] std::size_t pending() const noexcept;
+  /// Total HB edges persisted.
+  [[nodiscard]] std::uint64_t edges_flushed() const noexcept {
+    return edges_flushed_;
+  }
+
+ private:
+  ExecutionGraph& graph_;
+  std::vector<std::unique_ptr<CausalRule>> rules_;
+  std::vector<CausalPair> complete_;
+  std::uint64_t edges_flushed_ = 0;
+};
+
+}  // namespace horus

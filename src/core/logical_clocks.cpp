@@ -1,0 +1,153 @@
+#include "core/logical_clocks.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace horus {
+
+bool ClockTable::happens_before(graph::NodeId a, graph::NodeId b) const {
+  if (a == b) return false;
+  if (!assigned(a) || !assigned(b)) return false;
+  const auto ta = static_cast<std::size_t>(timeline_of_[a]);
+  const auto& vb = vc_[b];
+  if (ta >= vb.size()) return false;  // timeline(a) unknown to b => no path
+  return vb[ta] >= position_[a];
+}
+
+bool ClockTable::vc_less(graph::NodeId a, graph::NodeId b) const {
+  if (!assigned(a) || !assigned(b)) return false;
+  const auto& va = vc_[a];
+  const auto& vb = vc_[b];
+  const std::size_t n = std::max(va.size(), vb.size());
+  bool strictly = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int32_t x = i < va.size() ? va[i] : 0;
+    const std::int32_t y = i < vb.size() ? vb[i] : 0;
+    if (x > y) return false;
+    if (x < y) strictly = true;
+  }
+  return strictly;
+}
+
+std::string ClockTable::vc_string(graph::NodeId node) const {
+  std::string out = "[";
+  const auto& v = node < vc_.size() ? vc_[node] : std::vector<std::int32_t>{};
+  for (std::size_t i = 0; i < timeline_names_.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(i < v.size() ? v[i] : 0);
+  }
+  out += ']';
+  return out;
+}
+
+LogicalClockAssigner::LogicalClockAssigner(ExecutionGraph& graph,
+                                           Options options)
+    : graph_(graph), options_(options) {}
+
+std::size_t LogicalClockAssigner::assign() {
+  const graph::GraphStore& store = graph_.store();
+  const auto n = static_cast<graph::NodeId>(store.node_count());
+
+  auto& lamport = table_.lamport_;
+  auto& vc = table_.vc_;
+  auto& timeline_of = table_.timeline_of_;
+  auto& position = table_.position_;
+
+  if (lamport.size() < n) {
+    lamport.resize(n, 0);
+    vc.resize(n);
+    timeline_of.resize(n, -1);
+    position.resize(n, 0);
+  }
+
+  // Collect the unassigned region and its internal in-degrees.
+  std::vector<graph::NodeId> frontier;
+  std::vector<std::int32_t> indegree(n, 0);
+  std::size_t unassigned = 0;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (table_.assigned(v)) continue;
+    ++unassigned;
+    std::int32_t deg = 0;
+    for (const graph::Edge& e : store.in_edges_snapshot(v)) {
+      // in_edges store the source in .to; sources appended concurrently
+      // (>= n) are ignored — the audit on the next pass heals if needed.
+      if (e.to < n && !table_.assigned(e.to)) ++deg;
+    }
+    indegree[v] = deg;
+    if (deg == 0) frontier.push_back(v);
+  }
+  if (unassigned == 0) return 0;
+
+  std::size_t processed = 0;
+  while (!frontier.empty()) {
+    const graph::NodeId v = frontier.back();
+    frontier.pop_back();
+    ++processed;
+
+    // Timeline identity from the stored timeline property (interned).
+    const auto thread_prop = store.property(v, kPropTimeline);
+    const std::string* thread_name = std::get_if<std::string>(&thread_prop);
+    if (thread_name == nullptr) {
+      throw std::logic_error("clock assigner: node without timeline property");
+    }
+    auto [tit, inserted] = table_.timeline_ids_.try_emplace(
+        *thread_name, static_cast<std::int32_t>(table_.timeline_names_.size()));
+    if (inserted) {
+      table_.timeline_names_.push_back(*thread_name);
+      table_.timeline_sizes_.push_back(0);
+    }
+    const std::int32_t t = tit->second;
+
+    // Lamport clock: 1 + max over predecessors.
+    std::int64_t lc = 1;
+    // Vector clock: component-wise max over predecessors, then tick own
+    // component to this event's position in its timeline.
+    std::vector<std::int32_t> v_clock;
+    for (const graph::Edge& e : store.in_edges_snapshot(v)) {
+      const graph::NodeId pred = e.to;
+      if (pred >= n) continue;  // concurrently appended; healed next pass
+      lc = std::max(lc, lamport[pred] + 1);
+      const auto& pv = vc[pred];
+      if (pv.size() > v_clock.size()) v_clock.resize(pv.size(), 0);
+      for (std::size_t i = 0; i < pv.size(); ++i) {
+        v_clock[i] = std::max(v_clock[i], pv[i]);
+      }
+    }
+    const std::int32_t pos = ++table_.timeline_sizes_[static_cast<std::size_t>(t)];
+    if (static_cast<std::size_t>(t) >= v_clock.size()) {
+      v_clock.resize(static_cast<std::size_t>(t) + 1, 0);
+    }
+    v_clock[static_cast<std::size_t>(t)] = pos;
+
+    lamport[v] = lc;
+    vc[v] = std::move(v_clock);
+    timeline_of[v] = t;
+    position[v] = pos;
+
+    if (options_.write_lamport_property) {
+      graph_.store().set_property(v, kPropLamport, lc);
+    }
+
+    for (const graph::Edge& e : store.out_edges_snapshot(v)) {
+      // Nodes appended by a concurrent writer after this pass started are
+      // outside `indegree`; they are picked up by the next pass.
+      if (e.to >= n) continue;
+      if (table_.assigned(e.to)) continue;
+      if (--indegree[e.to] == 0) frontier.push_back(e.to);
+    }
+  }
+
+  if (processed != unassigned) {
+    throw std::logic_error(
+        "clock assigner: cycle detected in causal graph (" +
+        std::to_string(unassigned - processed) + " nodes unreachable)");
+  }
+  return processed;
+}
+
+std::size_t LogicalClockAssigner::reassign_all() {
+  table_ = ClockTable{};
+  return assign();
+}
+
+}  // namespace horus

@@ -1,0 +1,179 @@
+#include "core/pipeline.h"
+
+#include "common/json.h"
+
+namespace horus {
+
+using Clock = std::chrono::steady_clock;
+
+std::string inter_routing_key(const Event& event) {
+  switch (event.type) {
+    case EventType::kSnd:
+    case EventType::kRcv:
+    case EventType::kConnect:
+    case EventType::kAccept:
+      if (const auto* n = event.net()) return n->channel.to_string();
+      break;
+    case EventType::kCreate:
+    case EventType::kFork:
+    case EventType::kJoin:
+      if (const auto* c = event.child()) return c->child.to_string();
+      break;
+    case EventType::kStart:
+    case EventType::kEnd:
+      return event.thread.to_string();
+    case EventType::kLog:
+    case EventType::kFsync:
+      break;
+  }
+  return event.thread.to_string();
+}
+
+Pipeline::Pipeline(queue::Broker& broker, ExecutionGraph& graph,
+                   PipelineOptions options)
+    : broker_(broker), graph_(graph), options_(options) {
+  broker_.create_topic(options_.sources_topic, options_.partitions);
+  broker_.create_topic(options_.timeline_topic, options_.partitions);
+}
+
+Pipeline::~Pipeline() {
+  if (running_.load()) stop();
+}
+
+void Pipeline::start() {
+  if (running_.exchange(true)) return;
+  stop_requested_.store(false);
+
+  // Static round-robin partition assignment per stage.
+  auto assignment = [this](int workers, int worker) {
+    std::vector<int> parts;
+    for (int p = worker; p < options_.partitions; p += workers) {
+      parts.push_back(p);
+    }
+    return parts;
+  };
+  for (int i = 0; i < options_.intra_workers; ++i) {
+    workers_.emplace_back([this, i, parts = assignment(options_.intra_workers,
+                                                       i)] {
+      intra_worker(i, parts);
+    });
+  }
+  for (int i = 0; i < options_.inter_workers; ++i) {
+    workers_.emplace_back([this, i, parts = assignment(options_.inter_workers,
+                                                       i)] {
+      inter_worker(i, parts);
+    });
+  }
+}
+
+void Pipeline::publish(const Event& event) {
+  broker_.topic(options_.sources_topic)
+      .produce(timeline_key(event, options_.granularity),
+               event.to_json().dump());
+  published_.fetch_add(1, std::memory_order_relaxed);
+}
+
+EventSinkFn Pipeline::sink() {
+  return [this](Event event) { publish(event); };
+}
+
+void Pipeline::intra_worker(int index, std::vector<int> partitions) {
+  queue::Consumer consumer(broker_, "horus-intra-" + std::to_string(index),
+                           options_.sources_topic, std::move(partitions));
+  queue::Topic& downstream = broker_.topic(options_.timeline_topic);
+
+  IntraProcessEncoder encoder(
+      graph_,
+      [this, &downstream](Event event) {
+        const std::string key = inter_routing_key(event);
+        downstream.produce(key, event.to_json().dump());
+        intra_forwarded_.fetch_add(1, std::memory_order_relaxed);
+      },
+      IntraProcessEncoder::Options{options_.granularity});
+
+  auto last_flush = Clock::now();
+  const auto interval =
+      std::chrono::milliseconds(options_.event_flush_interval_ms);
+
+  while (true) {
+    const auto batch = consumer.poll(options_.poll_batch, /*timeout_ms=*/5);
+    for (const auto& msg : batch) {
+      encoder.on_event(Event::from_json(Json::parse(msg.message.value)));
+      intra_processed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    const auto now = Clock::now();
+    const bool stopping = stop_requested_.load(std::memory_order_acquire);
+    if (now - last_flush >= interval || (stopping && batch.empty())) {
+      encoder.flush();
+      consumer.commit();
+      last_flush = now;
+      if (stopping && batch.empty() && encoder.pending() == 0) break;
+    }
+  }
+}
+
+void Pipeline::inter_worker(int index, std::vector<int> partitions) {
+  queue::Consumer consumer(broker_, "horus-inter-" + std::to_string(index),
+                           options_.timeline_topic, std::move(partitions));
+  InterProcessEncoder encoder(graph_);
+
+  auto last_flush = Clock::now();
+  const auto interval =
+      std::chrono::milliseconds(options_.relationship_flush_interval_ms);
+
+  while (true) {
+    const auto batch = consumer.poll(options_.poll_batch, /*timeout_ms=*/5);
+    for (const auto& msg : batch) {
+      encoder.on_event(Event::from_json(Json::parse(msg.message.value)));
+      inter_processed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    const auto now = Clock::now();
+    const bool stopping = stop_requested_.load(std::memory_order_acquire);
+    if (now - last_flush >= interval || (stopping && batch.empty())) {
+      encoder.flush();
+      consumer.commit();
+      last_flush = now;
+      if (stopping && batch.empty()) break;
+    }
+  }
+}
+
+void Pipeline::drain() {
+  // The pipeline is drained when the intra stage has consumed everything
+  // published, its flushes have stopped producing new downstream events
+  // (duplicates are dropped, so forwarded <= published), and the inter
+  // stage has consumed everything forwarded. Poll the counters until the
+  // numbers are stable across a full flush interval.
+  const auto settle = std::chrono::milliseconds(
+      std::max(options_.event_flush_interval_ms,
+               options_.relationship_flush_interval_ms) +
+      10);
+  while (true) {
+    while (intra_processed_.load() < published_.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    const auto forwarded_before = intra_forwarded_.load();
+    while (inter_processed_.load() < intra_forwarded_.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    // Wait a flush interval; if nothing moved, every stage is settled.
+    std::this_thread::sleep_for(settle);
+    if (intra_processed_.load() >= published_.load() &&
+        intra_forwarded_.load() == forwarded_before &&
+        inter_processed_.load() >= intra_forwarded_.load()) {
+      break;
+    }
+  }
+}
+
+void Pipeline::stop() {
+  if (!running_.load()) return;
+  stop_requested_.store(true, std::memory_order_release);
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  running_.store(false);
+}
+
+}  // namespace horus

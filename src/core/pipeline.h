@@ -1,0 +1,121 @@
+// The distributed deployment of the Horus event-processing pipeline
+// (Figure 2 of the paper): adapters publish normalized events into a
+// partitioned *sources* topic; intra-process encoder workers consume it,
+// persist timelines and forward into a *timeline* topic; inter-process
+// encoder workers consume that and persist the HB edges.
+//
+// Scale-out correctness (Section VII-A) is enforced by partition routing:
+//   (i)   all events of one process hash (by thread key) onto one sources
+//         partition, so exactly one intra worker sees them, in order;
+//   (ii)  both halves of every causal pair hash (by the pair's rule key:
+//         channel for SND/RCV/CONNECT/ACCEPT, child thread for lifecycle
+//         events) onto one timeline partition, so exactly one inter worker
+//         matches them;
+//   (iii) each intra worker preserves per-timeline order when producing
+//         into the timeline topic (single-threaded stage, FIFO partitions).
+//
+// Encoders therefore need no cross-worker synchronization.
+//
+// Crash recovery: consumers resume from committed offsets (at-least-once;
+// the intra stage suppresses replayed duplicates) and a restarted intra
+// worker recovers each timeline's chain tail from the store, so program
+// order survives restarts. One caveat matches the paper's design: the
+// inter-process encoder's *pending* pairs are in-memory — a half of a
+// causal pair consumed and committed before a crash, whose counterpart
+// arrives only after the restart, will not be paired. Keeping the
+// relationship flush interval at or below the commit cadence bounds that
+// window.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/execution_graph.h"
+#include "core/inter_encoder.h"
+#include "core/intra_encoder.h"
+#include "event/event.h"
+#include "queue/broker.h"
+#include "queue/consumer.h"
+
+namespace horus {
+
+struct PipelineOptions {
+  /// Timeline granularity handed to the intra-process encoders; also
+  /// controls the sources-topic routing key (point i above).
+  TimelineGranularity granularity = TimelineGranularity::kProcess;
+  int partitions = 4;         ///< partitions per topic
+  int intra_workers = 1;
+  int inter_workers = 1;
+  /// Flush cadence of the intra stage (events), per the paper's tunable.
+  int event_flush_interval_ms = 100;
+  /// Flush cadence of the inter stage (causal relationships).
+  int relationship_flush_interval_ms = 200;
+  std::size_t poll_batch = 512;
+  std::string sources_topic = "horus.events";
+  std::string timeline_topic = "horus.timeline";
+};
+
+/// Routing key under rule-based pair affinity (see file comment, point ii).
+[[nodiscard]] std::string inter_routing_key(const Event& event);
+
+class Pipeline {
+ public:
+  Pipeline(queue::Broker& broker, ExecutionGraph& graph,
+           PipelineOptions options = {});
+  ~Pipeline();
+
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
+
+  /// Starts the worker threads.
+  void start();
+
+  /// Publishes one event into the sources topic (thread-safe; this is the
+  /// producer API adapters use).
+  void publish(const Event& event);
+
+  /// Sink adapter for EventSinkFn-based producers.
+  [[nodiscard]] EventSinkFn sink();
+
+  /// Blocks until every published event has fully exited the pipeline
+  /// (both stages drained and flushed).
+  void drain();
+
+  /// Stops all workers (drains first).
+  void stop();
+
+  // -- statistics ------------------------------------------------------------
+  [[nodiscard]] std::uint64_t events_published() const noexcept {
+    return published_.load();
+  }
+  [[nodiscard]] std::uint64_t events_processed() const noexcept {
+    return inter_processed_.load();
+  }
+  [[nodiscard]] std::uint64_t intra_processed() const noexcept {
+    return intra_processed_.load();
+  }
+
+ private:
+  void intra_worker(int index, std::vector<int> partitions);
+  void inter_worker(int index, std::vector<int> partitions);
+
+  queue::Broker& broker_;
+  ExecutionGraph& graph_;
+  PipelineOptions options_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<std::uint64_t> published_{0};
+  std::atomic<std::uint64_t> intra_processed_{0};
+  std::atomic<std::uint64_t> intra_forwarded_{0};
+  std::atomic<std::uint64_t> inter_processed_{0};
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace horus

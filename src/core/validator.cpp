@@ -1,0 +1,256 @@
+#include "core/validator.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <unordered_map>
+
+namespace horus {
+
+namespace {
+
+using graph::GraphStore;
+using graph::NodeId;
+
+std::string node_desc(const GraphStore& store, NodeId node) {
+  std::string out = "#" + std::to_string(node) + "(" +
+                    store.node_label(node);
+  const auto thread = store.property(node, kPropThread);
+  if (const auto* s = std::get_if<std::string>(&thread)) out += " " + *s;
+  out += ")";
+  return out;
+}
+
+std::optional<std::int64_t> int_prop(const GraphStore& store, NodeId node,
+                                     std::string_view key) {
+  const auto v = store.property(node, key);
+  if (const auto* i = std::get_if<std::int64_t>(&v)) return *i;
+  return std::nullopt;
+}
+
+std::optional<std::string> str_prop(const GraphStore& store, NodeId node,
+                                    std::string_view key) {
+  const auto v = store.property(node, key);
+  if (const auto* s = std::get_if<std::string>(&v)) return *s;
+  return std::nullopt;
+}
+
+class Validator {
+ public:
+  Validator(const ExecutionGraph& graph, const ClockTable* clocks)
+      : graph_(graph), store_(graph.store()), clocks_(clocks) {}
+
+  ValidationReport run() {
+    check_acyclic();
+    check_timeline_chains();
+    check_hb_edges();
+    if (clocks_ != nullptr) check_clocks();
+    return std::move(report_);
+  }
+
+ private:
+  void issue(const char* invariant, std::string detail) {
+    // Cap the report to keep massive violations readable.
+    if (report_.issues.size() < 64) {
+      report_.issues.push_back(ValidationIssue{invariant, std::move(detail)});
+    }
+  }
+
+  void check_acyclic() {
+    const auto n = static_cast<NodeId>(store_.node_count());
+    std::vector<std::int32_t> indegree(n, 0);
+    for (NodeId v = 0; v < n; ++v) {
+      indegree[v] = static_cast<std::int32_t>(store_.in_edges(v).size());
+    }
+    std::vector<NodeId> frontier;
+    for (NodeId v = 0; v < n; ++v) {
+      if (indegree[v] == 0) frontier.push_back(v);
+    }
+    std::size_t seen = 0;
+    while (!frontier.empty()) {
+      const NodeId v = frontier.back();
+      frontier.pop_back();
+      ++seen;
+      for (const graph::Edge& e : store_.out_edges(v)) {
+        if (--indegree[e.to] == 0) frontier.push_back(e.to);
+      }
+    }
+    if (seen != n) {
+      issue("V1", "graph contains a cycle through " +
+                      std::to_string(n - seen) + " node(s)");
+    }
+  }
+
+  void check_timeline_chains() {
+    const auto next_type = store_.edge_type_id(kIntraEdgeType);
+    if (!next_type) return;  // no intra edges at all (single-event timelines)
+    const auto n = static_cast<NodeId>(store_.node_count());
+
+    // Per node: count of NEXT in/out edges; NEXT edges must stay within one
+    // timeline and respect (timestamp, eventId) order.
+    for (NodeId v = 0; v < n; ++v) {
+      std::size_t next_out = 0;
+      for (const graph::Edge& e : store_.out_edges(v)) {
+        if (e.type != *next_type) continue;
+        ++next_out;
+        const auto tl_a = str_prop(store_, v, kPropTimeline);
+        const auto tl_b = str_prop(store_, e.to, kPropTimeline);
+        if (tl_a != tl_b) {
+          issue("V2", "NEXT edge crosses timelines: " +
+                          node_desc(store_, v) + " -> " +
+                          node_desc(store_, e.to));
+        }
+        const auto ts_a = int_prop(store_, v, kPropTimestamp);
+        const auto ts_b = int_prop(store_, e.to, kPropTimestamp);
+        if (ts_a && ts_b && *ts_a > *ts_b) {
+          issue("V2", "NEXT edge goes backwards in time: " +
+                          node_desc(store_, v) + " -> " +
+                          node_desc(store_, e.to));
+        }
+      }
+      if (next_out > 1) {
+        issue("V2", "node has " + std::to_string(next_out) +
+                        " outgoing NEXT edges (timeline is not a chain): " +
+                        node_desc(store_, v));
+      }
+      std::size_t next_in = 0;
+      for (const graph::Edge& e : store_.in_edges(v)) {
+        if (e.type == *next_type) ++next_in;
+      }
+      if (next_in > 1) {
+        issue("V2", "node has " + std::to_string(next_in) +
+                        " incoming NEXT edges: " + node_desc(store_, v));
+      }
+    }
+  }
+
+  void check_hb_edges() {
+    const auto hb_type = store_.edge_type_id(kInterEdgeType);
+    if (!hb_type) return;
+    const auto n = static_cast<NodeId>(store_.node_count());
+    for (NodeId v = 0; v < n; ++v) {
+      for (const graph::Edge& e : store_.out_edges(v)) {
+        if (e.type != *hb_type) continue;
+        check_hb_pair(v, e.to);
+      }
+    }
+  }
+
+  void check_hb_pair(NodeId from, NodeId to) {
+    const std::string& from_label = store_.node_label(from);
+    const std::string& to_label = store_.node_label(to);
+
+    auto bad = [&](const std::string& why) {
+      issue("V3", "HB edge " + node_desc(store_, from) + " -> " +
+                      node_desc(store_, to) + ": " + why);
+    };
+
+    if (from_label == "SND" && to_label == "RCV") {
+      const auto src_a = str_prop(store_, from, "src");
+      const auto src_b = str_prop(store_, to, "src");
+      const auto dst_a = str_prop(store_, from, "dst");
+      const auto dst_b = str_prop(store_, to, "dst");
+      if (src_a != src_b || dst_a != dst_b) {
+        bad("channel mismatch");
+        return;
+      }
+      const auto off_a = int_prop(store_, from, "offset");
+      const auto len_a = int_prop(store_, from, "size");
+      const auto off_b = int_prop(store_, to, "offset");
+      const auto len_b = int_prop(store_, to, "size");
+      if (!off_a || !len_a || !off_b || !len_b) {
+        bad("missing byte-range attributes");
+        return;
+      }
+      const bool overlap =
+          *off_a < *off_b + *len_b && *off_b < *off_a + *len_a;
+      if (!overlap) bad("byte ranges do not overlap");
+      return;
+    }
+    if (from_label == "CONNECT" && to_label == "ACCEPT") {
+      if (str_prop(store_, from, "src") != str_prop(store_, to, "src") ||
+          str_prop(store_, from, "dst") != str_prop(store_, to, "dst")) {
+        bad("channel mismatch");
+      }
+      return;
+    }
+    if ((from_label == "CREATE" || from_label == "FORK") &&
+        to_label == "START") {
+      if (str_prop(store_, from, "childThread") !=
+          str_prop(store_, to, kPropThread)) {
+        bad("CREATE/FORK child does not match STARTed thread");
+      }
+      return;
+    }
+    if (from_label == "END" && to_label == "JOIN") {
+      if (str_prop(store_, from, kPropThread) !=
+          str_prop(store_, to, "childThread")) {
+        bad("END thread does not match JOINed child");
+      }
+      return;
+    }
+    // Other combinations come from user-registered rules; accept them but
+    // require distinct timelines (inter-process edges by definition) unless
+    // within a process' threads.
+  }
+
+  void check_clocks() {
+    const auto n = static_cast<NodeId>(store_.node_count());
+    std::unordered_map<std::int32_t, std::vector<NodeId>> by_timeline;
+    for (NodeId v = 0; v < n; ++v) {
+      if (!clocks_->assigned(v)) {
+        issue("V4", "node without assigned clocks: " + node_desc(store_, v));
+        continue;
+      }
+      by_timeline[clocks_->timeline_of(v)].push_back(v);
+      for (const graph::Edge& e : store_.out_edges(v)) {
+        if (clocks_->assigned(e.to) &&
+            clocks_->lamport(v) >= clocks_->lamport(e.to)) {
+          issue("V4", "Lamport clock does not increase along edge " +
+                          node_desc(store_, v) + " -> " +
+                          node_desc(store_, e.to));
+        }
+      }
+    }
+    for (auto& [timeline, nodes] : by_timeline) {
+      std::sort(nodes.begin(), nodes.end(), [&](NodeId a, NodeId b) {
+        return clocks_->position(a) < clocks_->position(b);
+      });
+      for (std::size_t i = 0; i < nodes.size(); ++i) {
+        if (clocks_->position(nodes[i]) != static_cast<std::int32_t>(i + 1)) {
+          issue("V4", "timeline " +
+                          clocks_->timeline_name(timeline) +
+                          " has non-dense positions");
+          break;
+        }
+      }
+    }
+  }
+
+  const ExecutionGraph& graph_;
+  const GraphStore& store_;
+  const ClockTable* clocks_;
+  ValidationReport report_;
+};
+
+}  // namespace
+
+std::string ValidationReport::to_string() const {
+  if (ok()) return "ok";
+  std::string out;
+  for (const ValidationIssue& issue : issues) {
+    out += "[" + issue.invariant + "] " + issue.detail + "\n";
+  }
+  return out;
+}
+
+ValidationReport validate_graph(const ExecutionGraph& graph) {
+  return Validator(graph, nullptr).run();
+}
+
+ValidationReport validate_graph(const ExecutionGraph& graph,
+                                const ClockTable& clocks) {
+  return Validator(graph, &clocks).run();
+}
+
+}  // namespace horus

@@ -1,0 +1,46 @@
+// Execution-graph validator: checks the structural invariants that the
+// encoders and the clock assigner guarantee. Used by tests, by operators
+// auditing a stored trace, and as a debugging aid when writing new causality
+// rules.
+//
+// Invariants checked:
+//   V1  acyclicity — the stored graph is a DAG;
+//   V2  timeline chains — the "NEXT" edges of each timeline form a single
+//       path, ordered by (timestamp, event id);
+//   V3  HB edge well-formedness — every "HB" edge connects events a known
+//       causality rule could pair: SND->RCV with same channel and
+//       overlapping byte ranges, CONNECT->ACCEPT with same channel,
+//       CREATE/FORK->START and END->JOIN with matching thread identity;
+//   V4  clock soundness — if clocks are assigned: LC strictly increases
+//       along every edge, and each timeline's positions are 1..k in chain
+//       order.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/execution_graph.h"
+#include "core/logical_clocks.h"
+
+namespace horus {
+
+struct ValidationIssue {
+  std::string invariant;  ///< "V1".."V4"
+  std::string detail;
+};
+
+struct ValidationReport {
+  std::vector<ValidationIssue> issues;
+
+  [[nodiscard]] bool ok() const noexcept { return issues.empty(); }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Validates the graph structure (V1-V3).
+[[nodiscard]] ValidationReport validate_graph(const ExecutionGraph& graph);
+
+/// Validates the graph plus assigned clocks (V1-V4).
+[[nodiscard]] ValidationReport validate_graph(const ExecutionGraph& graph,
+                                              const ClockTable& clocks);
+
+}  // namespace horus

@@ -1,0 +1,119 @@
+#include "event/event.h"
+
+#include "common/string_util.h"
+
+namespace horus {
+
+namespace {
+
+Json thread_to_json(const ThreadRef& t) {
+  Json j = Json::object();
+  j["host"] = t.host;
+  j["pid"] = static_cast<std::int64_t>(t.pid);
+  j["tid"] = static_cast<std::int64_t>(t.tid);
+  return j;
+}
+
+ThreadRef thread_from_json(const Json& j) {
+  return ThreadRef{j.at("host").as_string(),
+                   static_cast<std::int32_t>(j.at("pid").as_int()),
+                   static_cast<std::int32_t>(j.at("tid").as_int())};
+}
+
+Json addr_to_json(const SocketAddr& a) {
+  Json j = Json::object();
+  j["ip"] = a.ip;
+  j["port"] = static_cast<std::int64_t>(a.port);
+  return j;
+}
+
+SocketAddr addr_from_json(const Json& j) {
+  return SocketAddr{j.at("ip").as_string(),
+                    static_cast<std::uint16_t>(j.at("port").as_int())};
+}
+
+}  // namespace
+
+Json Event::to_json() const {
+  Json j = Json::object();
+  j["id"] = static_cast<std::int64_t>(value_of(id));
+  j["type"] = std::string(horus::to_string(type));
+  j["thread"] = thread_to_json(thread);
+  j["service"] = service;
+  j["ts"] = timestamp;
+
+  if (const auto* n = net()) {
+    Json nj = Json::object();
+    nj["src"] = addr_to_json(n->channel.src);
+    nj["dst"] = addr_to_json(n->channel.dst);
+    nj["offset"] = static_cast<std::int64_t>(n->offset);
+    nj["size"] = static_cast<std::int64_t>(n->size);
+    j["net"] = std::move(nj);
+  } else if (const auto* c = child()) {
+    j["child"] = thread_to_json(c->child);
+  } else if (const auto* l = log()) {
+    Json lj = Json::object();
+    lj["message"] = l->message;
+    lj["logger"] = l->logger;
+    j["log"] = std::move(lj);
+  } else if (const auto* f = fsync()) {
+    Json fj = Json::object();
+    fj["path"] = f->path;
+    j["fsync"] = std::move(fj);
+  }
+  return j;
+}
+
+Event Event::from_json(const Json& j) {
+  Event e;
+  e.id = static_cast<EventId>(
+      static_cast<std::uint64_t>(j.at("id").as_int()));
+  const auto type = event_type_from_string(j.at("type").as_string());
+  if (!type) {
+    throw JsonError("event: unknown type '" + j.at("type").as_string() + "'");
+  }
+  e.type = *type;
+  e.thread = thread_from_json(j.at("thread"));
+  e.service = j.get_or("service", std::string{});
+  e.timestamp = j.at("ts").as_int();
+
+  if (j.contains("net")) {
+    const Json& nj = j.at("net");
+    NetPayload n;
+    n.channel.src = addr_from_json(nj.at("src"));
+    n.channel.dst = addr_from_json(nj.at("dst"));
+    n.offset = static_cast<std::uint64_t>(nj.at("offset").as_int());
+    n.size = static_cast<std::uint64_t>(nj.at("size").as_int());
+    e.payload = n;
+  } else if (j.contains("child")) {
+    e.payload = ThreadPayload{thread_from_json(j.at("child"))};
+  } else if (j.contains("log")) {
+    const Json& lj = j.at("log");
+    e.payload = LogPayload{lj.get_or("message", std::string{}),
+                           lj.get_or("logger", std::string{})};
+  } else if (j.contains("fsync")) {
+    e.payload = FsyncPayload{j.at("fsync").get_or("path", std::string{})};
+  }
+  return e;
+}
+
+std::string Event::to_string() const {
+  std::string out = str_format(
+      "#%llu %s %s@%s t=%s", static_cast<unsigned long long>(value_of(id)),
+      std::string(horus::to_string(type)).c_str(), thread.to_string().c_str(),
+      service.c_str(), format_time_ns(timestamp).c_str());
+  if (const auto* n = net()) {
+    out += str_format(" %s [%llu,+%llu)", n->channel.to_string().c_str(),
+                      static_cast<unsigned long long>(n->offset),
+                      static_cast<unsigned long long>(n->size));
+  } else if (const auto* c = child()) {
+    out += " child=" + c->child.to_string();
+  } else if (const auto* l = log()) {
+    out += " \"" + l->message + "\"";
+  } else if (const auto* f = fsync()) {
+    out += " path=" + f->path;
+  }
+  return out;
+}
+
+}  // namespace horus

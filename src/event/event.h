@@ -1,0 +1,126 @@
+// The Event model: the single record type that flows through the entire
+// Horus pipeline — from adapters, through the queues and both happens-before
+// encoders, into the graph store.
+//
+// An Event carries:
+//  - identity: a globally unique EventId;
+//  - locality: the ThreadRef of the thread that executed it, plus the
+//    logical "service" name used for human-facing filtering (the paper's
+//    queries filter on `host: 'Launcher'`, which is the service name);
+//  - a physical timestamp observed on the *local* host clock — only
+//    meaningful for ordering events of the same process timeline;
+//  - a type-specific payload (network byte ranges, child-thread identity,
+//    or a log message).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "common/ids.h"
+#include "common/json.h"
+#include "common/sim_clock.h"
+#include "event/event_type.h"
+
+namespace horus {
+
+/// Payload of SND/RCV/CONNECT/ACCEPT events.
+///
+/// For SND and RCV, [offset, offset+size) is the byte range of the channel's
+/// stream that this event transferred. Matching SND byte ranges to RCV byte
+/// ranges is how the inter-process encoder pairs one send with the possibly
+/// *multiple partial receives* that consumed it (the paper observes the
+/// SND/RCV count asymmetry caused by differing buffer sizes).
+struct NetPayload {
+  ChannelId channel;
+  std::uint64_t offset = 0;  ///< stream offset of the first byte (SND/RCV)
+  std::uint64_t size = 0;    ///< number of bytes transferred (SND/RCV)
+
+  [[nodiscard]] bool operator==(const NetPayload&) const = default;
+};
+
+/// Payload of CREATE/FORK/JOIN events: identity of the child thread/process.
+struct ThreadPayload {
+  ThreadRef child;
+
+  [[nodiscard]] bool operator==(const ThreadPayload&) const = default;
+};
+
+/// Payload of LOG events.
+struct LogPayload {
+  std::string message;
+  std::string logger;  ///< originating logger name (e.g. class name)
+
+  [[nodiscard]] bool operator==(const LogPayload&) const = default;
+};
+
+/// Payload of FSYNC events.
+struct FsyncPayload {
+  std::string path;
+
+  [[nodiscard]] bool operator==(const FsyncPayload&) const = default;
+};
+
+struct Event {
+  EventId id = kInvalidEventId;
+  EventType type = EventType::kLog;
+  ThreadRef thread;
+  std::string service;  ///< logical component name (e.g. "Payment")
+  TimeNs timestamp = 0;  ///< local-host observed physical time
+
+  std::variant<std::monostate, NetPayload, ThreadPayload, LogPayload,
+               FsyncPayload>
+      payload;
+
+  [[nodiscard]] bool operator==(const Event&) const = default;
+
+  [[nodiscard]] const NetPayload* net() const noexcept {
+    return std::get_if<NetPayload>(&payload);
+  }
+  [[nodiscard]] const ThreadPayload* child() const noexcept {
+    return std::get_if<ThreadPayload>(&payload);
+  }
+  [[nodiscard]] const LogPayload* log() const noexcept {
+    return std::get_if<LogPayload>(&payload);
+  }
+  [[nodiscard]] const FsyncPayload* fsync() const noexcept {
+    return std::get_if<FsyncPayload>(&payload);
+  }
+
+  /// Serializes to the wire schema used by the queues.
+  [[nodiscard]] Json to_json() const;
+
+  /// Parses the wire schema; throws JsonError on malformed input.
+  [[nodiscard]] static Event from_json(const Json& j);
+
+  /// Short human-readable rendering for debugging/examples.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Consumer of a normalized event stream. Adapters push into one of these;
+/// pipeline stages chain through them.
+using EventSinkFn = std::function<void(Event)>;
+
+/// Process-wide monotonically increasing EventId allocator.
+///
+/// Each producer (tracer, adapter) owns one allocator seeded with a disjoint
+/// range so ids never collide across sources.
+class EventIdAllocator {
+ public:
+  /// @param range_start first id handed out by this allocator
+  explicit EventIdAllocator(std::uint64_t range_start = 0) noexcept
+      : next_(range_start) {}
+
+  [[nodiscard]] EventId next() noexcept {
+    return static_cast<EventId>(next_++);
+  }
+
+  [[nodiscard]] std::uint64_t allocated_upto() const noexcept { return next_; }
+
+ private:
+  std::uint64_t next_;
+};
+
+}  // namespace horus

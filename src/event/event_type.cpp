@@ -1,0 +1,25 @@
+#include "event/event_type.h"
+
+#include <array>
+
+namespace horus {
+
+namespace {
+constexpr std::array<std::string_view, kNumEventTypes> kNames = {
+    "LOG",  "SND",   "RCV", "CONNECT", "ACCEPT", "CREATE",
+    "FORK", "START", "END", "JOIN",    "FSYNC",
+};
+}  // namespace
+
+std::string_view to_string(EventType type) noexcept {
+  return kNames[static_cast<std::size_t>(type)];
+}
+
+std::optional<EventType> event_type_from_string(std::string_view name) noexcept {
+  for (std::size_t i = 0; i < kNames.size(); ++i) {
+    if (kNames[i] == name) return static_cast<EventType>(i);
+  }
+  return std::nullopt;
+}
+
+}  // namespace horus

@@ -1,0 +1,45 @@
+// The taxonomy of events Horus understands.
+//
+// These are exactly the event kinds of the paper (Table I): application LOG
+// messages plus the kernel-level operations captured by the eBPF probes —
+// socket lifecycle (CONNECT/ACCEPT), byte transfer (SND/RCV), process &
+// thread lifecycle (CREATE/START/END/JOIN and FORK for processes) and FSYNC.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace horus {
+
+enum class EventType : std::uint8_t {
+  kLog,      ///< application log message (from a logging-library adapter)
+  kSnd,      ///< socket send of a byte range on a channel
+  kRcv,      ///< socket receive of a byte range on a channel
+  kConnect,  ///< client side of TCP connection establishment
+  kAccept,   ///< server side of TCP connection establishment
+  kCreate,   ///< parent creates a thread
+  kFork,     ///< parent forks a process
+  kStart,    ///< first event of a created/forked thread or process
+  kEnd,      ///< last event of a thread or process
+  kJoin,     ///< parent joins (waits for) a finished child
+  kFsync,    ///< file synchronization to stable storage
+};
+
+/// Canonical upper-case names as used in the paper ("LOG", "SND", ...).
+[[nodiscard]] std::string_view to_string(EventType type) noexcept;
+
+/// Inverse of to_string(); std::nullopt on unknown names.
+[[nodiscard]] std::optional<EventType> event_type_from_string(
+    std::string_view name) noexcept;
+
+/// Number of distinct event types (for array-indexed counters).
+inline constexpr int kNumEventTypes = 11;
+
+/// Stable dense index of a type, in [0, kNumEventTypes).
+[[nodiscard]] constexpr int index_of(EventType type) noexcept {
+  return static_cast<int>(type);
+}
+
+}  // namespace horus

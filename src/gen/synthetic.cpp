@@ -1,0 +1,249 @@
+#include "gen/synthetic.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <unordered_map>
+
+#include "common/rng.h"
+
+namespace horus::gen {
+
+std::vector<Event> client_server_events(const ClientServerOptions& options) {
+  const std::size_t rounds = options.num_events / 4;
+  std::vector<Event> out;
+  out.reserve(rounds * 4);
+
+  Rng rng(options.seed);
+  EventIdAllocator ids(options.id_base);
+
+  const ThreadRef p1{"hostA", 100, 1};
+  const ThreadRef p2{"hostB", 200, 1};
+  const ChannelId c2s{{"10.0.0.1", 40'000}, {"10.0.0.2", 9'000}};
+  const ChannelId s2c = c2s.reversed();
+
+  // Independent host clocks: P1 starts at zero, P2 is skewed.
+  TimeNs t1 = 1'000'000;
+  TimeNs t2 = 1'000'000 + options.p2_clock_offset_ns;
+  std::uint64_t offset = 0;  // same stream offset advance on both directions
+
+  auto make = [&](EventType type, const ThreadRef& thread, TimeNs ts,
+                  const ChannelId& channel, std::uint64_t off) {
+    Event e;
+    e.id = ids.next();
+    e.type = type;
+    e.thread = thread;
+    e.service = thread.host == "hostA" ? "client" : "server";
+    e.timestamp = ts;
+    e.payload = NetPayload{channel, off, options.message_bytes};
+    return e;
+  };
+
+  for (std::size_t r = 0; r < rounds; ++r) {
+    // Local processing time advances each host's own clock.
+    t1 += rng.uniform(10'000, 60'000);
+    const Event snd_req = make(EventType::kSnd, p1, t1, c2s, offset);
+    t2 += rng.uniform(10'000, 60'000);
+    const Event rcv_req = make(EventType::kRcv, p2, t2, c2s, offset);
+    t2 += rng.uniform(10'000, 60'000);
+    const Event snd_rep = make(EventType::kSnd, p2, t2, s2c, offset);
+    t1 += rng.uniform(10'000, 60'000);
+    const Event rcv_rep = make(EventType::kRcv, p1, t1, s2c, offset);
+    offset += options.message_bytes;
+    out.push_back(snd_req);
+    out.push_back(rcv_req);
+    out.push_back(snd_rep);
+    out.push_back(rcv_rep);
+  }
+  return out;
+}
+
+std::vector<Event> shuffled(std::vector<Event> events, std::uint64_t seed) {
+  Rng rng(seed);
+  for (std::size_t i = events.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(
+        rng.uniform(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(events[i - 1], events[j]);
+  }
+  return events;
+}
+
+std::vector<baselines::OrderConstraint> to_constraints(
+    const std::vector<Event>& events) {
+  std::vector<baselines::OrderConstraint> out;
+  out.reserve(events.size() * 2);
+
+  // Program order: for each thread, chain events by (timestamp, id).
+  struct Slot {
+    TimeNs ts;
+    EventId id;
+    std::uint32_t var;
+  };
+  std::unordered_map<ThreadRef, std::vector<Slot>> timelines;
+  for (std::uint32_t i = 0; i < events.size(); ++i) {
+    timelines[events[i].thread].push_back(
+        Slot{events[i].timestamp, events[i].id, i});
+  }
+  for (auto& [thread, slots] : timelines) {
+    std::sort(slots.begin(), slots.end(), [](const Slot& a, const Slot& b) {
+      if (a.ts != b.ts) return a.ts < b.ts;
+      return a.id < b.id;
+    });
+    for (std::size_t i = 1; i < slots.size(); ++i) {
+      out.push_back({slots[i - 1].var, slots[i].var});
+    }
+  }
+
+  // Message delivery: pair SND/RCV byte ranges per channel (same logic as
+  // the inter-process encoder, simplified to whole-range pairs).
+  struct Range {
+    std::uint64_t begin;
+    std::uint32_t var;
+  };
+  std::unordered_map<ChannelId, std::vector<Range>> sends;
+  std::unordered_map<ChannelId, std::vector<Range>> recvs;
+  for (std::uint32_t i = 0; i < events.size(); ++i) {
+    const Event& e = events[i];
+    const auto* n = e.net();
+    if (n == nullptr) continue;
+    if (e.type == EventType::kSnd) sends[n->channel].push_back({n->offset, i});
+    if (e.type == EventType::kRcv) recvs[n->channel].push_back({n->offset, i});
+  }
+  for (auto& [channel, snd_list] : sends) {
+    auto rit = recvs.find(channel);
+    if (rit == recvs.end()) continue;
+    std::unordered_map<std::uint64_t, std::uint32_t> snd_by_offset;
+    for (const Range& s : snd_list) snd_by_offset[s.begin] = s.var;
+    for (const Range& r : rit->second) {
+      auto sit = snd_by_offset.find(r.begin);
+      if (sit != snd_by_offset.end()) out.push_back({sit->second, r.var});
+    }
+  }
+
+  // Lifecycle pairs.
+  std::unordered_map<ThreadRef, std::uint32_t> creates;
+  std::unordered_map<ThreadRef, std::uint32_t> starts;
+  std::unordered_map<ThreadRef, std::uint32_t> ends;
+  std::unordered_map<ThreadRef, std::vector<std::uint32_t>> joins;
+  for (std::uint32_t i = 0; i < events.size(); ++i) {
+    const Event& e = events[i];
+    switch (e.type) {
+      case EventType::kCreate:
+      case EventType::kFork:
+        if (const auto* c = e.child()) creates[c->child] = i;
+        break;
+      case EventType::kStart: starts[e.thread] = i; break;
+      case EventType::kEnd: ends[e.thread] = i; break;
+      case EventType::kJoin:
+        if (const auto* c = e.child()) joins[c->child].push_back(i);
+        break;
+      default: break;
+    }
+  }
+  for (const auto& [child, create_var] : creates) {
+    if (auto it = starts.find(child); it != starts.end()) {
+      out.push_back({create_var, it->second});
+    }
+  }
+  for (const auto& [child, join_vars] : joins) {
+    if (auto it = ends.find(child); it != ends.end()) {
+      for (std::uint32_t j : join_vars) out.push_back({it->second, j});
+    }
+  }
+  return out;
+}
+
+std::vector<Event> random_execution(const RandomExecutionOptions& options) {
+  Rng rng(options.seed);
+  EventIdAllocator ids(0);
+
+  struct Proc {
+    ThreadRef thread;
+    TimeNs clock;
+    std::string service;
+  };
+  std::vector<Proc> procs;
+  procs.reserve(static_cast<std::size_t>(options.num_processes));
+  for (int p = 0; p < options.num_processes; ++p) {
+    Proc proc;
+    proc.thread = ThreadRef{"host" + std::to_string(p), 100 + p, 1};
+    proc.clock = 1'000'000 +
+                 rng.uniform(-options.max_clock_offset_ns,
+                             options.max_clock_offset_ns);
+    proc.service = "svc" + std::to_string(p);
+    procs.push_back(proc);
+  }
+
+  // Per directed process pair: a FIFO channel and in-flight message queue.
+  struct Flight {
+    std::uint64_t offset;
+    std::uint64_t size;
+  };
+  std::map<std::pair<int, int>, std::deque<Flight>> in_flight;
+  std::map<std::pair<int, int>, std::uint64_t> stream_offset;
+
+  auto channel_of = [](int from, int to) {
+    return ChannelId{{"10.0.0." + std::to_string(from + 1),
+                      static_cast<std::uint16_t>(40'000 + from)},
+                     {"10.0.0." + std::to_string(to + 1),
+                      static_cast<std::uint16_t>(9'000 + to)}};
+  };
+
+  std::vector<Event> out;
+  const std::size_t total = static_cast<std::size_t>(options.num_processes) *
+                            options.events_per_process;
+  std::vector<std::size_t> remaining(
+      static_cast<std::size_t>(options.num_processes),
+      options.events_per_process);
+
+  while (out.size() < total) {
+    const int p = static_cast<int>(
+        rng.uniform(0, options.num_processes - 1));
+    if (remaining[static_cast<std::size_t>(p)] == 0) continue;
+    Proc& proc = procs[static_cast<std::size_t>(p)];
+    proc.clock += rng.uniform(5'000, 50'000);
+
+    Event e;
+    e.id = ids.next();
+    e.thread = proc.thread;
+    e.service = proc.service;
+    e.timestamp = proc.clock;
+
+    // Prefer receiving when something is in flight, otherwise send or log.
+    std::vector<std::pair<int, int>> receivable;
+    for (auto& [key, queue] : in_flight) {
+      if (key.second == p && !queue.empty()) receivable.push_back(key);
+    }
+    const double dice = rng.uniform01();
+    if (!receivable.empty() && dice < 0.4) {
+      const auto key = receivable[static_cast<std::size_t>(rng.uniform(
+          0, static_cast<std::int64_t>(receivable.size()) - 1))];
+      Flight f = in_flight[key].front();
+      in_flight[key].pop_front();
+      e.type = EventType::kRcv;
+      e.payload = NetPayload{channel_of(key.first, key.second), f.offset,
+                             f.size};
+    } else if (dice < 0.4 + options.send_probability &&
+               options.num_processes > 1) {
+      int q = static_cast<int>(rng.uniform(0, options.num_processes - 1));
+      if (q == p) q = (q + 1) % options.num_processes;
+      const auto key = std::make_pair(p, q);
+      const std::uint64_t size =
+          static_cast<std::uint64_t>(rng.uniform(16, 256));
+      const std::uint64_t offset = stream_offset[key];
+      stream_offset[key] += size;
+      in_flight[key].push_back(Flight{offset, size});
+      e.type = EventType::kSnd;
+      e.payload = NetPayload{channel_of(p, q), offset, size};
+    } else {
+      e.type = EventType::kLog;
+      e.payload = LogPayload{
+          "step " + std::to_string(out.size()) + " on " + proc.service, "gen"};
+    }
+    --remaining[static_cast<std::size_t>(p)];
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+}  // namespace horus::gen

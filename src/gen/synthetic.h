@@ -1,0 +1,74 @@
+// Synthetic event generators for the performance evaluation (Section VII).
+//
+// The paper's micro-benchmark "mimicks an arbitrary number of rounds of a
+// synchronous client-server scenario": request-reply interactions between
+// two processes P1 and P2, producing the causal pairs SND_P1 -> RCV_P2 and
+// SND_P2 -> RCV_P1 per round. The resulting execution graph has N events and
+// 3N/2 - 2 edges (intra- plus inter-process).
+//
+// A second generator produces richer random executions (many processes,
+// FIFO messaging, logs, thread lifecycle) used by property-based tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/falcon_solver.h"
+#include "event/event.h"
+
+namespace horus::gen {
+
+struct ClientServerOptions {
+  /// Total events; rounded down to a multiple of 4 (each round emits 4).
+  std::size_t num_events = 1000;
+  std::uint64_t seed = 42;
+  /// Clock skew injected between the two hosts (P2's clock runs this far
+  /// behind), demonstrating that timestamp order is not causal order.
+  TimeNs p2_clock_offset_ns = -50'000'000;
+  /// First event id to allocate.
+  std::uint64_t id_base = 0;
+  /// Bytes per request/reply message.
+  std::uint64_t message_bytes = 128;
+};
+
+/// Generates the two-process request-reply workload. Events are returned in
+/// *arrival* order at the queue: per-process order is preserved, but the two
+/// processes' streams are interleaved as the network would deliver them.
+[[nodiscard]] std::vector<Event> client_server_events(
+    const ClientServerOptions& options);
+
+/// Expected edge count for an N-event client-server execution (3N/2 - 2).
+[[nodiscard]] constexpr std::size_t client_server_edges(
+    std::size_t num_events) noexcept {
+  return num_events < 2 ? 0 : (3 * num_events) / 2 - 2;
+}
+
+/// Uniformly shuffles a copy of `events` (the unordered export fed to the
+/// Falcon solver baseline).
+[[nodiscard]] std::vector<Event> shuffled(std::vector<Event> events,
+                                          std::uint64_t seed);
+
+/// Extracts the happens-before constraints of an event list in list order,
+/// as Falcon-solver input: program-order pairs per thread plus SND->RCV and
+/// lifecycle pairs. Variable i is position i of `events`.
+[[nodiscard]] std::vector<baselines::OrderConstraint> to_constraints(
+    const std::vector<Event>& events);
+
+struct RandomExecutionOptions {
+  int num_processes = 5;
+  std::size_t events_per_process = 50;
+  /// Probability that a step is a message send (vs. a local LOG event).
+  double send_probability = 0.35;
+  std::uint64_t seed = 7;
+  /// Max clock skew magnitude applied per host.
+  TimeNs max_clock_offset_ns = 20'000'000;
+};
+
+/// Generates a random but causally-valid multi-process execution: every RCV
+/// is generated after its SND exists, channels are FIFO, timestamps advance
+/// per process under per-host skew. Used by property tests to cross-check
+/// clocks against brute-force reachability.
+[[nodiscard]] std::vector<Event> random_execution(
+    const RandomExecutionOptions& options);
+
+}  // namespace horus::gen

@@ -1,0 +1,77 @@
+#include "graph/dot_export.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+namespace horus::graph {
+
+namespace {
+
+std::string escape_dot(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+std::string default_label(const GraphStore& store, NodeId node) {
+  return store.node_label(node) + " #" + std::to_string(node);
+}
+
+}  // namespace
+
+std::string to_dot(const GraphStore& store, const std::vector<NodeId>& nodes,
+                   const DotOptions& options) {
+  const auto label_fn =
+      options.node_label ? options.node_label : default_label;
+
+  std::unordered_set<NodeId> in_set(nodes.begin(), nodes.end());
+
+  std::string out = "digraph \"" + escape_dot(options.graph_name) + "\" {\n";
+  out += "  rankdir=TB;\n  node [shape=box, fontsize=10];\n";
+
+  if (options.cluster_by.empty()) {
+    for (const NodeId v : nodes) {
+      out += "  n" + std::to_string(v) + " [label=\"" +
+             escape_dot(label_fn(store, v)) + "\"];\n";
+    }
+  } else {
+    // Stable cluster order by property value.
+    std::map<std::string, std::vector<NodeId>> clusters;
+    for (const NodeId v : nodes) {
+      clusters[to_display_string(store.property(v, options.cluster_by))]
+          .push_back(v);
+    }
+    int index = 0;
+    for (const auto& [value, members] : clusters) {
+      out += "  subgraph cluster_" + std::to_string(index++) + " {\n";
+      out += "    label=\"" + escape_dot(value) + "\";\n";
+      for (const NodeId v : members) {
+        out += "    n" + std::to_string(v) + " [label=\"" +
+               escape_dot(label_fn(store, v)) + "\"];\n";
+      }
+      out += "  }\n";
+    }
+  }
+
+  for (const NodeId v : nodes) {
+    for (const Edge& e : store.out_edges(v)) {
+      if (!in_set.contains(e.to)) continue;
+      out += "  n" + std::to_string(v) + " -> n" + std::to_string(e.to) +
+             " [label=\"" + escape_dot(store.edge_type_name(e.type)) +
+             "\", fontsize=8];\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace horus::graph

@@ -1,0 +1,29 @@
+// Graphviz DOT export of (subsets of) a property graph — handy for
+// eyeballing small causal graphs (`dot -Tsvg`) and for documentation.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/graph_store.h"
+
+namespace horus::graph {
+
+struct DotOptions {
+  /// Produces the node's display label; defaults to "<label> #<id>".
+  std::function<std::string(const GraphStore&, NodeId)> node_label;
+  /// Group nodes into per-value clusters by this property (e.g. "timeline"
+  /// renders one cluster per process, like a space-time diagram). Empty =
+  /// no clustering.
+  std::string cluster_by;
+  std::string graph_name = "horus";
+};
+
+/// Renders the induced subgraph over `nodes` (all edges whose endpoints are
+/// both in the set). Nodes may be in any order.
+[[nodiscard]] std::string to_dot(const GraphStore& store,
+                                 const std::vector<NodeId>& nodes,
+                                 const DotOptions& options = {});
+
+}  // namespace horus::graph

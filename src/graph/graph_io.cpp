@@ -1,0 +1,114 @@
+#include "graph/graph_io.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "common/json.h"
+
+namespace horus::graph {
+
+namespace {
+
+Json property_to_json(const PropertyValue& v) {
+  if (const auto* b = std::get_if<bool>(&v)) return Json(*b);
+  if (const auto* i = std::get_if<std::int64_t>(&v)) return Json(*i);
+  if (const auto* d = std::get_if<double>(&v)) return Json(*d);
+  if (const auto* s = std::get_if<std::string>(&v)) return Json(*s);
+  return Json();
+}
+
+PropertyValue property_from_json(const Json& j) {
+  if (j.is_bool()) return j.as_bool();
+  if (j.is_int()) return j.as_int();
+  if (j.is_double()) return j.as_double();
+  if (j.is_string()) return j.as_string();
+  return std::monostate{};
+}
+
+}  // namespace
+
+void save_graph(const GraphStore& store, std::ostream& out) {
+  const auto n = static_cast<NodeId>(store.node_count());
+
+  Json header = Json::object();
+  header["format"] = "horus-graph";
+  header["version"] = 1;
+  header["nodes"] = static_cast<std::int64_t>(n);
+  header["edges"] = static_cast<std::int64_t>(store.edge_count());
+  out << header.dump() << '\n';
+
+  for (NodeId v = 0; v < n; ++v) {
+    Json node = Json::object();
+    node["id"] = static_cast<std::int64_t>(v);
+    node["label"] = store.node_label(v);
+    Json props = Json::object();
+    for (const auto& [key, value] : store.node_properties(v)) {
+      props[key] = property_to_json(value);
+    }
+    node["props"] = std::move(props);
+    out << node.dump() << '\n';
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    for (const Edge& e : store.out_edges(v)) {
+      Json edge = Json::object();
+      edge["from"] = static_cast<std::int64_t>(v);
+      edge["to"] = static_cast<std::int64_t>(e.to);
+      edge["type"] = store.edge_type_name(e.type);
+      out << edge.dump() << '\n';
+    }
+  }
+}
+
+void save_graph_file(const GraphStore& store, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("graph io: cannot open " + path);
+  save_graph(store, out);
+}
+
+void load_graph(GraphStore& store, std::istream& in) {
+  if (store.node_count() != 0) {
+    throw std::logic_error("graph io: load target must be empty");
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("graph io: empty input");
+  }
+  const Json header = Json::parse(line);
+  if (header.get_or("format", std::string{}) != "horus-graph") {
+    throw std::runtime_error("graph io: not a horus-graph snapshot");
+  }
+  const auto nodes = static_cast<std::size_t>(header.at("nodes").as_int());
+
+  for (std::size_t i = 0; i < nodes; ++i) {
+    if (!std::getline(in, line)) {
+      throw std::runtime_error("graph io: truncated node section");
+    }
+    const Json j = Json::parse(line);
+    PropertyMap props;
+    for (const auto& [key, value] : j.at("props").as_object()) {
+      props.emplace(key, property_from_json(value));
+    }
+    const NodeId assigned = store.add_node(j.at("label").as_string(),
+                                           std::move(props));
+    if (assigned != static_cast<NodeId>(j.at("id").as_int())) {
+      throw std::runtime_error("graph io: node ids are not dense");
+    }
+  }
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const Json j = Json::parse(line);
+    store.add_edge(static_cast<NodeId>(j.at("from").as_int()),
+                   static_cast<NodeId>(j.at("to").as_int()),
+                   j.at("type").as_string());
+  }
+}
+
+void load_graph_file(GraphStore& store, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("graph io: cannot open " + path);
+  load_graph(store, in);
+}
+
+}  // namespace horus::graph

@@ -1,0 +1,28 @@
+// Durable storage for the property-graph store: a JSON-lines snapshot
+// format (one line per node, then one line per edge). Loading replays
+// through the regular write path, so all indexes are rebuilt consistently.
+//
+// This gives stored executions a life beyond the process — traces can be
+// captured once and re-analyzed later or shipped elsewhere, the same role
+// Neo4j's on-disk store plays for the paper's deployment.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph_store.h"
+
+namespace horus::graph {
+
+/// Serializes the entire store. Deterministic output (node order, sorted
+/// properties) — diffable and golden-testable.
+void save_graph(const GraphStore& store, std::ostream& out);
+void save_graph_file(const GraphStore& store, const std::string& path);
+
+/// Loads a snapshot into `store` (which must be empty; throws otherwise).
+/// All writes go through add_node/add_edge, so any indexes created on the
+/// store beforehand are maintained.
+void load_graph(GraphStore& store, std::istream& in);
+void load_graph_file(GraphStore& store, const std::string& path);
+
+}  // namespace horus::graph

@@ -1,0 +1,277 @@
+#include "graph/graph_store.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace horus::graph {
+
+namespace {
+[[noreturn]] void bad_node(NodeId node) {
+  throw std::out_of_range("graph: invalid node id " + std::to_string(node));
+}
+}  // namespace
+
+std::uint32_t GraphStore::intern_label(std::string_view label) {
+  auto it = label_ids_.find(std::string(label));
+  if (it != label_ids_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(labels_.size());
+  labels_.emplace_back(label);
+  label_ids_.emplace(std::string(label), id);
+  return id;
+}
+
+EdgeTypeId GraphStore::intern_edge_type(std::string_view type) {
+  auto it = edge_type_ids_.find(std::string(type));
+  if (it != edge_type_ids_.end()) return it->second;
+  const auto id = static_cast<EdgeTypeId>(edge_types_.size());
+  edge_types_.emplace_back(type);
+  edge_type_ids_.emplace(std::string(type), id);
+  return id;
+}
+
+void GraphStore::index_insert_locked(NodeId node, std::string_view key,
+                                     const PropertyValue& value) {
+  if (auto hit = hash_indexes_.find(std::string(key));
+      hit != hash_indexes_.end()) {
+    hit->second[value].push_back(node);
+  }
+  if (auto oit = ordered_indexes_.find(std::string(key));
+      oit != ordered_indexes_.end()) {
+    if (const auto* i = std::get_if<std::int64_t>(&value)) {
+      oit->second[*i].push_back(node);
+    }
+  }
+}
+
+void GraphStore::index_erase_locked(NodeId node, std::string_view key,
+                                    const PropertyValue& value) {
+  if (auto hit = hash_indexes_.find(std::string(key));
+      hit != hash_indexes_.end()) {
+    if (auto vit = hit->second.find(value); vit != hit->second.end()) {
+      std::erase(vit->second, node);
+    }
+  }
+  if (auto oit = ordered_indexes_.find(std::string(key));
+      oit != ordered_indexes_.end()) {
+    if (const auto* i = std::get_if<std::int64_t>(&value)) {
+      if (auto vit = oit->second.find(*i); vit != oit->second.end()) {
+        std::erase(vit->second, node);
+        if (vit->second.empty()) oit->second.erase(vit);
+      }
+    }
+  }
+}
+
+NodeId GraphStore::add_node_locked(std::string_view label,
+                                   PropertyMap properties) {
+  const auto id = static_cast<NodeId>(nodes_.size());
+  NodeRecord rec;
+  rec.label = intern_label(label);
+  rec.properties = std::move(properties);
+  label_index_[rec.label].push_back(id);
+  for (const auto& [key, value] : rec.properties) {
+    index_insert_locked(id, key, value);
+  }
+  nodes_.push_back(std::move(rec));
+  return id;
+}
+
+NodeId GraphStore::add_node(std::string_view label, PropertyMap properties) {
+  const std::unique_lock lock(mutex_);
+  return add_node_locked(label, std::move(properties));
+}
+
+NodeId GraphStore::add_nodes_batch(std::string_view label,
+                                   std::vector<PropertyMap> batch) {
+  const std::unique_lock lock(mutex_);
+  const auto first = static_cast<NodeId>(nodes_.size());
+  for (auto& props : batch) {
+    add_node_locked(label, std::move(props));
+  }
+  return first;
+}
+
+void GraphStore::add_edge(NodeId from, NodeId to, std::string_view type) {
+  const std::unique_lock lock(mutex_);
+  if (from >= nodes_.size()) bad_node(from);
+  if (to >= nodes_.size()) bad_node(to);
+  const EdgeTypeId tid = intern_edge_type(type);
+  nodes_[from].out.push_back(Edge{to, tid});
+  nodes_[to].in.push_back(Edge{from, tid});
+  ++edge_count_;
+}
+
+void GraphStore::set_property(NodeId node, std::string_view key,
+                              PropertyValue value) {
+  const std::unique_lock lock(mutex_);
+  if (node >= nodes_.size()) bad_node(node);
+  auto& props = nodes_[node].properties;
+  auto it = props.find(key);
+  if (it != props.end()) {
+    index_erase_locked(node, key, it->second);
+    it->second = std::move(value);
+    index_insert_locked(node, key, it->second);
+  } else {
+    auto [new_it, inserted] = props.emplace(std::string(key), std::move(value));
+    (void)inserted;
+    index_insert_locked(node, key, new_it->second);
+  }
+}
+
+void GraphStore::create_index(std::string_view key) {
+  const std::unique_lock lock(mutex_);
+  auto [it, inserted] = hash_indexes_.try_emplace(std::string(key));
+  if (!inserted) return;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    auto pit = nodes_[id].properties.find(key);
+    if (pit != nodes_[id].properties.end()) {
+      it->second[pit->second].push_back(id);
+    }
+  }
+}
+
+void GraphStore::create_ordered_index(std::string_view key) {
+  const std::unique_lock lock(mutex_);
+  auto [it, inserted] = ordered_indexes_.try_emplace(std::string(key));
+  if (!inserted) return;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    auto pit = nodes_[id].properties.find(key);
+    if (pit != nodes_[id].properties.end()) {
+      if (const auto* i = std::get_if<std::int64_t>(&pit->second)) {
+        it->second[*i].push_back(id);
+      }
+    }
+  }
+}
+
+std::size_t GraphStore::node_count() const {
+  const std::shared_lock lock(mutex_);
+  return nodes_.size();
+}
+
+std::size_t GraphStore::edge_count() const {
+  const std::shared_lock lock(mutex_);
+  return edge_count_;
+}
+
+const std::string& GraphStore::node_label(NodeId node) const {
+  const std::shared_lock lock(mutex_);
+  if (node >= nodes_.size()) bad_node(node);
+  return labels_[nodes_[node].label];
+}
+
+const PropertyMap& GraphStore::node_properties(NodeId node) const {
+  const std::shared_lock lock(mutex_);
+  if (node >= nodes_.size()) bad_node(node);
+  return nodes_[node].properties;
+}
+
+PropertyValue GraphStore::property(NodeId node, std::string_view key) const {
+  const std::shared_lock lock(mutex_);
+  if (node >= nodes_.size()) bad_node(node);
+  const auto& props = nodes_[node].properties;
+  auto it = props.find(key);
+  if (it == props.end()) return std::monostate{};
+  return it->second;
+}
+
+std::span<const Edge> GraphStore::out_edges(NodeId node) const {
+  // Adjacency vectors are append-only and nodes_ never shrinks; the span
+  // stays valid as long as no concurrent writer reallocates. Callers running
+  // queries against a quiesced store (the Horus read path) rely on this.
+  const std::shared_lock lock(mutex_);
+  if (node >= nodes_.size()) bad_node(node);
+  return nodes_[node].out;
+}
+
+std::span<const Edge> GraphStore::in_edges(NodeId node) const {
+  const std::shared_lock lock(mutex_);
+  if (node >= nodes_.size()) bad_node(node);
+  return nodes_[node].in;
+}
+
+std::vector<Edge> GraphStore::out_edges_snapshot(NodeId node) const {
+  const std::shared_lock lock(mutex_);
+  if (node >= nodes_.size()) bad_node(node);
+  return nodes_[node].out;
+}
+
+std::vector<Edge> GraphStore::in_edges_snapshot(NodeId node) const {
+  const std::shared_lock lock(mutex_);
+  if (node >= nodes_.size()) bad_node(node);
+  return nodes_[node].in;
+}
+
+const std::string& GraphStore::edge_type_name(EdgeTypeId type) const {
+  const std::shared_lock lock(mutex_);
+  return edge_types_.at(type);
+}
+
+std::optional<EdgeTypeId> GraphStore::edge_type_id(
+    std::string_view type) const {
+  const std::shared_lock lock(mutex_);
+  auto it = edge_type_ids_.find(std::string(type));
+  if (it == edge_type_ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<NodeId> GraphStore::nodes_with_label(std::string_view label) const {
+  const std::shared_lock lock(mutex_);
+  auto lit = label_ids_.find(std::string(label));
+  if (lit == label_ids_.end()) return {};
+  auto iit = label_index_.find(lit->second);
+  if (iit == label_index_.end()) return {};
+  return iit->second;
+}
+
+std::vector<NodeId> GraphStore::all_nodes() const {
+  const std::shared_lock lock(mutex_);
+  std::vector<NodeId> out(nodes_.size());
+  for (NodeId id = 0; id < nodes_.size(); ++id) out[id] = id;
+  return out;
+}
+
+std::vector<NodeId> GraphStore::find_nodes(std::string_view key,
+                                           const PropertyValue& value) const {
+  const std::shared_lock lock(mutex_);
+  auto hit = hash_indexes_.find(std::string(key));
+  if (hit != hash_indexes_.end()) {
+    auto vit = hit->second.find(value);
+    if (vit == hit->second.end()) return {};
+    return vit->second;
+  }
+  // No index: full scan, like a database query planner falling back.
+  std::vector<NodeId> out;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    auto pit = nodes_[id].properties.find(key);
+    if (pit != nodes_[id].properties.end() &&
+        property_equals(pit->second, value)) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+std::vector<NodeId> GraphStore::range_scan(std::string_view key,
+                                           std::int64_t lo,
+                                           std::int64_t hi) const {
+  const std::shared_lock lock(mutex_);
+  auto oit = ordered_indexes_.find(std::string(key));
+  if (oit == ordered_indexes_.end()) {
+    throw std::logic_error("graph: no ordered index on '" + std::string(key) +
+                           "'");
+  }
+  std::vector<NodeId> out;
+  for (auto it = oit->second.lower_bound(lo);
+       it != oit->second.end() && it->first <= hi; ++it) {
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+  return out;
+}
+
+bool GraphStore::has_ordered_index(std::string_view key) const {
+  const std::shared_lock lock(mutex_);
+  return ordered_indexes_.contains(std::string(key));
+}
+
+}  // namespace horus::graph

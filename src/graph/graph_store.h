@@ -1,0 +1,170 @@
+// Embedded property-graph store — the repository's Neo4j stand-in.
+//
+// Feature set (deliberately matching what the Horus paper uses from Neo4j):
+//  - labelled nodes with property bags;
+//  - typed directed edges;
+//  - a label index (all nodes with label L);
+//  - hash indexes on (property key, value) for exact-match lookups;
+//  - ordered indexes on integer properties for range scans — this is what
+//    makes the logical-clock bounding of Section V an index operation
+//    instead of a full scan;
+//  - batched writes (the encoders flush events/edges in periodic batches).
+//
+// The store is an in-memory column-ish layout: nodes are dense ids into
+// vectors, adjacency is CSR-like per node. A std::shared_mutex allows
+// concurrent readers (queries) with exclusive writers (pipeline flushes),
+// mirroring a database's snapshot-ish behaviour at the granularity Horus
+// needs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <mutex>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/property.h"
+
+namespace horus::graph {
+
+/// Dense node identifier. Nodes are never deleted (an execution trace is
+/// append-only), so ids are stable.
+using NodeId = std::uint32_t;
+inline constexpr NodeId kNoNode = ~NodeId{0};
+
+/// Interned edge-type identifier.
+using EdgeTypeId = std::uint16_t;
+
+struct Edge {
+  NodeId to = kNoNode;
+  EdgeTypeId type = 0;
+
+  [[nodiscard]] bool operator==(const Edge&) const = default;
+};
+
+class GraphStore {
+ public:
+  GraphStore() = default;
+
+  // Non-copyable: the store can be large and holds index state.
+  GraphStore(const GraphStore&) = delete;
+  GraphStore& operator=(const GraphStore&) = delete;
+  GraphStore(GraphStore&&) = default;
+  GraphStore& operator=(GraphStore&&) = default;
+
+  // ---- writes ------------------------------------------------------------
+
+  /// Adds a node; returns its id. O(properties) plus index maintenance.
+  NodeId add_node(std::string_view label, PropertyMap properties);
+
+  /// Adds a directed typed edge.
+  void add_edge(NodeId from, NodeId to, std::string_view type);
+
+  /// Sets (or overwrites) one property, maintaining any indexes on its key.
+  void set_property(NodeId node, std::string_view key, PropertyValue value);
+
+  /// Batch insert of nodes sharing a label; returns first assigned id
+  /// (ids are consecutive). Used by the encoders' periodic flushes.
+  NodeId add_nodes_batch(std::string_view label,
+                         std::vector<PropertyMap> batch);
+
+  // ---- index management ----------------------------------------------------
+
+  /// Creates an exact-match index on `key` (idempotent). Existing nodes are
+  /// back-filled.
+  void create_index(std::string_view key);
+
+  /// Creates a range index on integer values of `key` (idempotent).
+  void create_ordered_index(std::string_view key);
+
+  // ---- reads ---------------------------------------------------------------
+
+  [[nodiscard]] std::size_t node_count() const;
+  [[nodiscard]] std::size_t edge_count() const;
+
+  [[nodiscard]] const std::string& node_label(NodeId node) const;
+  [[nodiscard]] const PropertyMap& node_properties(NodeId node) const;
+
+  /// Value of a property, or null PropertyValue when absent.
+  [[nodiscard]] PropertyValue property(NodeId node, std::string_view key) const;
+
+  /// Adjacency views. The spans point into the store's internal vectors:
+  /// they are only safe while no concurrent writer appends edges to this
+  /// node (the quiesced read path — queries over a sealed graph). Readers
+  /// racing with writers must use the *_snapshot variants.
+  [[nodiscard]] std::span<const Edge> out_edges(NodeId node) const;
+  [[nodiscard]] std::span<const Edge> in_edges(NodeId node) const;
+
+  /// Copying adjacency accessors, safe under concurrent writes.
+  [[nodiscard]] std::vector<Edge> out_edges_snapshot(NodeId node) const;
+  [[nodiscard]] std::vector<Edge> in_edges_snapshot(NodeId node) const;
+
+  [[nodiscard]] const std::string& edge_type_name(EdgeTypeId type) const;
+  /// Interned id of a type name, or nullopt if never seen.
+  [[nodiscard]] std::optional<EdgeTypeId> edge_type_id(
+      std::string_view type) const;
+
+  /// All nodes carrying `label` (insertion order).
+  [[nodiscard]] std::vector<NodeId> nodes_with_label(
+      std::string_view label) const;
+
+  /// All node ids, 0..node_count() — convenience for full scans.
+  [[nodiscard]] std::vector<NodeId> all_nodes() const;
+
+  /// Exact-match lookup via hash index; falls back to a full scan when no
+  /// index exists on `key` (like a database without an index would).
+  [[nodiscard]] std::vector<NodeId> find_nodes(std::string_view key,
+                                               const PropertyValue& value) const;
+
+  /// Range scan [lo, hi] over an ordered integer index. Requires
+  /// create_ordered_index(key) to have been called; throws otherwise.
+  [[nodiscard]] std::vector<NodeId> range_scan(std::string_view key,
+                                               std::int64_t lo,
+                                               std::int64_t hi) const;
+
+  /// True if an ordered index exists on `key`.
+  [[nodiscard]] bool has_ordered_index(std::string_view key) const;
+
+ private:
+  struct NodeRecord {
+    std::uint32_t label = 0;  // interned label id
+    PropertyMap properties;
+    std::vector<Edge> out;
+    std::vector<Edge> in;
+  };
+
+  // Must be called with lock held.
+  std::uint32_t intern_label(std::string_view label);
+  EdgeTypeId intern_edge_type(std::string_view type);
+  void index_insert_locked(NodeId node, std::string_view key,
+                           const PropertyValue& value);
+  void index_erase_locked(NodeId node, std::string_view key,
+                          const PropertyValue& value);
+  NodeId add_node_locked(std::string_view label, PropertyMap properties);
+
+  mutable std::shared_mutex mutex_;
+
+  std::vector<NodeRecord> nodes_;
+  std::size_t edge_count_ = 0;
+
+  std::vector<std::string> labels_;
+  std::unordered_map<std::string, std::uint32_t> label_ids_;
+  std::unordered_map<std::uint32_t, std::vector<NodeId>> label_index_;
+
+  std::vector<std::string> edge_types_;
+  std::unordered_map<std::string, EdgeTypeId> edge_type_ids_;
+
+  using HashIndex =
+      std::unordered_map<PropertyValue, std::vector<NodeId>, PropertyValueHash,
+                         PropertyValueEq>;
+  std::unordered_map<std::string, HashIndex> hash_indexes_;
+
+  using OrderedIndex = std::map<std::int64_t, std::vector<NodeId>>;
+  std::unordered_map<std::string, OrderedIndex> ordered_indexes_;
+};
+
+}  // namespace horus::graph

@@ -1,0 +1,77 @@
+#include "graph/property.h"
+
+#include <cmath>
+
+namespace horus::graph {
+
+bool is_null(const PropertyValue& v) noexcept {
+  return std::holds_alternative<std::monostate>(v);
+}
+
+std::string to_display_string(const PropertyValue& v) {
+  if (std::holds_alternative<std::monostate>(v)) return "null";
+  if (const auto* b = std::get_if<bool>(&v)) return *b ? "true" : "false";
+  if (const auto* i = std::get_if<std::int64_t>(&v)) return std::to_string(*i);
+  if (const auto* d = std::get_if<double>(&v)) {
+    std::string s = std::to_string(*d);
+    return s;
+  }
+  return std::get<std::string>(v);
+}
+
+namespace {
+/// Numeric value if the property is a number.
+bool as_number(const PropertyValue& v, double& out) noexcept {
+  if (const auto* i = std::get_if<std::int64_t>(&v)) {
+    out = static_cast<double>(*i);
+    return true;
+  }
+  if (const auto* d = std::get_if<double>(&v)) {
+    out = *d;
+    return true;
+  }
+  return false;
+}
+}  // namespace
+
+bool property_equals(const PropertyValue& a, const PropertyValue& b) noexcept {
+  double na = 0;
+  double nb = 0;
+  if (as_number(a, na) && as_number(b, nb)) return na == nb;
+  return a == b;
+}
+
+int property_compare(const PropertyValue& a, const PropertyValue& b) noexcept {
+  double na = 0;
+  double nb = 0;
+  if (as_number(a, na) && as_number(b, nb)) {
+    if (na < nb) return -1;
+    if (na > nb) return 1;
+    return 0;
+  }
+  const auto* sa = std::get_if<std::string>(&a);
+  const auto* sb = std::get_if<std::string>(&b);
+  if (sa != nullptr && sb != nullptr) {
+    const int c = sa->compare(*sb);
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  const auto* ba = std::get_if<bool>(&a);
+  const auto* bb = std::get_if<bool>(&b);
+  if (ba != nullptr && bb != nullptr) {
+    return static_cast<int>(*ba) - static_cast<int>(*bb);
+  }
+  return -2;  // incomparable
+}
+
+std::size_t PropertyValueHash::operator()(
+    const PropertyValue& v) const noexcept {
+  double n = 0;
+  if (as_number(v, n)) return std::hash<double>{}(n);
+  if (const auto* b = std::get_if<bool>(&v)) return std::hash<bool>{}(*b);
+  if (const auto* s = std::get_if<std::string>(&v)) {
+    return std::hash<std::string>{}(*s);
+  }
+  return 0;  // null
+}
+
+}  // namespace horus::graph

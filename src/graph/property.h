@@ -1,0 +1,53 @@
+// Property values for the embedded property-graph store.
+//
+// The store is schema-free like Neo4j: every node (and edge) carries a bag of
+// named properties. Values are restricted to the types the Horus pipeline
+// actually persists: booleans, 64-bit integers, doubles and strings.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <variant>
+
+namespace horus::graph {
+
+/// A single property value. std::monostate represents "null"/absent — it can
+/// appear transiently in query results but is never stored.
+using PropertyValue =
+    std::variant<std::monostate, bool, std::int64_t, double, std::string>;
+
+/// Ordered map so that serialized output is deterministic.
+using PropertyMap = std::map<std::string, PropertyValue, std::less<>>;
+
+[[nodiscard]] bool is_null(const PropertyValue& v) noexcept;
+
+/// Human-readable rendering (strings unquoted).
+[[nodiscard]] std::string to_display_string(const PropertyValue& v);
+
+/// Equality with int/double numeric coercion (1 == 1.0), mirroring how graph
+/// query languages compare numbers.
+[[nodiscard]] bool property_equals(const PropertyValue& a,
+                                   const PropertyValue& b) noexcept;
+
+/// Three-way comparison for ordering; comparing incompatible types returns
+/// std::nullopt semantics via the bool overloads below.
+/// Returns -1/0/+1, or -2 when the values are not comparable.
+[[nodiscard]] int property_compare(const PropertyValue& a,
+                                   const PropertyValue& b) noexcept;
+
+/// Hash consistent with property_equals (numbers hash by double value).
+struct PropertyValueHash {
+  [[nodiscard]] std::size_t operator()(const PropertyValue& v) const noexcept;
+};
+
+struct PropertyValueEq {
+  [[nodiscard]] bool operator()(const PropertyValue& a,
+                                const PropertyValue& b) const noexcept {
+    return property_equals(a, b);
+  }
+};
+
+}  // namespace horus::graph

@@ -1,0 +1,121 @@
+// Abstract syntax tree of the Horus query language.
+//
+// A query is a linear sequence of clauses, evaluated as a row pipeline in
+// the Cypher style: each clause transforms the current set of binding rows.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "query/value.h"
+
+namespace horus::query {
+
+// ---- expressions -----------------------------------------------------------
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class BinaryOp {
+  kAnd, kOr,
+  kEq, kNeq, kLt, kLe, kGt, kGe,
+  kContains, kStartsWith, kEndsWith, kIn,
+  kAdd, kSub, kMul, kDiv, kMod,
+};
+
+enum class UnaryOp { kNot, kNeg };
+
+struct Expr {
+  enum class Kind {
+    kLiteral,    ///< value
+    kVariable,   ///< name
+    kProperty,   ///< object.property (object is an expression)
+    kBinary,
+    kUnary,
+    kFunction,   ///< name(args...); aggregates included (min, collect, ...)
+    kList,       ///< [a, b, c]
+    kStar,       ///< '*' — count(*) / RETURN *
+    kParameter,  ///< $name, bound at run() time
+  };
+
+  Kind kind = Kind::kLiteral;
+  Value literal;
+  std::string name;        // variable, property key, or function name
+  BinaryOp binary_op = BinaryOp::kEq;
+  UnaryOp unary_op = UnaryOp::kNot;
+  ExprPtr lhs;             // binary lhs / unary operand / property object
+  ExprPtr rhs;
+  std::vector<ExprPtr> args;
+  bool distinct = false;   // count(DISTINCT x)
+};
+
+// ---- patterns --------------------------------------------------------------
+
+struct NodePattern {
+  std::string variable;  ///< may be empty (anonymous)
+  std::string label;     ///< may be empty; "EVENT" matches any event node
+  /// Inline property equality constraints {key: expr}. Expressions are
+  /// evaluated against the incoming row (they may reference variables bound
+  /// by earlier clauses, as in the paper's Fig. 4a query).
+  std::vector<std::pair<std::string, ExprPtr>> properties;
+};
+
+struct PatternStep {
+  /// Direction of the edge leading *into* `node` from the previous node.
+  enum class Direction { kRight, kLeft };
+  Direction direction = Direction::kRight;
+  std::string edge_type;  ///< empty = any edge type
+  /// Hop bounds for variable-length relationships:
+  ///   -->            min=1 max=1
+  ///   -[*]->         min=1 max=unbounded (0)
+  ///   -[*2..4]->     min=2 max=4
+  ///   -[*..3]->      min=1 max=3
+  /// max_hops == 0 means unbounded.
+  std::uint32_t min_hops = 1;
+  std::uint32_t max_hops = 1;
+  NodePattern node;
+};
+
+struct PathPattern {
+  NodePattern head;
+  std::vector<PatternStep> steps;
+};
+
+// ---- clauses ---------------------------------------------------------------
+
+struct ProjectionItem {
+  ExprPtr expr;
+  std::string alias;  ///< defaults to the expression's source text
+};
+
+struct SortItem {
+  ExprPtr expr;
+  bool ascending = true;
+};
+
+struct Clause {
+  enum class Kind { kMatch, kWhere, kWith, kUnwind, kCall, kReturn };
+
+  Kind kind = Kind::kMatch;
+
+  std::vector<PathPattern> patterns;              // MATCH
+  ExprPtr predicate;                              // WHERE
+  std::vector<ProjectionItem> projections;        // WITH / RETURN
+  bool distinct = false;                          // WITH/RETURN DISTINCT
+  std::vector<SortItem> order_by;                 // trailing ORDER BY
+  std::optional<std::int64_t> limit;              // trailing LIMIT
+  ExprPtr unwind_expr;                            // UNWIND <expr> AS <alias>
+  std::string unwind_alias;
+  std::string call_procedure;                     // CALL <name>(...)
+  std::vector<ExprPtr> call_args;
+  std::vector<std::string> yield_names;           // YIELD a, b
+};
+
+struct Query {
+  std::vector<Clause> clauses;
+};
+
+}  // namespace horus::query

@@ -1,0 +1,75 @@
+// Query evaluator: executes a parsed query as a Cypher-style row pipeline
+// over an ExecutionGraph.
+//
+// Each clause transforms a RowSet (named columns x rows of Values):
+//   MATCH   expands rows with all pattern assignments (backtracking over
+//           label/property-indexed candidates and adjacency)
+//   WHERE   filters rows
+//   WITH    projects (with grouping when aggregates are present)
+//   UNWIND  explodes a list column
+//   CALL    invokes a registered procedure per row, appending YIELD columns
+//   RETURN  terminal projection (same machinery as WITH)
+//
+// Deviations from full Cypher, chosen to keep the engine small while
+// supporting the paper's queries: boolean logic is two-valued (null is
+// falsy), relationship variables are not bindable, and variable-length
+// patterns (`-[*]->`, `-[*1..3]->`) bind one row per *distinct endpoint*
+// rather than one row per path (path enumeration is exactly the baseline
+// inefficiency the horus.* procedures replace).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/execution_graph.h"
+#include "query/ast.h"
+#include "query/lexer.h"
+#include "query/value.h"
+
+namespace horus::query {
+
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<std::vector<Value>> rows;
+
+  /// Plain-text table rendering for console output.
+  [[nodiscard]] std::string to_table() const;
+};
+
+/// A procedure takes evaluated arguments and returns rows of its declared
+/// yield columns.
+struct ProcedureDef {
+  std::vector<std::string> yield_columns;
+  std::function<std::vector<std::vector<Value>>(const std::vector<Value>&)> fn;
+};
+
+/// Named query parameters ($name in the query text).
+using QueryParams = std::map<std::string, Value, std::less<>>;
+
+class QueryEngine {
+ public:
+  explicit QueryEngine(const ExecutionGraph& graph) : graph_(graph) {}
+
+  /// Registers (or replaces) a callable procedure, e.g.
+  /// "horus.getCausalGraph".
+  void register_procedure(std::string name, ProcedureDef def);
+
+  /// Parses and runs a query.
+  [[nodiscard]] QueryResult run(std::string_view text,
+                                const QueryParams& params = {}) const;
+
+  /// Runs a pre-parsed query.
+  [[nodiscard]] QueryResult run(const Query& query,
+                                const QueryParams& params = {}) const;
+
+  [[nodiscard]] const ExecutionGraph& graph() const noexcept { return graph_; }
+
+ private:
+  const ExecutionGraph& graph_;
+  std::map<std::string, ProcedureDef, std::less<>> procedures_;
+};
+
+}  // namespace horus::query

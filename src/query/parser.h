@@ -1,0 +1,15 @@
+// Recursive-descent parser for the Horus query language.
+#pragma once
+
+#include <string_view>
+
+#include "query/ast.h"
+#include "query/lexer.h"
+
+namespace horus::query {
+
+/// Parses a complete query; throws QueryError with a byte offset on
+/// malformed input.
+[[nodiscard]] Query parse_query(std::string_view text);
+
+}  // namespace horus::query

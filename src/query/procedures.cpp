@@ -1,0 +1,76 @@
+#include "query/procedures.h"
+
+namespace horus::query {
+
+namespace {
+
+graph::NodeId node_arg(const Value& v, const char* proc) {
+  if (v.is_node()) return v.as_node().id;
+  if (v.is_int()) return static_cast<graph::NodeId>(v.as_int());
+  throw QueryError(std::string(proc) + ": argument must be a node");
+}
+
+}  // namespace
+
+void register_horus_procedures(QueryEngine& engine, const ExecutionGraph& graph,
+                               const ClockTable& clocks) {
+  engine.register_procedure(
+      "horus.happensBefore",
+      ProcedureDef{
+          {"result"},
+          [&graph, &clocks](const std::vector<Value>& args) {
+            if (args.size() != 2) {
+              throw QueryError("horus.happensBefore expects (a, b)");
+            }
+            const CausalQueryEngine q(graph, clocks);
+            const bool hb = q.happens_before(
+                node_arg(args[0], "horus.happensBefore"),
+                node_arg(args[1], "horus.happensBefore"));
+            return std::vector<std::vector<Value>>{{Value(hb)}};
+          }});
+
+  engine.register_procedure(
+      "horus.getCausalEdges",
+      ProcedureDef{
+          {"from", "to"},
+          [&graph, &clocks](const std::vector<Value>& args) {
+            if (args.size() != 2) {
+              throw QueryError("horus.getCausalEdges expects (a, b)");
+            }
+            const CausalQueryEngine q(graph, clocks);
+            const CausalGraphResult result = q.get_causal_graph(
+                node_arg(args[0], "horus.getCausalEdges"),
+                node_arg(args[1], "horus.getCausalEdges"));
+            std::vector<std::vector<Value>> rows;
+            rows.reserve(result.edges.size());
+            for (const auto& [from, to] : result.edges) {
+              rows.push_back({Value(NodeRef{from}), Value(NodeRef{to})});
+            }
+            return rows;
+          }});
+
+  engine.register_procedure(
+      "horus.getCausalGraph",
+      ProcedureDef{
+          {"node"},
+          [&graph, &clocks](const std::vector<Value>& args) {
+            if (args.size() < 2 || args.size() > 3) {
+              throw QueryError(
+                  "horus.getCausalGraph expects (a, b[, onlyLogs])");
+            }
+            const bool only_logs =
+                args.size() == 3 && args[2].is_bool() && args[2].as_bool();
+            const CausalQueryEngine q(graph, clocks);
+            const CausalGraphResult result = q.get_causal_graph(
+                node_arg(args[0], "horus.getCausalGraph"),
+                node_arg(args[1], "horus.getCausalGraph"), only_logs);
+            std::vector<std::vector<Value>> rows;
+            rows.reserve(result.nodes.size());
+            for (const graph::NodeId node : result.nodes) {
+              rows.push_back({Value(NodeRef{node})});
+            }
+            return rows;
+          }});
+}
+
+}  // namespace horus::query

@@ -1,0 +1,29 @@
+// The Horus procedures exposed to the query language (Section V):
+//
+//   CALL horus.happensBefore(a, b) YIELD result
+//     Q1 — one vector-clock comparison.
+//
+//   CALL horus.getCausalGraph(a, b, onlyLogs) YIELD node
+//     Q2 — LC-range bound + VC pruning; yields one row per node of the
+//     causal sub-graph, in Lamport (causal) order.
+//
+//   CALL horus.getCausalEdges(a, b) YIELD from, to
+//     The E'' edge set of Q2 — one row per induced edge of the causal
+//     sub-graph (for rendering the paths, not just their nodes).
+//
+// Register them on a QueryEngine with register_horus_procedures().
+#pragma once
+
+#include "core/causal_query.h"
+#include "core/execution_graph.h"
+#include "core/logical_clocks.h"
+#include "query/evaluator.h"
+
+namespace horus::query {
+
+/// Registers horus.happensBefore and horus.getCausalGraph. The engine keeps
+/// references; `graph` and `clocks` must outlive it.
+void register_horus_procedures(QueryEngine& engine, const ExecutionGraph& graph,
+                               const ClockTable& clocks);
+
+}  // namespace horus::query

@@ -1,0 +1,113 @@
+// Runtime values of the Horus query language.
+//
+// A value is either a scalar (null/bool/int/double/string), a reference to a
+// graph node, or a list. Node references dereference lazily: property access
+// (`n.message`) reads from the graph store at evaluation time.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "graph/graph_store.h"
+
+namespace horus::query {
+
+struct NodeRef {
+  graph::NodeId id = graph::kNoNode;
+
+  [[nodiscard]] bool operator==(const NodeRef&) const = default;
+};
+
+class Value;
+using ValueList = std::vector<Value>;
+
+class Value {
+ public:
+  Value() noexcept : v_(std::monostate{}) {}
+  Value(std::nullptr_t) noexcept : v_(std::monostate{}) {}
+  Value(bool b) noexcept : v_(b) {}
+  Value(std::int64_t i) noexcept : v_(i) {}
+  Value(int i) noexcept : v_(static_cast<std::int64_t>(i)) {}
+  Value(double d) noexcept : v_(d) {}
+  Value(std::string s) noexcept : v_(std::move(s)) {}
+  Value(const char* s) : v_(std::string(s)) {}
+  Value(NodeRef n) noexcept : v_(n) {}
+  Value(ValueList l) noexcept : v_(std::move(l)) {}
+
+  /// From a stored graph property.
+  static Value from_property(const graph::PropertyValue& p) {
+    if (const auto* b = std::get_if<bool>(&p)) return Value(*b);
+    if (const auto* i = std::get_if<std::int64_t>(&p)) return Value(*i);
+    if (const auto* d = std::get_if<double>(&p)) return Value(*d);
+    if (const auto* s = std::get_if<std::string>(&p)) return Value(*s);
+    return Value();
+  }
+
+  [[nodiscard]] bool is_null() const noexcept {
+    return std::holds_alternative<std::monostate>(v_);
+  }
+  [[nodiscard]] bool is_bool() const noexcept {
+    return std::holds_alternative<bool>(v_);
+  }
+  [[nodiscard]] bool is_int() const noexcept {
+    return std::holds_alternative<std::int64_t>(v_);
+  }
+  [[nodiscard]] bool is_double() const noexcept {
+    return std::holds_alternative<double>(v_);
+  }
+  [[nodiscard]] bool is_number() const noexcept {
+    return is_int() || is_double();
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return std::holds_alternative<std::string>(v_);
+  }
+  [[nodiscard]] bool is_node() const noexcept {
+    return std::holds_alternative<NodeRef>(v_);
+  }
+  [[nodiscard]] bool is_list() const noexcept {
+    return std::holds_alternative<ValueList>(v_);
+  }
+
+  [[nodiscard]] bool as_bool() const { return std::get<bool>(v_); }
+  [[nodiscard]] std::int64_t as_int() const {
+    return std::get<std::int64_t>(v_);
+  }
+  [[nodiscard]] double as_number() const {
+    if (const auto* i = std::get_if<std::int64_t>(&v_)) {
+      return static_cast<double>(*i);
+    }
+    return std::get<double>(v_);
+  }
+  [[nodiscard]] const std::string& as_string() const {
+    return std::get<std::string>(v_);
+  }
+  [[nodiscard]] NodeRef as_node() const { return std::get<NodeRef>(v_); }
+  [[nodiscard]] const ValueList& as_list() const {
+    return std::get<ValueList>(v_);
+  }
+
+  /// Truthiness for WHERE: null/false are false, everything else true.
+  [[nodiscard]] bool truthy() const noexcept {
+    if (is_null()) return false;
+    if (const auto* b = std::get_if<bool>(&v_)) return *b;
+    return true;
+  }
+
+  [[nodiscard]] bool operator==(const Value& other) const = default;
+
+  [[nodiscard]] std::string to_display_string() const;
+
+ private:
+  std::variant<std::monostate, bool, std::int64_t, double, std::string,
+               NodeRef, ValueList>
+      v_;
+};
+
+/// Three-way comparison used by ORDER BY and comparison operators.
+/// Returns -1/0/1, or -2 for incomparable operands.
+[[nodiscard]] int compare_values(const Value& a, const Value& b);
+
+}  // namespace horus::query

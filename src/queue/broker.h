@@ -1,0 +1,85 @@
+// Topic and Broker: the multi-topic, partitioned event queue (Kafka
+// stand-in) at the heart of the pipeline (components 2 and 4 of the paper's
+// Figure 2: one topic for source events, one linking the two encoder
+// stages).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "queue/partition.h"
+
+namespace horus::queue {
+
+/// A named stream of messages split across partitions. Messages with the
+/// same key always land on the same partition (stable hash), preserving
+/// per-key FIFO order — the property the Horus scale-out design relies on.
+class Topic {
+ public:
+  Topic(std::string name, int num_partitions);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] int num_partitions() const noexcept {
+    return static_cast<int>(partitions_.size());
+  }
+
+  /// Stable partition assignment for a key.
+  [[nodiscard]] int partition_for(const std::string& key) const;
+
+  /// Appends keyed message; returns (partition, offset).
+  std::pair<int, std::uint64_t> produce(std::string key, std::string value);
+
+  [[nodiscard]] Partition& partition(int index);
+  [[nodiscard]] const Partition& partition(int index) const;
+
+  /// Total messages across all partitions.
+  [[nodiscard]] std::uint64_t total_messages() const;
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<Partition>> partitions_;
+};
+
+/// The broker owns topics and consumer-group committed offsets, and can
+/// persist everything to a directory (durability across restarts).
+class Broker {
+ public:
+  Broker() = default;
+  Broker(const Broker&) = delete;
+  Broker& operator=(const Broker&) = delete;
+
+  /// Creates a topic (idempotent if partition count matches; throws on
+  /// mismatch).
+  Topic& create_topic(const std::string& name, int num_partitions);
+
+  /// Throws if the topic does not exist.
+  [[nodiscard]] Topic& topic(const std::string& name);
+
+  [[nodiscard]] bool has_topic(const std::string& name) const;
+
+  /// Consumer-group offset management (at-least-once semantics: consumers
+  /// re-read from the last committed offset after a restart).
+  void commit_offset(const std::string& group, const std::string& topic,
+                     int partition, std::uint64_t offset);
+  [[nodiscard]] std::uint64_t committed_offset(const std::string& group,
+                                               const std::string& topic,
+                                               int partition) const;
+
+  /// Persists all topics and committed offsets into `dir`.
+  void persist(const std::string& dir) const;
+
+  /// Loads a broker previously persisted into `dir`.
+  void load(const std::string& dir);
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Topic>> topics_;
+  // (group, topic, partition) -> next offset to consume
+  std::map<std::tuple<std::string, std::string, int>, std::uint64_t> offsets_;
+};
+
+}  // namespace horus::queue

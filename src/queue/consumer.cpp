@@ -1,0 +1,71 @@
+#include "queue/consumer.h"
+
+namespace horus::queue {
+
+Consumer::Consumer(Broker& broker, std::string group, std::string topic,
+                   std::vector<int> partitions)
+    : broker_(broker),
+      group_(std::move(group)),
+      topic_name_(std::move(topic)),
+      partitions_(std::move(partitions)) {
+  positions_.reserve(partitions_.size());
+  for (int p : partitions_) {
+    positions_.push_back(broker_.committed_offset(group_, topic_name_, p));
+  }
+}
+
+std::vector<ConsumedMessage> Consumer::poll(std::size_t max_messages,
+                                            int timeout_ms) {
+  std::vector<ConsumedMessage> out;
+  Topic& topic = broker_.topic(topic_name_);
+
+  auto drain = [&](bool blocking) {
+    for (std::size_t i = 0; i < partitions_.size() && out.size() < max_messages;
+         ++i) {
+      std::vector<Message> batch;
+      const std::size_t want = max_messages - out.size();
+      std::size_t got = 0;
+      Partition& part = topic.partition(partitions_[i]);
+      if (blocking) {
+        got = part.fetch_wait(positions_[i], want, timeout_ms, batch);
+      } else {
+        got = part.fetch(positions_[i], want, batch);
+      }
+      positions_[i] += got;
+      for (Message& m : batch) {
+        out.push_back(ConsumedMessage{partitions_[i], std::move(m)});
+      }
+      if (blocking && got > 0) return;  // only block on the first empty one
+    }
+  };
+
+  drain(/*blocking=*/false);
+  if (out.empty() && timeout_ms > 0 && !partitions_.empty()) {
+    // Block on partition 0 as the wake-up signal, then sweep again.
+    std::vector<Message> batch;
+    Partition& part = topic.partition(partitions_[0]);
+    const std::size_t got =
+        part.fetch_wait(positions_[0], max_messages, timeout_ms, batch);
+    positions_[0] += got;
+    for (Message& m : batch) {
+      out.push_back(ConsumedMessage{partitions_[0], std::move(m)});
+    }
+    drain(/*blocking=*/false);
+  }
+  return out;
+}
+
+void Consumer::commit() {
+  for (std::size_t i = 0; i < partitions_.size(); ++i) {
+    broker_.commit_offset(group_, topic_name_, partitions_[i], positions_[i]);
+  }
+}
+
+void Consumer::reset_to_committed() {
+  for (std::size_t i = 0; i < partitions_.size(); ++i) {
+    positions_[i] =
+        broker_.committed_offset(group_, topic_name_, partitions_[i]);
+  }
+}
+
+}  // namespace horus::queue

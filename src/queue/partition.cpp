@@ -1,0 +1,83 @@
+#include "queue/partition.h"
+
+#include <chrono>
+#include <fstream>
+#include <stdexcept>
+
+#include "common/json.h"
+
+namespace horus::queue {
+
+std::uint64_t Partition::append(std::string key, std::string value) {
+  const std::lock_guard lock(mutex_);
+  const std::uint64_t offset = log_.size();
+  log_.push_back(Message{offset, std::move(key), std::move(value)});
+  cv_.notify_all();
+  return offset;
+}
+
+std::size_t Partition::fetch(std::uint64_t offset, std::size_t max_messages,
+                             std::vector<Message>& out) const {
+  const std::lock_guard lock(mutex_);
+  std::size_t n = 0;
+  while (offset + n < log_.size() && n < max_messages) {
+    out.push_back(log_[offset + n]);
+    ++n;
+  }
+  return n;
+}
+
+std::size_t Partition::fetch_wait(std::uint64_t offset,
+                                  std::size_t max_messages, int timeout_ms,
+                                  std::vector<Message>& out) const {
+  std::unique_lock lock(mutex_);
+  cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+               [&] { return offset < log_.size(); });
+  std::size_t n = 0;
+  while (offset + n < log_.size() && n < max_messages) {
+    out.push_back(log_[offset + n]);
+    ++n;
+  }
+  return n;
+}
+
+std::uint64_t Partition::end_offset() const {
+  const std::lock_guard lock(mutex_);
+  return log_.size();
+}
+
+void Partition::persist(const std::string& path) const {
+  std::vector<Message> snapshot;
+  {
+    const std::lock_guard lock(mutex_);
+    snapshot = log_;
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("queue: cannot open " + path);
+  for (const Message& m : snapshot) {
+    Json j = Json::object();
+    j["offset"] = static_cast<std::int64_t>(m.offset);
+    j["key"] = m.key;
+    j["value"] = m.value;
+    out << j.dump() << '\n';
+  }
+}
+
+void Partition::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("queue: cannot open " + path);
+  std::vector<Message> loaded;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const Json j = Json::parse(line);
+    loaded.push_back(Message{
+        static_cast<std::uint64_t>(j.at("offset").as_int()),
+        j.at("key").as_string(), j.at("value").as_string()});
+  }
+  const std::lock_guard lock(mutex_);
+  log_ = std::move(loaded);
+  cv_.notify_all();
+}
+
+}  // namespace horus::queue

@@ -1,0 +1,60 @@
+// A single partition of a topic: a thread-safe, append-only, offset-addressed
+// message log — the unit of ordering in the event queue (as in Kafka).
+//
+// Horus' correctness depends on partition FIFO order: the intra-process
+// encoder requires all events of one process to arrive in enqueue order on
+// one partition, and the inter-process encoder requires both halves of a
+// causal pair to land on the same encoder. Key-based routing onto partitions
+// (see Topic) provides both.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace horus::queue {
+
+struct Message {
+  std::uint64_t offset = 0;
+  std::string key;
+  std::string value;
+
+  [[nodiscard]] bool operator==(const Message&) const = default;
+};
+
+class Partition {
+ public:
+  Partition() = default;
+  Partition(const Partition&) = delete;
+  Partition& operator=(const Partition&) = delete;
+
+  /// Appends a message; returns its offset. Wakes blocked fetchers.
+  std::uint64_t append(std::string key, std::string value);
+
+  /// Copies up to `max_messages` starting at `offset` into `out`.
+  /// Returns the number fetched (0 when offset is at the end).
+  std::size_t fetch(std::uint64_t offset, std::size_t max_messages,
+                    std::vector<Message>& out) const;
+
+  /// Like fetch(), but blocks up to `timeout_ms` for data to arrive.
+  std::size_t fetch_wait(std::uint64_t offset, std::size_t max_messages,
+                         int timeout_ms, std::vector<Message>& out) const;
+
+  /// Next offset to be assigned (== current size; offsets are dense).
+  [[nodiscard]] std::uint64_t end_offset() const;
+
+  /// Serializes all messages as JSON lines to `path` (durability).
+  void persist(const std::string& path) const;
+
+  /// Replaces contents with messages loaded from `path`.
+  void load(const std::string& path);
+
+ private:
+  mutable std::mutex mutex_;
+  mutable std::condition_variable cv_;
+  std::vector<Message> log_;
+};
+
+}  // namespace horus::queue

@@ -1,0 +1,41 @@
+// ShiViz exporter (Figure 4c of the paper).
+//
+// ShiViz parses logs where each event is two lines:
+//
+//   <host> <vector-clock JSON>
+//   <event description>
+//
+// with the vector clock as {"host": count, ...}. Horus' stored causal graph
+// already carries vector clocks, so exporting is a projection: each process
+// timeline becomes a ShiViz lane (named "<service>_<pid>_<tid>") and every
+// exported event carries the nonzero components of its vector clock. The
+// default ShiViz parser regex for this format is
+//   (?<host>\S*) (?<clock>{.*})\n(?<event>.*)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/execution_graph.h"
+#include "core/logical_clocks.h"
+
+namespace horus::shiviz {
+
+struct ExportOptions {
+  /// Restrict output to LOG events.
+  bool only_logs = false;
+};
+
+/// Renders the given nodes (any order; output follows Lamport order) in
+/// ShiViz format.
+[[nodiscard]] std::string export_events(const ExecutionGraph& graph,
+                                        const ClockTable& clocks,
+                                        const std::vector<graph::NodeId>& nodes,
+                                        const ExportOptions& options = {});
+
+/// Renders the whole stored execution.
+[[nodiscard]] std::string export_all(const ExecutionGraph& graph,
+                                     const ClockTable& clocks,
+                                     const ExportOptions& options = {});
+
+}  // namespace horus::shiviz

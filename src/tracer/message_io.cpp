@@ -1,0 +1,47 @@
+#include "tracer/message_io.h"
+
+#include <array>
+#include <cstdio>
+#include <stdexcept>
+
+namespace horus::sim {
+
+void send_message(ThreadCtx& ctx, int fd, const std::string& message) {
+  std::array<char, kFrameHeaderBytes + 1> header{};
+  std::snprintf(header.data(), header.size(), "%08zu", message.size());
+  std::string framed(header.data(), kFrameHeaderBytes);
+  framed += message;
+  ctx.send(fd, framed);
+}
+
+bool MessageReader::try_extract(std::string& out) {
+  if (buffer_.size() < kFrameHeaderBytes) return false;
+  std::size_t len = 0;
+  for (std::size_t i = 0; i < kFrameHeaderBytes; ++i) {
+    const char c = buffer_[i];
+    if (c < '0' || c > '9') {
+      throw std::runtime_error("message framing corrupted");
+    }
+    len = len * 10 + static_cast<std::size_t>(c - '0');
+  }
+  if (buffer_.size() < kFrameHeaderBytes + len) return false;
+  out = buffer_.substr(kFrameHeaderBytes, len);
+  buffer_.erase(0, kFrameHeaderBytes + len);
+  return true;
+}
+
+void MessageReader::read(ThreadCtx& ctx, MessageFn cont) {
+  std::string message;
+  if (try_extract(message)) {
+    cont(ctx, std::move(message));
+    return;
+  }
+  auto self = shared_from_this();
+  ctx.recv(fd_, [self, cont = std::move(cont)](ThreadCtx& cctx,
+                                               std::string data) mutable {
+    self->buffer_ += data;
+    self->read(cctx, std::move(cont));
+  });
+}
+
+}  // namespace horus::sim

@@ -1,0 +1,50 @@
+// Length-prefixed message framing on top of SimKernel's byte streams.
+//
+// The simulated TCP layer delivers byte *chunks* bounded by the receiver's
+// buffer size (producing several partial RCV events per send — the asymmetry
+// the paper observes in Table I). Applications, however, exchange discrete
+// request/response messages. MessageIo provides the framing: every message
+// is sent as an 8-digit ASCII length header followed by the body, and a
+// MessageReader re-assembles messages from however many chunks the kernel
+// delivers them in.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "tracer/sim_kernel.h"
+
+namespace horus::sim {
+
+/// Sends one framed message on `fd` (exactly one SND event).
+void send_message(ThreadCtx& ctx, int fd, const std::string& message);
+
+using MessageFn = std::function<void(ThreadCtx&, std::string message)>;
+
+/// Re-assembles framed messages from a stream. One reader per fd endpoint;
+/// keep it alive (shared_ptr) across continuations.
+class MessageReader : public std::enable_shared_from_this<MessageReader> {
+ public:
+  [[nodiscard]] static std::shared_ptr<MessageReader> create(int fd) {
+    return std::shared_ptr<MessageReader>(new MessageReader(fd));
+  }
+
+  /// Delivers the next complete message to `cont`. Invokes `cont`
+  /// synchronously when the message is already buffered, otherwise after as
+  /// many partial receives as the kernel needs.
+  void read(ThreadCtx& ctx, MessageFn cont);
+
+ private:
+  explicit MessageReader(int fd) : fd_(fd) {}
+
+  /// Extracts a complete framed message from buffer_ if present.
+  [[nodiscard]] bool try_extract(std::string& out);
+
+  int fd_;
+  std::string buffer_;
+};
+
+inline constexpr std::size_t kFrameHeaderBytes = 8;
+
+}  // namespace horus::sim

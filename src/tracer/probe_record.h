@@ -1,0 +1,46 @@
+// Raw records produced by the (simulated) kernel-level tracer.
+//
+// In the paper these records come from eBPF programs attached to syscall
+// tracepoints; each record carries the syscall's arguments plus container
+// metadata used to identify the service. The tracer adapter
+// (src/adapters/tracer_adapter.*) normalizes them into horus::Event.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/ids.h"
+#include "common/sim_clock.h"
+#include "event/event.h"
+#include "event/event_type.h"
+
+namespace horus::sim {
+
+struct ProbeRecord {
+  EventType type = EventType::kSnd;  ///< never kLog (logs are not syscalls)
+  ThreadRef thread;
+  TimeNs timestamp = 0;    ///< host-local observed physical time
+  std::string container;   ///< docker-style container name = service name
+
+  std::optional<NetPayload> net;     ///< SND/RCV/CONNECT/ACCEPT
+  std::optional<ThreadRef> child;    ///< CREATE/FORK/JOIN
+  std::string fsync_path;            ///< FSYNC
+};
+
+/// Raw record produced by the Log4j-style JSON appender (one per log call).
+struct LogRecord {
+  ThreadRef thread;
+  TimeNs timestamp = 0;
+  std::string service;
+  std::string level = "INFO";
+  std::string logger;
+  std::string message;
+
+  /// Serializes in the appender's JSON-line format.
+  [[nodiscard]] std::string to_json_line() const;
+
+  /// Parses a JSON line produced by to_json_line().
+  [[nodiscard]] static LogRecord from_json_line(const std::string& line);
+};
+
+}  // namespace horus::sim

@@ -1,0 +1,511 @@
+#include "tracer/sim_kernel.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/json.h"
+
+namespace horus::sim {
+
+// ---------------------------------------------------------------------------
+// LogRecord (Log4j-style JSON appender format)
+// ---------------------------------------------------------------------------
+
+std::string LogRecord::to_json_line() const {
+  Json j = Json::object();
+  j["@timestamp"] = timestamp;
+  j["level"] = level;
+  j["logger"] = logger;
+  j["message"] = message;
+  j["service"] = service;
+  j["host"] = thread.host;
+  j["pid"] = static_cast<std::int64_t>(thread.pid);
+  j["tid"] = static_cast<std::int64_t>(thread.tid);
+  return j.dump();
+}
+
+LogRecord LogRecord::from_json_line(const std::string& line) {
+  const Json j = Json::parse(line);
+  LogRecord r;
+  r.timestamp = j.at("@timestamp").as_int();
+  r.level = j.get_or("level", std::string{"INFO"});
+  r.logger = j.get_or("logger", std::string{});
+  r.message = j.get_or("message", std::string{});
+  r.service = j.get_or("service", std::string{});
+  r.thread.host = j.at("host").as_string();
+  r.thread.pid = static_cast<std::int32_t>(j.at("pid").as_int());
+  r.thread.tid = static_cast<std::int32_t>(j.at("tid").as_int());
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// SimKernel
+// ---------------------------------------------------------------------------
+
+SimKernel::SimKernel(SimKernelOptions options)
+    : options_(options), rng_(options.seed) {}
+
+SimKernel::~SimKernel() = default;
+
+void SimKernel::add_host(HostConfig config) {
+  clocks_.add_host(config.name, config.clock_offset_ns,
+                   config.clock_drift_ppm);
+  host_by_ip_[config.ip] = config.name;
+  hosts_[config.name] = std::move(config);
+}
+
+void SimKernel::set_probe_sink(std::function<void(const ProbeRecord&)> sink) {
+  probe_sink_ = std::move(sink);
+}
+
+void SimKernel::set_log_sink(std::function<void(const LogRecord&)> sink) {
+  log_sink_ = std::move(sink);
+}
+
+TimeNs SimKernel::now() const noexcept { return clocks_.now(); }
+
+void SimKernel::schedule(TimeNs at, std::function<void()> fn) {
+  if (at < clocks_.now()) at = clocks_.now();
+  queue_.push(Task{at, seq_++, std::move(fn)});
+}
+
+TimeNs SimKernel::latency_sample() {
+  TimeNs jitter = 0;
+  if (options_.link_jitter_ns > 0) {
+    jitter = rng_.uniform(0, options_.link_jitter_ns);
+  }
+  return options_.link_latency_ns + jitter;
+}
+
+SimKernel::ThreadState& SimKernel::thread_state(const ThreadRef& ref) {
+  auto it = threads_.find(ref);
+  if (it == threads_.end()) {
+    throw std::logic_error("sim: unknown thread " + ref.to_string());
+  }
+  return it->second;
+}
+
+const HostConfig& SimKernel::host_config(const std::string& host) const {
+  auto it = hosts_.find(host);
+  if (it == hosts_.end()) {
+    throw std::logic_error("sim: unknown host " + host);
+  }
+  return it->second;
+}
+
+TimeNs SimKernel::observe(const std::string& host) {
+  return clocks_.observe(host);
+}
+
+void SimKernel::emit_probe(EventType type, const ThreadRef& thread,
+                           const std::string& service,
+                           std::optional<NetPayload> net,
+                           std::optional<ThreadRef> child,
+                           std::string fsync_path) {
+  if (!probe_sink_) return;
+  ProbeRecord rec;
+  rec.type = type;
+  rec.thread = thread;
+  rec.timestamp = observe(thread.host);
+  rec.container = service;
+  rec.net = std::move(net);
+  rec.child = std::move(child);
+  rec.fsync_path = std::move(fsync_path);
+  probe_sink_(rec);
+}
+
+void SimKernel::emit_log(const ThreadRef& thread, const std::string& service,
+                         std::string level, std::string logger,
+                         std::string message) {
+  if (!log_sink_) return;
+  LogRecord rec;
+  rec.thread = thread;
+  rec.timestamp = observe(thread.host);
+  rec.service = service;
+  rec.level = std::move(level);
+  rec.logger = std::move(logger);
+  rec.message = std::move(message);
+  log_sink_(rec);
+}
+
+ThreadRef SimKernel::allocate_thread(const std::string& host,
+                                     const std::string& service,
+                                     bool new_process) {
+  (void)service;
+  auto& next_pid = next_pid_[host];
+  if (next_pid == 0) next_pid = 100;  // os-ish pid numbers
+  std::int32_t pid = 0;
+  if (new_process) {
+    pid = next_pid++;
+  } else {
+    throw std::logic_error("allocate_thread: sibling threads use the pid of "
+                           "their creator; call with explicit ref instead");
+  }
+  ThreadRef ref{host, pid, 1};
+  next_tid_[host + "/" + std::to_string(pid)] = 2;
+  return ref;
+}
+
+void SimKernel::start_thread(const ThreadRef& ref, ThreadFn entry,
+                             std::optional<ThreadRef> parent, TimeNs at) {
+  auto& state = threads_[ref];
+  state.ref = ref;
+  state.parent = parent;
+  schedule(at, [this, ref, entry = std::move(entry)]() mutable {
+    auto& st = thread_state(ref);
+    st.started = true;
+    emit_probe(EventType::kStart, ref, st.service);
+    ThreadCtx ctx(*this, ref, st.service);
+    entry(ctx);
+    thread_state(ref).entry_done = true;
+    maybe_end_thread(ref);
+  });
+}
+
+void SimKernel::maybe_end_thread(const ThreadRef& ref) {
+  auto& st = thread_state(ref);
+  if (st.ended || !st.entry_done || st.pending > 0) return;
+  st.ended = true;
+  emit_probe(EventType::kEnd, ref, st.service);
+  // Wake joiners: each waiter emits JOIN on its own thread.
+  for (const ThreadRef& waiter : st.join_waiters) {
+    auto cont_it = st.join_conts.find(waiter);
+    VoidFn cont = cont_it != st.join_conts.end() ? cont_it->second : VoidFn{};
+    schedule(clocks_.now() + options_.local_op_cost_ns,
+             [this, waiter, ref, cont = std::move(cont)] {
+               auto& ws = thread_state(waiter);
+               emit_probe(EventType::kJoin, waiter, ws.service, std::nullopt,
+                          ref);
+               --ws.pending;
+               if (cont) {
+                 ThreadCtx ctx(*this, waiter, ws.service);
+                 cont(ctx);
+               }
+               maybe_end_thread(waiter);
+             });
+  }
+  st.join_waiters.clear();
+  st.join_conts.clear();
+}
+
+void SimKernel::run_on_thread(const ThreadRef& ref, VoidFn fn) {
+  auto& st = thread_state(ref);
+  ThreadCtx ctx(*this, ref, st.service);
+  fn(ctx);
+}
+
+ThreadRef SimKernel::spawn_process(const std::string& host,
+                                   const std::string& service, ThreadFn main,
+                                   TimeNs delay) {
+  (void)host_config(host);  // validate
+  ThreadRef ref = allocate_thread(host, service, /*new_process=*/true);
+  threads_[ref].service = service;
+  threads_[ref].host_ip = host_config(host).ip;
+  start_thread(ref, std::move(main), std::nullopt, clocks_.now() + delay);
+  return ref;
+}
+
+void SimKernel::run(TimeNs until) {
+  while (!queue_.empty()) {
+    // std::priority_queue::top returns const&; the task must be copied or
+    // moved out before pop. Move via const_cast is the standard idiom here.
+    Task task = std::move(const_cast<Task&>(queue_.top()));
+    queue_.pop();
+    if (task.at > until) break;
+    if (task.at > clocks_.now()) clocks_.advance(task.at - clocks_.now());
+    ++steps_;
+    task.fn();
+  }
+}
+
+// ---- syscalls --------------------------------------------------------------
+
+void SimKernel::do_listen(ThreadCtx& ctx, std::uint16_t port,
+                          AcceptFn on_accept) {
+  auto& st = thread_state(ctx.self());
+  const auto key = std::make_pair(st.host_ip, port);
+  if (listeners_.contains(key)) {
+    throw std::logic_error("sim: port already bound: " + st.host_ip + ":" +
+                           std::to_string(port));
+  }
+  listeners_[key] = Listener{ctx.self(), st.service, std::move(on_accept)};
+  ++st.pending;  // a listening socket keeps the server process alive
+}
+
+void SimKernel::do_connect(ThreadCtx& ctx, const std::string& dst_host,
+                           std::uint16_t port, ConnectFn cont) {
+  auto& st = thread_state(ctx.self());
+  const HostConfig& dst_cfg = host_config(dst_host);
+
+  SocketAddr src{st.host_ip, next_ephemeral_port_++};
+  SocketAddr dst{dst_cfg.ip, port};
+  const ChannelId channel{src, dst};
+
+  emit_probe(EventType::kConnect, ctx.self(), st.service,
+             NetPayload{channel, 0, 0});
+
+  auto conn = std::make_shared<Connection>();
+  conn->forward = channel;
+  conn->client_thread = ctx.self();
+
+  const int client_fd = next_fd_++;
+  const int server_fd = next_fd_++;
+  connections_[client_fd] = conn;
+  connections_[server_fd] = conn;
+  fd_is_server_side_[client_fd] = false;
+  fd_is_server_side_[server_fd] = true;
+
+  ++st.pending;  // connect in flight
+
+  const ThreadRef client = ctx.self();
+  const TimeNs syn_arrival = clocks_.now() + latency_sample();
+
+  // SYN arrives at the server: ACCEPT fires on the listening thread, then a
+  // handler thread is CREATEd to own the connection.
+  schedule(syn_arrival, [this, channel, dst, conn, server_fd] {
+    auto lit = listeners_.find(std::make_pair(dst.ip, dst.port));
+    if (lit == listeners_.end()) {
+      throw std::logic_error("sim: connection refused at " + dst.to_string());
+    }
+    Listener& listener = lit->second;
+    auto& lst = thread_state(listener.thread);
+    emit_probe(EventType::kAccept, listener.thread, lst.service,
+               NetPayload{channel, 0, 0});
+
+    // Thread-per-connection: the acceptor creates a handler thread.
+    ThreadRef handler = listener.thread;
+    handler.tid = next_tid_[handler.host + "/" + std::to_string(handler.pid)]++;
+    emit_probe(EventType::kCreate, listener.thread, lst.service, std::nullopt,
+               handler);
+    conn->server_thread = handler;
+    auto& hs = threads_[handler];
+    hs.service = lst.service;
+    hs.host_ip = lst.host_ip;
+    AcceptFn on_accept = listener.on_accept;
+    start_thread(
+        handler,
+        [on_accept = std::move(on_accept), server_fd](ThreadCtx& hctx) {
+          on_accept(hctx, server_fd);
+        },
+        listener.thread, clocks_.now() + options_.local_op_cost_ns);
+  });
+
+  // SYN-ACK returns to the client one more hop later: connect() completes.
+  schedule(syn_arrival + latency_sample(),
+           [this, client, client_fd, cont = std::move(cont)] {
+             auto& cs = thread_state(client);
+             --cs.pending;
+             ThreadCtx cctx(*this, client, cs.service);
+             cont(cctx, client_fd);
+             maybe_end_thread(client);
+           });
+}
+
+void SimKernel::do_send(ThreadCtx& ctx, int fd, std::string data) {
+  auto cit = connections_.find(fd);
+  if (cit == connections_.end()) {
+    throw std::logic_error("sim: send on bad fd " + std::to_string(fd));
+  }
+  auto conn = cit->second;
+  const bool from_server = fd_is_server_side_.at(fd);
+  StreamDir& dir = from_server ? conn->s2c : conn->c2s;
+  const ChannelId channel =
+      from_server ? conn->forward.reversed() : conn->forward;
+
+  auto& st = thread_state(ctx.self());
+  emit_probe(EventType::kSnd, ctx.self(), st.service,
+             NetPayload{channel, dir.sent, data.size()});
+  dir.sent += data.size();
+
+  const bool to_server_side = !from_server;
+  // TCP delivers in order: a later segment can never overtake an earlier
+  // one, so clamp to the previous delivery time of this direction.
+  const TimeNs arrival =
+      std::max(clocks_.now() + latency_sample(), dir.next_delivery);
+  dir.next_delivery = arrival;
+  schedule(arrival,
+           [this, conn, fd, data = std::move(data), to_server_side] {
+             StreamDir& d = to_server_side ? conn->c2s : conn->s2c;
+             for (char c : data) d.arrived.push_back(c);
+             d.delivered += data.size();
+             deliver_chunks(fd, to_server_side);
+           });
+}
+
+void SimKernel::deliver_chunks(int fd, bool to_server_side) {
+  auto cit = connections_.find(fd);
+  if (cit == connections_.end()) return;
+  auto conn = cit->second;
+  StreamDir& dir = to_server_side ? conn->c2s : conn->s2c;
+  auto& pending_recv = to_server_side ? conn->server_recv : conn->client_recv;
+  if (!pending_recv || dir.arrived.empty()) return;
+
+  const ThreadRef consumer =
+      to_server_side ? conn->server_thread : conn->client_thread;
+  auto& st = thread_state(consumer);
+  const HostConfig& cfg = host_config(consumer.host);
+
+  const std::uint64_t chunk =
+      std::min<std::uint64_t>(dir.arrived.size(), cfg.recv_buffer_bytes);
+  std::string data(dir.arrived.begin(),
+                   dir.arrived.begin() + static_cast<std::ptrdiff_t>(chunk));
+  dir.arrived.erase(dir.arrived.begin(),
+                    dir.arrived.begin() + static_cast<std::ptrdiff_t>(chunk));
+
+  const ChannelId channel =
+      to_server_side ? conn->forward : conn->forward.reversed();
+  emit_probe(EventType::kRcv, consumer, st.service,
+             NetPayload{channel, dir.consumed, chunk});
+  dir.consumed += chunk;
+
+  RecvFn cont = std::move(*pending_recv);
+  pending_recv.reset();
+  --st.pending;
+  ThreadCtx cctx(*this, consumer, st.service);
+  cont(cctx, std::move(data));
+  maybe_end_thread(consumer);
+}
+
+void SimKernel::do_recv(ThreadCtx& ctx, int fd, RecvFn cont) {
+  (void)ctx;
+  auto cit = connections_.find(fd);
+  if (cit == connections_.end()) {
+    throw std::logic_error("sim: recv on bad fd " + std::to_string(fd));
+  }
+  auto conn = cit->second;
+  const bool server_side = fd_is_server_side_.at(fd);
+  auto& pending_recv = server_side ? conn->server_recv : conn->client_recv;
+  if (pending_recv) {
+    throw std::logic_error("sim: recv already pending on fd " +
+                           std::to_string(fd));
+  }
+  pending_recv = std::move(cont);
+  // Delivery (and the matching pending decrement) happens on the endpoint's
+  // owner thread — sockets may be shared, so keep the books on the owner.
+  const ThreadRef owner =
+      server_side ? conn->server_thread : conn->client_thread;
+  ++thread_state(owner).pending;
+
+  // If data already arrived, deliver on a fresh task (never re-entrantly).
+  schedule(clocks_.now() + options_.local_op_cost_ns,
+           [this, fd, server_side] { deliver_chunks(fd, server_side); });
+}
+
+void SimKernel::do_join(ThreadCtx& ctx, const ThreadRef& child, VoidFn cont) {
+  auto& child_state = thread_state(child);
+  auto& self_state = thread_state(ctx.self());
+  ++self_state.pending;
+  if (child_state.ended) {
+    const ThreadRef self = ctx.self();
+    const ThreadRef child_copy = child;
+    schedule(clocks_.now() + options_.local_op_cost_ns,
+             [this, self, child_copy, cont = std::move(cont)] {
+               auto& ws = thread_state(self);
+               emit_probe(EventType::kJoin, self, ws.service, std::nullopt,
+                          child_copy);
+               --ws.pending;
+               if (cont) {
+                 ThreadCtx cctx(*this, self, ws.service);
+                 cont(cctx);
+               }
+               maybe_end_thread(self);
+             });
+  } else {
+    child_state.join_waiters.push_back(ctx.self());
+    if (cont) child_state.join_conts[ctx.self()] = std::move(cont);
+  }
+}
+
+void SimKernel::do_sleep(ThreadCtx& ctx, TimeNs duration, VoidFn cont) {
+  const ThreadRef self = ctx.self();
+  ++thread_state(self).pending;
+  schedule(clocks_.now() + duration, [this, self, cont = std::move(cont)] {
+    auto& st = thread_state(self);
+    --st.pending;
+    if (cont) {
+      ThreadCtx cctx(*this, self, st.service);
+      cont(cctx);
+    }
+    maybe_end_thread(self);
+  });
+}
+
+void SimKernel::do_fsync(ThreadCtx& ctx, std::string path) {
+  auto& st = thread_state(ctx.self());
+  emit_probe(EventType::kFsync, ctx.self(), st.service, std::nullopt,
+             std::nullopt, std::move(path));
+}
+
+// ---------------------------------------------------------------------------
+// ThreadCtx
+// ---------------------------------------------------------------------------
+
+TimeNs ThreadCtx::local_now() { return kernel_.observe(self_.host); }
+
+void ThreadCtx::log(std::string message, std::string logger,
+                    std::string level) {
+  kernel_.emit_log(self_, service_, std::move(level), std::move(logger),
+                   std::move(message));
+}
+
+void ThreadCtx::listen(std::uint16_t port, AcceptFn on_accept) {
+  kernel_.do_listen(*this, port, std::move(on_accept));
+}
+
+void ThreadCtx::connect(const std::string& host, std::uint16_t port,
+                        ConnectFn cont) {
+  kernel_.do_connect(*this, host, port, std::move(cont));
+}
+
+void ThreadCtx::send(int fd, std::string data) {
+  kernel_.do_send(*this, fd, std::move(data));
+}
+
+void ThreadCtx::recv(int fd, RecvFn cont) {
+  kernel_.do_recv(*this, fd, std::move(cont));
+}
+
+ThreadRef ThreadCtx::spawn_thread(ThreadFn fn) {
+  ThreadRef child = self_;
+  child.tid = kernel_.next_tid_[child.host + "/" + std::to_string(child.pid)]++;
+  auto& st = kernel_.thread_state(self_);
+  kernel_.emit_probe(EventType::kCreate, self_, st.service, std::nullopt,
+                     child);
+  auto& cs = kernel_.threads_[child];
+  cs.service = st.service;
+  cs.host_ip = st.host_ip;
+  kernel_.start_thread(child, std::move(fn), self_,
+                       kernel_.now() + kernel_.options_.local_op_cost_ns);
+  return child;
+}
+
+ThreadRef ThreadCtx::fork_process(const std::string& service, ThreadFn fn) {
+  auto& st = kernel_.thread_state(self_);
+  ThreadRef child =
+      kernel_.allocate_thread(self_.host, service, /*new_process=*/true);
+  kernel_.emit_probe(EventType::kFork, self_, st.service, std::nullopt, child);
+  auto& cs = kernel_.threads_[child];
+  cs.service = service;
+  cs.host_ip = st.host_ip;
+  kernel_.start_thread(child, std::move(fn), self_,
+                       kernel_.now() + kernel_.options_.local_op_cost_ns);
+  return child;
+}
+
+void ThreadCtx::join(const ThreadRef& child, VoidFn cont) {
+  kernel_.do_join(*this, child, std::move(cont));
+}
+
+void ThreadCtx::sleep(TimeNs duration, VoidFn cont) {
+  kernel_.do_sleep(*this, duration, std::move(cont));
+}
+
+void ThreadCtx::fsync(std::string path) {
+  kernel_.do_fsync(*this, std::move(path));
+}
+
+std::int64_t ThreadCtx::random(std::int64_t lo, std::int64_t hi) {
+  return kernel_.rng_.uniform(lo, hi);
+}
+
+}  // namespace horus::sim

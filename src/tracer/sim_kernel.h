@@ -1,0 +1,286 @@
+// SimKernel — a deterministic discrete-event "operating system" used as the
+// substrate under every simulated distributed application in this repository
+// (TrainTicket, the synthetic client/server generator, tests).
+//
+// It stands in for the real Linux kernels of the paper's testbed: simulated
+// programs interact with it through a syscall-like API (connect/accept/
+// send/recv, thread create/join, fsync, log) and every such interaction is
+// reported through a probe sink — exactly the stream an eBPF tracer would
+// capture. Key realism points, because they are what Horus' design reacts
+// to:
+//
+//  - per-host physical clocks with configurable offset and drift: event
+//    timestamps are *observed local* times, so cross-host timestamp order
+//    can contradict causal order;
+//  - TCP-like channels: reliable, ordered byte streams where one send may
+//    be consumed by several partial receives (bounded receive buffers),
+//    reproducing the SND/RCV count asymmetry of Table I;
+//  - thread-per-connection servers: each accepted connection spawns a
+//    handler thread, generating the CREATE/START/END/JOIN lifecycle events;
+//  - network latency with jitter, so interleavings (and message races like
+//    TrainTicket F13) happen exactly as they would across real links.
+//
+// Programs are written in continuation-passing style: blocking calls take a
+// callback invoked when the operation completes. The kernel is
+// single-threaded and fully deterministic given a seed.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <map>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/sim_clock.h"
+#include "tracer/probe_record.h"
+
+namespace horus::sim {
+
+class ThreadCtx;
+
+using ThreadFn = std::function<void(ThreadCtx&)>;
+using ConnectFn = std::function<void(ThreadCtx&, int fd)>;
+using AcceptFn = std::function<void(ThreadCtx&, int fd)>;
+using RecvFn = std::function<void(ThreadCtx&, std::string data)>;
+using VoidFn = std::function<void(ThreadCtx&)>;
+
+struct HostConfig {
+  std::string name;
+  std::string ip;
+  TimeNs clock_offset_ns = 0;
+  double clock_drift_ppm = 0.0;
+  /// Upper bound on bytes delivered by a single recv (per-chunk size); small
+  /// buffers split large sends into several partial RCV events.
+  std::uint64_t recv_buffer_bytes = 1024;
+};
+
+struct SimKernelOptions {
+  std::uint64_t seed = 42;
+  TimeNs link_latency_ns = 300'000;       ///< base one-way latency (0.3 ms)
+  TimeNs link_jitter_ns = 100'000;        ///< uniform jitter added per hop
+  TimeNs local_op_cost_ns = 2'000;        ///< virtual cost of a local syscall
+};
+
+class SimKernel {
+ public:
+  explicit SimKernel(SimKernelOptions options = {});
+  ~SimKernel();
+
+  SimKernel(const SimKernel&) = delete;
+  SimKernel& operator=(const SimKernel&) = delete;
+
+  void add_host(HostConfig config);
+
+  /// Receives every kernel-level probe record (the eBPF stream).
+  void set_probe_sink(std::function<void(const ProbeRecord&)> sink);
+
+  /// Receives every application log record (the Log4j appender stream).
+  void set_log_sink(std::function<void(const LogRecord&)> sink);
+
+  /// Spawns a top-level process (no parent) on `host` running `main`. The
+  /// process START fires at current time + `delay`. Returns the main
+  /// thread's identity.
+  ThreadRef spawn_process(const std::string& host, const std::string& service,
+                          ThreadFn main, TimeNs delay = 0);
+
+  /// Runs the event loop until the task queue drains or simulated time
+  /// exceeds `until`. Threads still alive at the end (e.g. servers blocked
+  /// in accept) do *not* emit END — mirroring a capture window that closes
+  /// while the system is still running.
+  void run(TimeNs until = std::numeric_limits<TimeNs>::max());
+
+  /// Global true simulated time (ns).
+  [[nodiscard]] TimeNs now() const noexcept;
+
+  /// Number of tasks executed so far (determinism/debug aid).
+  [[nodiscard]] std::uint64_t steps() const noexcept { return steps_; }
+
+ private:
+  friend class ThreadCtx;
+
+  struct ThreadState {
+    ThreadRef ref;
+    std::string service;
+    std::string host_ip;
+    bool started = false;
+    bool ended = false;
+    /// Outstanding reasons to stay alive: pending continuations, open
+    /// listeners, blocked receives.
+    int pending = 0;
+    /// Set once the thread's entry function has returned.
+    bool entry_done = false;
+    std::optional<ThreadRef> parent;       ///< who CREATEd/FORKed us
+    std::vector<ThreadRef> join_waiters;   ///< threads blocked in join()
+    std::unordered_map<ThreadRef, VoidFn> join_conts;  ///< per-waiter action
+  };
+
+  /// One direction of a connection's byte stream.
+  struct StreamDir {
+    std::uint64_t sent = 0;       ///< next send offset
+    std::uint64_t delivered = 0;  ///< bytes that have arrived at the peer
+    std::uint64_t consumed = 0;   ///< bytes handed to the application
+    std::deque<char> arrived;     ///< delivered but not yet consumed
+    /// Earliest time the next delivery may land — enforces TCP's in-order
+    /// delivery even when latency jitter would reorder segments.
+    TimeNs next_delivery = 0;
+  };
+
+  struct Connection {
+    ChannelId forward;           ///< client -> server channel
+    ThreadRef client_thread;     ///< owner of the client endpoint
+    ThreadRef server_thread;     ///< owner of the server endpoint
+    StreamDir c2s;
+    StreamDir s2c;
+    /// Pending recv per endpoint (at most one each; CPS programs issue one
+    /// outstanding recv at a time).
+    std::optional<RecvFn> client_recv;
+    std::optional<RecvFn> server_recv;
+  };
+
+  struct Listener {
+    ThreadRef thread;     ///< thread blocked in the accept loop
+    std::string service;
+    AcceptFn on_accept;
+  };
+
+  struct Task {
+    TimeNs at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct TaskOrder {
+    bool operator()(const Task& a, const Task& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;  // FIFO among equal times
+    }
+  };
+
+  // -- internals (called by ThreadCtx) --------------------------------------
+  void schedule(TimeNs at, std::function<void()> fn);
+  TimeNs latency_sample();
+  ThreadState& thread_state(const ThreadRef& ref);
+  const HostConfig& host_config(const std::string& host) const;
+  TimeNs observe(const std::string& host);
+  void emit_probe(EventType type, const ThreadRef& thread,
+                  const std::string& service,
+                  std::optional<NetPayload> net = std::nullopt,
+                  std::optional<ThreadRef> child = std::nullopt,
+                  std::string fsync_path = {});
+  void emit_log(const ThreadRef& thread, const std::string& service,
+                std::string level, std::string logger, std::string message);
+
+  ThreadRef allocate_thread(const std::string& host,
+                            const std::string& service, bool new_process);
+  void start_thread(const ThreadRef& ref, ThreadFn entry,
+                    std::optional<ThreadRef> parent, TimeNs at);
+  void maybe_end_thread(const ThreadRef& ref);
+  void run_on_thread(const ThreadRef& ref, VoidFn fn);
+
+  void do_connect(ThreadCtx& ctx, const std::string& dst_host,
+                  std::uint16_t port, ConnectFn cont);
+  void do_send(ThreadCtx& ctx, int fd, std::string data);
+  void do_recv(ThreadCtx& ctx, int fd, RecvFn cont);
+  void deliver_chunks(int fd, bool to_server_side);
+  void do_listen(ThreadCtx& ctx, std::uint16_t port, AcceptFn on_accept);
+  void do_spawn_thread(ThreadCtx& ctx, ThreadFn fn,
+                       std::optional<ThreadRef>* out_child);
+  void do_join(ThreadCtx& ctx, const ThreadRef& child, VoidFn cont);
+  void do_sleep(ThreadCtx& ctx, TimeNs duration, VoidFn cont);
+  void do_fsync(ThreadCtx& ctx, std::string path);
+
+  SimKernelOptions options_;
+  Rng rng_;
+  ClockDriver clocks_;
+
+  std::unordered_map<std::string, HostConfig> hosts_;          // by name
+  std::unordered_map<std::string, std::string> host_by_ip_;    // ip -> name
+
+  std::unordered_map<ThreadRef, ThreadState> threads_;
+  std::unordered_map<std::string, std::int32_t> next_pid_;     // per host
+  std::unordered_map<std::string, std::int32_t> next_tid_;     // per host/pid key
+
+  std::map<std::pair<std::string, std::uint16_t>, Listener> listeners_;
+  std::unordered_map<int, std::shared_ptr<Connection>> connections_;  // by fd
+  std::unordered_map<int, bool> fd_is_server_side_;
+  int next_fd_ = 3;
+  std::uint16_t next_ephemeral_port_ = 30'000;
+
+  std::priority_queue<Task, std::vector<Task>, TaskOrder> queue_;
+  std::uint64_t seq_ = 0;
+  std::uint64_t steps_ = 0;
+
+  std::function<void(const ProbeRecord&)> probe_sink_;
+  std::function<void(const LogRecord&)> log_sink_;
+};
+
+/// The syscall surface exposed to simulated programs. A ThreadCtx is only
+/// valid for the duration of the callback it is passed to; continuations
+/// receive a fresh one.
+class ThreadCtx {
+ public:
+  ThreadCtx(SimKernel& kernel, ThreadRef self, std::string service)
+      : kernel_(kernel), self_(std::move(self)), service_(std::move(service)) {}
+
+  [[nodiscard]] const ThreadRef& self() const noexcept { return self_; }
+  [[nodiscard]] const std::string& service() const noexcept { return service_; }
+
+  /// Local observed physical time on this thread's host.
+  [[nodiscard]] TimeNs local_now();
+  /// Global true simulated time (not available to real programs; exposed for
+  /// tests only).
+  [[nodiscard]] TimeNs true_now() const noexcept { return kernel_.now(); }
+
+  /// Emits an application log message through the logging library.
+  void log(std::string message, std::string logger = "app",
+           std::string level = "INFO");
+
+  /// Opens a listening socket; `on_accept` runs in a brand-new handler
+  /// thread per accepted connection (thread-per-connection server model).
+  void listen(std::uint16_t port, AcceptFn on_accept);
+
+  /// Connects to `host`:`port`; `cont` runs on this thread with the new fd
+  /// once the connection is established (after one round trip).
+  void connect(const std::string& host, std::uint16_t port, ConnectFn cont);
+
+  /// Sends bytes on a connected fd (non-blocking; emits one SND).
+  void send(int fd, std::string data);
+
+  /// Receives the next available chunk on fd (at most the host's receive
+  /// buffer size); `cont` runs when data arrives. One outstanding recv per
+  /// endpoint.
+  void recv(int fd, RecvFn cont);
+
+  /// Spawns a sibling thread in this process; returns the child's identity.
+  ThreadRef spawn_thread(ThreadFn fn);
+
+  /// Spawns a child *process* (FORK) on the same host.
+  ThreadRef fork_process(const std::string& service, ThreadFn fn);
+
+  /// Waits for `child` to end; emits JOIN when it has.
+  void join(const ThreadRef& child, VoidFn cont);
+
+  /// Suspends this thread for `duration` of simulated time.
+  void sleep(TimeNs duration, VoidFn cont);
+
+  /// Synchronizes a file to stable storage (emits FSYNC).
+  void fsync(std::string path);
+
+  /// Deterministic per-kernel randomness for workload think times.
+  [[nodiscard]] std::int64_t random(std::int64_t lo, std::int64_t hi);
+
+ private:
+  friend class SimKernel;
+  SimKernel& kernel_;
+  ThreadRef self_;
+  std::string service_;
+};
+
+}  // namespace horus::sim

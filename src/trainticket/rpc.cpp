@@ -1,0 +1,61 @@
+#include "trainticket/rpc.h"
+
+namespace horus::tt {
+
+namespace {
+
+void read_loop(sim::ThreadCtx& ctx, int fd,
+               const std::shared_ptr<sim::MessageReader>& reader,
+               const RequestHandler& handler) {
+  reader->read(ctx, [fd, reader, handler](sim::ThreadCtx& rctx,
+                                          std::string message) {
+    const Json request = Json::parse(message);
+    handler(rctx, request,
+            [fd, reader, handler](sim::ThreadCtx& sctx, Json response) {
+              sim::send_message(sctx, fd, response.dump());
+              read_loop(sctx, fd, reader, handler);
+            });
+  });
+}
+
+}  // namespace
+
+void serve(sim::ThreadCtx& ctx, std::uint16_t port, RequestHandler handler) {
+  ctx.listen(port, [handler = std::move(handler)](sim::ThreadCtx& hctx,
+                                                  int fd) {
+    read_loop(hctx, fd, sim::MessageReader::create(fd), handler);
+  });
+}
+
+void RpcClient::call(sim::ThreadCtx& ctx, Json request, ResponseFn cont) {
+  queue_.push_back(PendingCall{std::move(request), std::move(cont)});
+  pump(ctx);
+}
+
+void RpcClient::pump(sim::ThreadCtx& ctx) {
+  if (busy_ || connecting_ || queue_.empty()) return;
+  if (fd_ < 0) {
+    connecting_ = true;
+    auto self = shared_from_this();
+    ctx.connect(host_, port_, [self](sim::ThreadCtx& cctx, int fd) {
+      self->fd_ = fd;
+      self->reader_ = sim::MessageReader::create(fd);
+      self->connecting_ = false;
+      self->pump(cctx);
+    });
+    return;
+  }
+  busy_ = true;
+  PendingCall call = std::move(queue_.front());
+  queue_.pop_front();
+  sim::send_message(ctx, fd_, call.request.dump());
+  auto self = shared_from_this();
+  reader_->read(ctx, [self, cont = std::move(call.cont)](
+                         sim::ThreadCtx& rctx, std::string message) {
+    self->busy_ = false;
+    cont(rctx, Json::parse(message));
+    self->pump(rctx);
+  });
+}
+
+}  // namespace horus::tt

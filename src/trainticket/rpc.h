@@ -1,0 +1,70 @@
+// Minimal JSON-over-framed-messages RPC layer for simulated microservices.
+//
+// Servers: serve() binds a port and runs a handler per request; each
+// accepted connection gets a thread-per-connection handler (SimKernel's
+// accept model), requests on a connection are processed sequentially.
+//
+// Clients: RpcClient is a per-process connection pool entry to one target
+// service — connections are established lazily and reused across requests
+// (matching the persistent-connection behaviour of real microservice HTTP
+// clients; this keeps CONNECT/ACCEPT counts low relative to request counts,
+// as in the paper's Table I). Calls through one RpcClient are serialized.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/json.h"
+#include "tracer/message_io.h"
+#include "tracer/sim_kernel.h"
+
+namespace horus::tt {
+
+/// respond(ctx, json) sends the response and resumes the connection's read
+/// loop. A handler must call it exactly once per request (possibly from a
+/// different thread's context, e.g. a spawned worker).
+using RespondFn = std::function<void(sim::ThreadCtx&, Json)>;
+using RequestHandler =
+    std::function<void(sim::ThreadCtx&, const Json& request, RespondFn)>;
+
+/// Binds `port` and serves requests with `handler` (call from the service's
+/// main thread).
+void serve(sim::ThreadCtx& ctx, std::uint16_t port, RequestHandler handler);
+
+using ResponseFn = std::function<void(sim::ThreadCtx&, Json response)>;
+
+/// One pooled connection to a target service.
+class RpcClient : public std::enable_shared_from_this<RpcClient> {
+ public:
+  [[nodiscard]] static std::shared_ptr<RpcClient> create(std::string host,
+                                                         std::uint16_t port) {
+    return std::shared_ptr<RpcClient>(new RpcClient(std::move(host), port));
+  }
+
+  /// Issues a request; `cont` runs with the parsed JSON response. Requests
+  /// are serialized: at most one in flight per connection.
+  void call(sim::ThreadCtx& ctx, Json request, ResponseFn cont);
+
+ private:
+  RpcClient(std::string host, std::uint16_t port)
+      : host_(std::move(host)), port_(port) {}
+
+  void pump(sim::ThreadCtx& ctx);
+
+  struct PendingCall {
+    Json request;
+    ResponseFn cont;
+  };
+
+  std::string host_;
+  std::uint16_t port_;
+  int fd_ = -1;
+  bool connecting_ = false;
+  bool busy_ = false;
+  std::shared_ptr<sim::MessageReader> reader_;
+  std::deque<PendingCall> queue_;
+};
+
+}  // namespace horus::tt

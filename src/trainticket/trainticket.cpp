@@ -1,0 +1,685 @@
+#include "trainticket/trainticket.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <unordered_map>
+
+#include "adapters/log4j_adapter.h"
+#include "adapters/tracer_adapter.h"
+#include "common/rng.h"
+#include "trainticket/rpc.h"
+
+namespace horus::tt {
+
+namespace {
+
+using sim::SimKernel;
+using sim::ThreadCtx;
+
+constexpr std::uint16_t kOrderPort = 8101;
+constexpr std::uint16_t kPaymentPort = 8102;
+constexpr std::uint16_t kCancelPort = 8103;
+constexpr std::uint16_t kFoodPort = 8104;
+constexpr std::uint16_t kStationPort = 8105;
+constexpr std::uint16_t kBgBasePort = 10'000;
+
+/// Shared simulation state threaded through all service closures.
+struct World {
+  explicit World(const TrainTicketOptions& opts)
+      : options(opts), rng(opts.seed) {}
+
+  const TrainTicketOptions& options;
+  Rng rng;
+
+  /// Order database of the Order service (order id -> status).
+  std::unordered_map<std::string, std::string> orders;
+
+  /// Per-process RPC connection pools, keyed by "host/pid" then by target
+  /// port (persistent connections — the paper's Table I shows ~10x fewer
+  /// CONNECTs than requests).
+  std::map<std::pair<std::string, std::uint16_t>,
+           std::shared_ptr<RpcClient>>
+      pools;
+
+  bool payment_failed = false;
+  std::string payment_observed_status;
+  bool food_timeout = false;
+  TimeNs deadline = 0;
+
+  std::shared_ptr<RpcClient> pool(ThreadCtx& ctx, const std::string& host,
+                                  std::uint16_t port) {
+    const auto key = std::make_pair(
+        ctx.self().host + "/" + std::to_string(ctx.self().pid), port);
+    // One pool entry per (process, target-host:port); hosts are unique per
+    // port in this deployment so the port alone identifies the target.
+    auto it = pools.find(key);
+    if (it == pools.end()) {
+      it = pools.emplace(key, RpcClient::create(host, port)).first;
+    }
+    return it->second;
+  }
+};
+
+std::string host_of(int index) { return "node" + std::to_string(index % 3 + 1); }
+
+// ---------------------------------------------------------------------------
+// Core F13 services
+// ---------------------------------------------------------------------------
+
+void deploy_order_service(SimKernel& kernel, World& world) {
+  kernel.spawn_process("node2", "Order", [&world](ThreadCtx& ctx) {
+    serve(ctx, kOrderPort, [&world](ThreadCtx& hctx, const Json& req,
+                                    RespondFn respond) {
+      const std::string uri = req.get_or("uri", std::string{});
+      const std::string order_id = req.get_or("orderId", std::string{});
+
+      if (uri == "/create") {
+        world.orders[order_id] = "UNPAID";
+        hctx.fsync("/data/db/order.ns");
+        hctx.sleep(hctx.random(300'000, 900'000),
+                   [respond](ThreadCtx& c) mutable {
+                     Json resp = Json::object();
+                     resp["status"] = true;
+                     respond(c, std::move(resp));
+                   });
+        return;
+      }
+
+      if (uri == "/getById") {
+        hctx.log("[URI:/getById][Request: {\"orderId\":\"" + order_id +
+                     "\"}]",
+                 "OrderController");
+        hctx.sleep(
+            hctx.random(400'000, 1'600'000),
+            [&world, order_id, respond](ThreadCtx& c) mutable {
+              const std::string status = world.orders.contains(order_id)
+                                             ? world.orders[order_id]
+                                             : "NONE";
+              // The stray quote in `order":` replicates the paper's Fig. 1
+              // log line verbatim.
+              c.log("Response: {\"status\":true, order\":{\"id\":\"" +
+                        order_id + "\", \"status\":\"" + status + "\"}}",
+                    "OrderController");
+              Json resp = Json::object();
+              resp["status"] = true;
+              Json order = Json::object();
+              order["id"] = order_id;
+              order["status"] = status;
+              resp["order"] = std::move(order);
+              respond(c, std::move(resp));
+            });
+        return;
+      }
+
+      if (uri == "/payOrder" || uri == "/cancelUpdate") {
+        // State-machine transition; valid only from UNPAID. No LOG lines:
+        // Fig. 4c shows the update request as kernel events only.
+        const std::string target = uri == "/payOrder" ? "PAID" : "CANCELED";
+        hctx.sleep(hctx.random(300'000, 1'200'000),
+                   [&world, order_id, target, respond](ThreadCtx& c) mutable {
+                     Json resp = Json::object();
+                     auto it = world.orders.find(order_id);
+                     if (it != world.orders.end() && it->second == "UNPAID") {
+                       it->second = target;
+                       c.fsync("/data/db/order.ns");
+                       resp["status"] = true;
+                     } else {
+                       resp["status"] = false;
+                     }
+                     respond(c, std::move(resp));
+                   });
+        return;
+      }
+
+      Json resp = Json::object();
+      resp["status"] = false;
+      resp["message"] = "unknown uri " + uri;
+      respond(hctx, std::move(resp));
+    });
+  });
+}
+
+void deploy_payment_service(SimKernel& kernel, World& world) {
+  kernel.spawn_process("node3", "Payment", [&world](ThreadCtx& ctx) {
+    serve(ctx, kPaymentPort, [&world](ThreadCtx& hctx, const Json& req,
+                                      RespondFn respond) {
+      const std::string uri = req.get_or("uri", std::string{});
+
+      if (uri == "/pay") {
+        const std::string order_id = req.get_or("orderId", std::string{});
+        hctx.log("[URI:/pay][Request: {\"orderId\":\"" + order_id + "\"}]",
+                 "PaymentController");
+        auto order = world.pool(hctx, "node2", kOrderPort);
+        hctx.sleep(
+            hctx.random(500'000, 6'000'000),
+            [&world, order, order_id, respond](ThreadCtx& c) mutable {
+              Json get = Json::object();
+              get["uri"] = "/getById";
+              get["orderId"] = order_id;
+              order->call(c, std::move(get), [&world, order, order_id,
+                                              respond](ThreadCtx& c2,
+                                                       Json oresp) mutable {
+                const std::string status =
+                    oresp.contains("order")
+                        ? oresp.at("order").get_or("status", std::string{})
+                        : std::string{};
+                world.payment_observed_status = status;
+                auto finish = [respond](ThreadCtx& c3,
+                                        const std::string& result) mutable {
+                  c3.log("Response: \"" + result + "\"", "PaymentController");
+                  Json resp = Json::object();
+                  resp["result"] = result;
+                  respond(c3, std::move(resp));
+                };
+                if (status == "UNPAID") {
+                  // Funds are sufficient (the paper's red herring); attempt
+                  // the UNPAID -> PAID transition.
+                  Json update = Json::object();
+                  update["uri"] = "/payOrder";
+                  update["orderId"] = order_id;
+                  order->call(c2, std::move(update),
+                              [finish](ThreadCtx& c3, Json uresp) mutable {
+                                const bool ok =
+                                    uresp.contains("status") &&
+                                    uresp.at("status").is_bool() &&
+                                    uresp.at("status").as_bool();
+                                finish(c3, ok ? "true" : "false");
+                              });
+                } else {
+                  // Already CANCELED: invalid final state for a payment.
+                  finish(c2, "false");
+                }
+              });
+            });
+        return;
+      }
+
+      if (uri == "/drawBack") {
+        const std::string user_id = req.get_or("userId", std::string{});
+        hctx.log("[URI:/drawBack][Request: {\"userId\":\"" + user_id +
+                     "\"}]",
+                 "PaymentController");
+        hctx.sleep(hctx.random(300'000, 1'000'000),
+                   [respond](ThreadCtx& c) mutable {
+                     c.log("Response: \"true\"", "PaymentController");
+                     Json resp = Json::object();
+                     resp["result"] = "true";
+                     respond(c, std::move(resp));
+                   });
+        return;
+      }
+
+      Json resp = Json::object();
+      resp["result"] = "false";
+      respond(hctx, std::move(resp));
+    });
+  });
+}
+
+void deploy_cancel_service(SimKernel& kernel, World& world) {
+  kernel.spawn_process("node1", "Cancel", [&world](ThreadCtx& ctx) {
+    serve(ctx, kCancelPort, [&world](ThreadCtx& hctx, const Json& req,
+                                     RespondFn respond) {
+      const std::string uri = req.get_or("uri", std::string{});
+      if (uri != "/cancelOrder") {
+        Json resp = Json::object();
+        resp["status"] = false;
+        respond(hctx, std::move(resp));
+        return;
+      }
+      const std::string order_id = req.get_or("orderId", std::string{});
+      const std::string user_id = req.get_or("userId", std::string{});
+      hctx.log("[URI:/cancelOrder][Request: {\"orderId\":\"" + order_id +
+                   "\"}]",
+               "CancelController");
+      auto order = world.pool(hctx, "node2", kOrderPort);
+      auto payment = world.pool(hctx, "node3", kPaymentPort);
+
+      auto fail = [respond](ThreadCtx& c) mutable {
+        c.log("Response: {\"status\":false, \"message\":\"Order Status "
+              "Wrong.\"}",
+              "CancelController");
+        Json resp = Json::object();
+        resp["status"] = false;
+        resp["message"] = "Order Status Wrong.";
+        respond(c, std::move(resp));
+      };
+      auto succeed = [respond](ThreadCtx& c) mutable {
+        c.log("Response: {\"status\":true, \"message\":\"Success.\"}",
+              "CancelController");
+        Json resp = Json::object();
+        resp["status"] = true;
+        resp["message"] = "Success.";
+        respond(c, std::move(resp));
+      };
+
+      hctx.sleep(
+          hctx.random(300'000, 1'500'000),
+          [order, payment, order_id, user_id, fail,
+           succeed](ThreadCtx& c) mutable {
+            Json get = Json::object();
+            get["uri"] = "/getById";
+            get["orderId"] = order_id;
+            order->call(c, std::move(get), [order, payment, order_id, user_id,
+                                            fail, succeed](ThreadCtx& c2,
+                                                           Json oresp) mutable {
+              const std::string status =
+                  oresp.contains("order")
+                      ? oresp.at("order").get_or("status", std::string{})
+                      : std::string{};
+              if (status != "UNPAID") {
+                fail(c2);
+                return;
+              }
+              Json update = Json::object();
+              update["uri"] = "/cancelUpdate";
+              update["orderId"] = order_id;
+              order->call(
+                  c2, std::move(update),
+                  [payment, user_id, fail, succeed](ThreadCtx& c3,
+                                                    Json uresp) mutable {
+                    const bool ok = uresp.contains("status") &&
+                                    uresp.at("status").is_bool() &&
+                                    uresp.at("status").as_bool();
+                    if (!ok) {
+                      fail(c3);
+                      return;
+                    }
+                    // Refund through the Payment service.
+                    Json refund = Json::object();
+                    refund["uri"] = "/drawBack";
+                    refund["userId"] = user_id;
+                    payment->call(c3, std::move(refund),
+                                  [succeed](ThreadCtx& c4, Json) mutable {
+                                    succeed(c4);
+                                  });
+                  });
+            });
+          });
+    });
+  });
+}
+
+void deploy_launcher(SimKernel& kernel, World& world) {
+  const TrainTicketOptions& opts = world.options;
+  kernel.spawn_process(
+      "node1", "Launcher",
+      [&world, &opts](ThreadCtx& ctx) {
+        auto order = world.pool(ctx, "node2", kOrderPort);
+        Json create = Json::object();
+        create["uri"] = "/create";
+        create["orderId"] = opts.order_id;
+        order->call(ctx, std::move(create), [&world, &opts](ThreadCtx& c,
+                                                            Json) {
+          c.log("[Reservation Result] Success", "Launcher");
+
+          // Fire the two racing requests from two fresh threads — the F13
+          // test driver's concurrent Payment Order and Cancel Order.
+          c.spawn_thread([&world, &opts](ThreadCtx& pay_ctx) {
+            auto payment = world.pool(pay_ctx, "node3", kPaymentPort);
+            Json pay = Json::object();
+            pay["uri"] = "/pay";
+            pay["orderId"] = opts.order_id;
+            pay["userId"] = opts.user_id;
+            payment->call(pay_ctx, std::move(pay),
+                          [&world](ThreadCtx& c2, Json resp) {
+                            const std::string result =
+                                resp.get_or("result", std::string{"false"});
+                            if (result == "false") {
+                              world.payment_failed = true;
+                              c2.log("java.lang.RuntimeException: "
+                                     "[Error Queue]",
+                                     "Launcher");
+                            } else {
+                              c2.log("[Payment Result] Success", "Launcher");
+                            }
+                          });
+          });
+          c.spawn_thread([&world, &opts](ThreadCtx& cancel_ctx) {
+            auto cancel = world.pool(cancel_ctx, "node1", kCancelPort);
+            Json req = Json::object();
+            req["uri"] = "/cancelOrder";
+            req["orderId"] = opts.order_id;
+            req["userId"] = opts.user_id;
+            cancel->call(cancel_ctx, std::move(req), [](ThreadCtx&, Json) {});
+          });
+        });
+      },
+      opts.f13_start_ns);
+}
+
+// ---------------------------------------------------------------------------
+// F1-style fault: slow dependency causes a read timeout
+// ---------------------------------------------------------------------------
+
+void deploy_station_service(SimKernel& kernel, World& world) {
+  kernel.spawn_process("node2", "Station", [&world](ThreadCtx& ctx) {
+    serve(ctx, kStationPort, [&world](ThreadCtx& hctx, const Json& req,
+                                      RespondFn respond) {
+      (void)req;
+      hctx.log("[URI:/queryStations][Request: {}]", "StationController");
+      // The injected fault: the station lookup stalls (an overloaded DB in
+      // the original study). The response *does* eventually go out; the
+      // caller has long since timed out.
+      hctx.sleep(world.options.f1_station_delay_ns,
+                 [respond](ThreadCtx& c) mutable {
+                   c.log("Response: [stations]", "StationController");
+                   Json resp = Json::object();
+                   resp["status"] = true;
+                   respond(c, std::move(resp));
+                 });
+    });
+  });
+}
+
+void deploy_food_service(SimKernel& kernel, World& world) {
+  kernel.spawn_process("node3", "Food", [&world](ThreadCtx& ctx) {
+    serve(ctx, kFoodPort, [&world](ThreadCtx& hctx, const Json& req,
+                                   RespondFn respond) {
+      (void)req;
+      hctx.log("[URI:/foods][Request: {}]", "FoodController");
+      auto station = world.pool(hctx, "node2", kStationPort);
+
+      // Race the dependency call against the read deadline; whichever
+      // fires first wins (the other becomes a no-op).
+      auto done = std::make_shared<bool>(false);
+      Json call = Json::object();
+      call["uri"] = "/queryStations";
+      station->call(hctx, std::move(call),
+                    [done, respond](ThreadCtx& c, Json) mutable {
+                      if (*done) return;  // already timed out
+                      *done = true;
+                      c.log("Response: [foods]", "FoodController");
+                      Json resp = Json::object();
+                      resp["status"] = true;
+                      respond(c, std::move(resp));
+                    });
+      hctx.sleep(world.options.f1_timeout_ns,
+                 [&world, done, respond](ThreadCtx& c) mutable {
+                   if (*done) return;  // response arrived in time
+                   *done = true;
+                   world.food_timeout = true;
+                   c.log("java.net.SocketTimeoutException: Read timed out",
+                         "FoodController", "ERROR");
+                   Json resp = Json::object();
+                   resp["status"] = false;
+                   resp["message"] = "timeout";
+                   respond(c, std::move(resp));
+                 });
+    });
+  });
+}
+
+void deploy_f1_driver(SimKernel& kernel, World& world) {
+  kernel.spawn_process(
+      "node1", "FoodClient",
+      [&world](ThreadCtx& ctx) {
+        auto food = world.pool(ctx, "node3", kFoodPort);
+        Json req = Json::object();
+        req["uri"] = "/foods";
+        food->call(ctx, std::move(req), [](ThreadCtx& c, Json resp) {
+          const bool ok = resp.contains("status") &&
+                          resp.at("status").is_bool() &&
+                          resp.at("status").as_bool();
+          c.log(ok ? "[Food Query] Success"
+                   : "[Food Query] Failed: request timed out",
+                "FoodClient", ok ? "INFO" : "ERROR");
+        });
+      },
+      world.options.f1_start_ns);
+}
+
+// ---------------------------------------------------------------------------
+// Background microservice fleet
+// ---------------------------------------------------------------------------
+
+void deploy_background_service(SimKernel& kernel, World& world, int index) {
+  const std::uint16_t port =
+      static_cast<std::uint16_t>(kBgBasePort + index);
+  const bool db_backed = index % 4 == 0;
+  const std::string name = "ts-bg-service-" + std::to_string(index);
+
+  kernel.spawn_process(host_of(index), name, [&world, index, port,
+                                              db_backed](ThreadCtx& ctx) {
+    (void)port;
+    serve(ctx, static_cast<std::uint16_t>(kBgBasePort + index),
+          [&world, index, db_backed](ThreadCtx& hctx, const Json& req,
+                                     RespondFn respond) {
+            const TrainTicketOptions& opts = world.options;
+            const std::int64_t ttl = req.get_or("ttl", std::int64_t{0});
+            const bool end_quickly =
+                world.rng.chance(opts.worker_end_probability);
+            const bool join_worker =
+                end_quickly && world.rng.chance(opts.worker_join_probability);
+
+            // Thread-per-request worker (the CREATE/START-heavy pattern of
+            // JVM microservices).
+            const ThreadRef worker = hctx.spawn_thread([&world, index,
+                                                        db_backed, ttl,
+                                                        end_quickly, respond](
+                                                           ThreadCtx& wctx) {
+              const TrainTicketOptions& opts = world.options;
+              wctx.log("[URI:/api/v1/svc" + std::to_string(index) +
+                           "][Request: {\"ttl\":" + std::to_string(ttl) + "}]",
+                       "BgController");
+              if (world.rng.chance(0.55)) {
+                wctx.log("Processing request in worker " +
+                             wctx.self().to_string(),
+                         "BgWorker", "DEBUG");
+              }
+              // Fire-and-forget helpers (async notification/metrics threads)
+              // that linger in a pool: CREATE/START without END.
+              if (world.rng.chance(opts.helper_spawn_probability)) {
+                wctx.spawn_thread([&world](ThreadCtx& a) {
+                  a.sleep(world.options.duration_ns * 2, {});
+                });
+              }
+              if (world.rng.chance(0.45)) {
+                wctx.spawn_thread([&world](ThreadCtx& a) {
+                  a.sleep(world.options.duration_ns * 2, {});
+                });
+              }
+
+              auto finish = [&world, index, db_backed, end_quickly,
+                             respond](ThreadCtx& fctx) mutable {
+                if (db_backed) fctx.fsync("/data/db/bg" + std::to_string(index));
+                fctx.log("Response: 200", "BgController");
+                Json resp = Json::object();
+                resp["status"] = 200;
+                resp["pad"] = std::string(
+                    static_cast<std::size_t>(world.rng.uniform(200, 900)),
+                    'x');
+                respond(fctx, std::move(resp));
+                if (!end_quickly) {
+                  // Linger like a pooled thread: alive past the window.
+                  fctx.sleep(world.options.duration_ns * 2, {});
+                }
+              };
+
+              const bool chain = ttl > 0 &&
+                                 world.rng.chance(opts.chain_probability) &&
+                                 opts.background_services > 1;
+              if (chain) {
+                // Services call within a small fixed fan-out, so the
+                // persistent connection pool stays warm (CONNECT/ACCEPT are
+                // ~1% of events in Table I).
+                const int fanout =
+                    std::min(4, opts.background_services - 1);
+                const int hop =
+                    1 + static_cast<int>(world.rng.uniform(0, fanout - 1));
+                const int target =
+                    (index + hop * 7) % opts.background_services;
+                auto client = world.pool(
+                    wctx, host_of(target),
+                    static_cast<std::uint16_t>(kBgBasePort + target));
+                Json call = Json::object();
+                call["uri"] = "/api/v1/svc" + std::to_string(target);
+                call["ttl"] = ttl - 1;
+                call["pad"] = std::string(
+                    static_cast<std::size_t>(world.rng.uniform(150, 700)),
+                    'y');
+                client->call(wctx, std::move(call),
+                             [finish](ThreadCtx& c2, Json) mutable {
+                               finish(c2);
+                             });
+              } else {
+                wctx.sleep(wctx.random(500'000, 3'000'000),
+                           [finish](ThreadCtx& c2) mutable { finish(c2); });
+              }
+            });
+            if (join_worker) hctx.join(worker, {});
+          });
+  });
+}
+
+void deploy_background_client(SimKernel& kernel, World& world, int index) {
+  const std::string name = "ts-client-" + std::to_string(index);
+  kernel.spawn_process(
+      host_of(index + 1), name,
+      [&world, index](ThreadCtx& ctx) {
+        // Recursive request loop, CPS style.
+        auto loop = std::make_shared<std::function<void(ThreadCtx&)>>();
+        *loop = [&world, loop, index](ThreadCtx& c) {
+          if (c.true_now() >= world.deadline) return;
+          const TrainTicketOptions& opts = world.options;
+          const TimeNs think = opts.client_think_time_ns / 2 +
+                               world.rng.uniform(0, opts.client_think_time_ns);
+          c.sleep(think, [&world, loop, index](ThreadCtx& c2) {
+            const TrainTicketOptions& opts = world.options;
+            // Each client sticks to a small set of favorite services.
+            const int favorites =
+                std::min(6, opts.background_services);
+            const int target =
+                (index * 5 +
+                 static_cast<int>(world.rng.uniform(0, favorites - 1))) %
+                opts.background_services;
+            auto client = world.pool(
+                c2, host_of(target),
+                static_cast<std::uint16_t>(kBgBasePort + target));
+            Json req = Json::object();
+            req["uri"] = "/api/v1/svc" + std::to_string(target);
+            req["ttl"] = world.rng.uniform(0, 2);
+            req["pad"] = std::string(
+                static_cast<std::size_t>(world.rng.uniform(100, 500)), 'z');
+            client->call(c2, std::move(req),
+                         [loop](ThreadCtx& c3, Json) { (*loop)(c3); });
+          });
+        };
+        (*loop)(ctx);
+      },
+      /*delay=*/world.rng.uniform(100'000'000, 1'500'000'000));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+TrainTicketReport run_trainticket(const TrainTicketOptions& options,
+                                  const EventSinkFn& sink) {
+  TrainTicketReport report;
+
+  sim::SimKernelOptions kernel_options;
+  kernel_options.seed = options.seed;
+  SimKernel kernel(kernel_options);
+
+  // Three cluster nodes with skewed, drifting clocks (the Section II-C
+  // deployment), receive buffers small enough to split large messages.
+  kernel.add_host({.name = "node1", .ip = "10.1.0.1", .clock_offset_ns = 0,
+                   .clock_drift_ppm = 0, .recv_buffer_bytes = 640});
+  kernel.add_host({.name = "node2", .ip = "10.1.0.2",
+                   .clock_offset_ns = -35'000'000, .clock_drift_ppm = 140,
+                   .recv_buffer_bytes = 640});
+  kernel.add_host({.name = "node3", .ip = "10.1.0.3",
+                   .clock_offset_ns = 22'000'000, .clock_drift_ppm = -90,
+                   .recv_buffer_bytes = 640});
+
+  World world(options);
+  world.deadline = options.duration_ns;
+
+  // Adapters: kernel probes and Log4j JSON lines, normalized into `sink`.
+  EventSinkFn counted = [&report, &sink](Event event) {
+    report.mix.count(event.type);
+    ++report.total_events;
+    if (sink) sink(std::move(event));
+  };
+  TracerAdapter tracer_adapter(/*id_range_start=*/0, counted);
+  Log4jAdapter log_adapter(/*id_range_start=*/std::uint64_t{1} << 40, counted);
+
+  kernel.set_probe_sink([&tracer_adapter](const sim::ProbeRecord& record) {
+    tracer_adapter.on_probe(record);
+  });
+  kernel.set_log_sink([&log_adapter](const sim::LogRecord& record) {
+    // Round-trip through the appender's JSON-line format, like shipping
+    // container logs through a collector.
+    log_adapter.on_log_line(record.to_json_line());
+  });
+
+  deploy_order_service(kernel, world);
+  deploy_payment_service(kernel, world);
+  deploy_cancel_service(kernel, world);
+  if (options.run_f13_driver) deploy_launcher(kernel, world);
+  if (options.run_f1_driver) {
+    deploy_station_service(kernel, world);
+    deploy_food_service(kernel, world);
+    deploy_f1_driver(kernel, world);
+  }
+  for (int i = 0; i < options.background_services; ++i) {
+    deploy_background_service(kernel, world, i);
+  }
+  for (int i = 0; i < options.background_clients; ++i) {
+    deploy_background_client(kernel, world, i);
+  }
+
+  kernel.run(options.duration_ns);
+
+  report.payment_failed = world.payment_failed;
+  report.payment_observed_status = world.payment_observed_status;
+  report.food_timeout = world.food_timeout;
+  return report;
+}
+
+std::uint64_t find_failing_seed(TrainTicketOptions options,
+                                std::uint64_t first_seed, int max_attempts) {
+  for (int i = 0; i < max_attempts; ++i) {
+    options.seed = first_seed + static_cast<std::uint64_t>(i);
+    const TrainTicketReport report = run_trainticket(options, {});
+    if (report.payment_failed) return options.seed;
+  }
+  return 0;
+}
+
+std::uint64_t find_paper_interleaving_seed(TrainTicketOptions options,
+                                           std::uint64_t first_seed,
+                                           int max_attempts) {
+  for (int i = 0; i < max_attempts; ++i) {
+    options.seed = first_seed + static_cast<std::uint64_t>(i);
+    // The paper's Fig. 4b window starts at the first Launcher->Payment SND
+    // and *contains* the cancel branch, which requires the payment request
+    // to leave the Launcher before the cancellation in program order.
+    TimeNs pay_snd = 0;
+    TimeNs cancel_snd = 0;
+    const TrainTicketReport report = run_trainticket(
+        options, [&pay_snd, &cancel_snd](Event e) {
+          if (e.type != EventType::kSnd || e.service != "Launcher") return;
+          const auto* n = e.net();
+          if (n == nullptr) return;
+          if (n->channel.dst.port == kPaymentPort && pay_snd == 0) {
+            pay_snd = e.timestamp;
+          }
+          if (n->channel.dst.port == kCancelPort && cancel_snd == 0) {
+            cancel_snd = e.timestamp;
+          }
+        });
+    if (report.payment_failed &&
+        report.payment_observed_status == "CANCELED" && pay_snd != 0 &&
+        cancel_snd != 0 && pay_snd < cancel_snd) {
+      return options.seed;
+    }
+  }
+  return 0;
+}
+
+}  // namespace horus::tt

@@ -1,0 +1,120 @@
+// TrainTicket application simulator — the case-study substrate (Sections II,
+// VI and Table I of the paper).
+//
+// The real TrainTicket is a 40+-microservice ticket-booking benchmark; this
+// simulator reproduces, on top of SimKernel, the parts the paper exercises:
+//
+//  - the four services of the F13 fault — Launcher (test driver), Payment,
+//    Cancel and Order — with the order state machine (UNPAID -> PAID or
+//    CANCELED) and the *message race*: a Payment Order and a Cancel Order
+//    issued concurrently for the same order. When the cancellation's state
+//    update reaches the Order service before the payment's read, the payment
+//    observes CANCELED, the UNPAID -> PAID transition is invalid, and the
+//    request fails with `java.lang.RuntimeException: [Error Queue]` at the
+//    Launcher — exactly the non-deterministic failure of the paper. The log
+//    messages are those of Figure 1 / Figure 4b.
+//
+//  - a configurable fleet of background microservices and clients producing
+//    realistic load: thread-per-request workers (CREATE/START heavy),
+//    persistent inter-service connections (few CONNECT/ACCEPT), chained
+//    calls, fsync-ing storage services, partial receives — approximating
+//    the event-type mix of Table I.
+//
+// Hosts have skewed, drifting clocks, so the timestamp-ordered log is
+// misleading in exactly the way Section II-C describes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "event/event.h"
+#include "event/event_type.h"
+
+namespace horus::tt {
+
+struct TrainTicketOptions {
+  std::uint64_t seed = 1;
+  /// Simulated wall-clock duration (paper: six minutes).
+  TimeNs duration_ns = 360'000'000'000;
+
+  /// Background load shape.
+  int background_services = 36;
+  int background_clients = 8;
+  TimeNs client_think_time_ns = 3'200'000'000;  ///< mean think time
+  /// Probability a background worker chains a call to another service.
+  double chain_probability = 0.75;
+  /// Probability a worker terminates promptly (emitting END); others linger
+  /// past the capture window like pooled threads.
+  double worker_end_probability = 0.22;
+  /// Probability a promptly-ending worker is JOINed by its handler.
+  double worker_join_probability = 0.5;
+  /// Probability a worker spawns a fire-and-forget helper thread.
+  double helper_spawn_probability = 0.65;
+
+  /// Run the F13 test driver (one booking + concurrent pay/cancel race).
+  bool run_f13_driver = true;
+  TimeNs f13_start_ns = 4'000'000'000;
+  /// The order id used in the paper's logs.
+  std::string order_id = "652aaf9b";
+  std::string user_id = "c01d7008";
+
+  /// Run the F1-style fault driver: a food query whose dependency (the
+  /// Station service) is pathologically slow, so the Food service's
+  /// client-side deadline fires and the request ends in a read timeout —
+  /// a second representative fault class from the TrainTicket study
+  /// (timeouts from slow downstream services). Causal analysis localizes
+  /// the stall to the Station hop.
+  bool run_f1_driver = false;
+  TimeNs f1_start_ns = 8'000'000'000;
+  /// How long the Station service stalls before answering.
+  TimeNs f1_station_delay_ns = 5'000'000'000;
+  /// The Food service's read deadline. Timeout manifests iff the delay
+  /// exceeds it.
+  TimeNs f1_timeout_ns = 2'000'000'000;
+};
+
+struct EventMix {
+  std::array<std::uint64_t, kNumEventTypes> counts{};
+  std::uint64_t total = 0;
+
+  void count(EventType type) noexcept {
+    ++counts[static_cast<std::size_t>(index_of(type))];
+    ++total;
+  }
+};
+
+struct TrainTicketReport {
+  /// True when the F13 race manifested (payment failed).
+  bool payment_failed = false;
+  /// True when the F1 slow-dependency timeout manifested.
+  bool food_timeout = false;
+  /// Order status the Payment service observed in its getById (empty if the
+  /// pay request never ran). "CANCELED" is the paper's exact interleaving:
+  /// the cancellation's update reached the Order service before the
+  /// payment's read.
+  std::string payment_observed_status;
+  EventMix mix;
+  std::uint64_t total_events = 0;
+};
+
+/// Runs the simulation; every normalized event (kernel probes through the
+/// tracer adapter, log records through the Log4j adapter) is pushed into
+/// `sink` in capture order.
+TrainTicketReport run_trainticket(const TrainTicketOptions& options,
+                                  const EventSinkFn& sink);
+
+/// Convenience: searches seeds starting at `first_seed` until the F13 race
+/// manifests (like the paper's "ran the test driver until observing a
+/// failing execution"); returns the failing seed.
+[[nodiscard]] std::uint64_t find_failing_seed(TrainTicketOptions options,
+                                              std::uint64_t first_seed = 1,
+                                              int max_attempts = 64);
+
+/// Like find_failing_seed, but requires the paper's exact interleaving: the
+/// payment fails *because its read already observed CANCELED* (Fig. 4b/4c).
+[[nodiscard]] std::uint64_t find_paper_interleaving_seed(
+    TrainTicketOptions options, std::uint64_t first_seed = 1,
+    int max_attempts = 128);
+
+}  // namespace horus::tt

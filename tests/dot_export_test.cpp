@@ -1,0 +1,72 @@
+#include "graph/dot_export.h"
+
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+
+namespace horus::graph {
+namespace {
+
+struct Fixture {
+  GraphStore g;
+  NodeId a, b, c;
+
+  Fixture() {
+    a = g.add_node("SND", {{"timeline", std::string("p1")}});
+    b = g.add_node("RCV", {{"timeline", std::string("p2")}});
+    c = g.add_node("LOG", {{"timeline", std::string("p2")},
+                           {"message", std::string("said \"hi\"\nbye")}});
+    g.add_edge(a, b, "HB");
+    g.add_edge(b, c, "NEXT");
+  }
+};
+
+TEST(DotExportTest, EmitsNodesAndEdges) {
+  Fixture f;
+  const std::string dot = to_dot(f.g, {f.a, f.b, f.c});
+  EXPECT_TRUE(contains(dot, "digraph"));
+  EXPECT_TRUE(contains(dot, "n0 [label=\"SND #0\"]"));
+  EXPECT_TRUE(contains(dot, "n0 -> n1"));
+  EXPECT_TRUE(contains(dot, "label=\"HB\""));
+  EXPECT_TRUE(contains(dot, "n1 -> n2"));
+}
+
+TEST(DotExportTest, SubsetDropsEdgesToExcludedNodes) {
+  Fixture f;
+  const std::string dot = to_dot(f.g, {f.a, f.b});
+  EXPECT_TRUE(contains(dot, "n0 -> n1"));
+  EXPECT_FALSE(contains(dot, "n2"));
+}
+
+TEST(DotExportTest, ClustersByProperty) {
+  Fixture f;
+  DotOptions options;
+  options.cluster_by = "timeline";
+  const std::string dot = to_dot(f.g, {f.a, f.b, f.c}, options);
+  EXPECT_TRUE(contains(dot, "subgraph cluster_0"));
+  EXPECT_TRUE(contains(dot, "subgraph cluster_1"));
+  EXPECT_TRUE(contains(dot, "label=\"p1\""));
+  EXPECT_TRUE(contains(dot, "label=\"p2\""));
+}
+
+TEST(DotExportTest, EscapesQuotesAndNewlines) {
+  Fixture f;
+  DotOptions options;
+  options.node_label = [](const GraphStore& g, NodeId v) {
+    return to_display_string(g.property(v, "message"));
+  };
+  const std::string dot = to_dot(f.g, {f.c}, options);
+  EXPECT_TRUE(contains(dot, "said \\\"hi\\\"\\nbye"));
+  EXPECT_FALSE(contains(dot, "\nbye"));
+}
+
+TEST(DotExportTest, CustomGraphName) {
+  Fixture f;
+  DotOptions options;
+  options.graph_name = "my \"trace\"";
+  const std::string dot = to_dot(f.g, {f.a}, options);
+  EXPECT_TRUE(contains(dot, "digraph \"my \\\"trace\\\"\""));
+}
+
+}  // namespace
+}  // namespace horus::graph

@@ -1,0 +1,108 @@
+#include "event/event.h"
+
+#include <gtest/gtest.h>
+
+namespace horus {
+namespace {
+
+Event make_net_event() {
+  Event e;
+  e.id = EventId{17};
+  e.type = EventType::kSnd;
+  e.thread = ThreadRef{"node1", 100, 2};
+  e.service = "Payment";
+  e.timestamp = 123'456'789;
+  e.payload = NetPayload{{{"10.0.0.1", 40000}, {"10.0.0.2", 9000}}, 64, 128};
+  return e;
+}
+
+TEST(EventTypeTest, NamesRoundTrip) {
+  for (int i = 0; i < kNumEventTypes; ++i) {
+    const auto type = static_cast<EventType>(i);
+    const auto name = to_string(type);
+    const auto back = event_type_from_string(name);
+    ASSERT_TRUE(back.has_value()) << name;
+    EXPECT_EQ(*back, type);
+  }
+  EXPECT_FALSE(event_type_from_string("NOPE").has_value());
+  EXPECT_FALSE(event_type_from_string("log").has_value());  // case-sensitive
+}
+
+TEST(EventTest, NetEventJsonRoundTrip) {
+  const Event e = make_net_event();
+  const Event back = Event::from_json(e.to_json());
+  EXPECT_EQ(back, e);
+}
+
+TEST(EventTest, LogEventJsonRoundTrip) {
+  Event e;
+  e.id = EventId{5};
+  e.type = EventType::kLog;
+  e.thread = ThreadRef{"node2", 7, 1};
+  e.service = "Order";
+  e.timestamp = 42;
+  e.payload = LogPayload{"Response: \"false\"", "OrderController"};
+  EXPECT_EQ(Event::from_json(e.to_json()), e);
+}
+
+TEST(EventTest, LifecycleEventJsonRoundTrip) {
+  Event e;
+  e.id = EventId{9};
+  e.type = EventType::kCreate;
+  e.thread = ThreadRef{"n", 1, 1};
+  e.service = "svc";
+  e.timestamp = 1;
+  e.payload = ThreadPayload{ThreadRef{"n", 1, 2}};
+  EXPECT_EQ(Event::from_json(e.to_json()), e);
+}
+
+TEST(EventTest, FsyncEventJsonRoundTrip) {
+  Event e;
+  e.id = EventId{11};
+  e.type = EventType::kFsync;
+  e.thread = ThreadRef{"n", 1, 1};
+  e.timestamp = 2;
+  e.payload = FsyncPayload{"/data/db"};
+  EXPECT_EQ(Event::from_json(e.to_json()), e);
+}
+
+TEST(EventTest, EmptyPayloadRoundTrip) {
+  Event e;
+  e.id = EventId{3};
+  e.type = EventType::kStart;
+  e.thread = ThreadRef{"n", 2, 1};
+  e.timestamp = 10;
+  EXPECT_EQ(Event::from_json(e.to_json()), e);
+}
+
+TEST(EventTest, PayloadAccessors) {
+  const Event e = make_net_event();
+  ASSERT_NE(e.net(), nullptr);
+  EXPECT_EQ(e.net()->offset, 64u);
+  EXPECT_EQ(e.log(), nullptr);
+  EXPECT_EQ(e.child(), nullptr);
+  EXPECT_EQ(e.fsync(), nullptr);
+}
+
+TEST(EventTest, FromJsonRejectsUnknownType) {
+  Json j = make_net_event().to_json();
+  j["type"] = "BOGUS";
+  EXPECT_THROW(Event::from_json(j), JsonError);
+}
+
+TEST(EventTest, ToStringMentionsKeyFields) {
+  const std::string s = make_net_event().to_string();
+  EXPECT_NE(s.find("SND"), std::string::npos);
+  EXPECT_NE(s.find("node1/100.2"), std::string::npos);
+  EXPECT_NE(s.find("Payment"), std::string::npos);
+}
+
+TEST(EventIdAllocatorTest, SequentialFromBase) {
+  EventIdAllocator ids(100);
+  EXPECT_EQ(value_of(ids.next()), 100u);
+  EXPECT_EQ(value_of(ids.next()), 101u);
+  EXPECT_EQ(ids.allocated_upto(), 102u);
+}
+
+}  // namespace
+}  // namespace horus

@@ -1,0 +1,176 @@
+#include "baselines/falcon_solver.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/synthetic.h"
+
+namespace horus::baselines {
+namespace {
+
+TEST(FalconSolverTest, SolvesChain) {
+  FalconSolver solver(4);
+  solver.add_constraint({0, 1});
+  solver.add_constraint({1, 2});
+  solver.add_constraint({2, 3});
+  const auto result = solver.solve();
+  ASSERT_TRUE(result.satisfiable);
+  EXPECT_LT(result.clocks[0], result.clocks[1]);
+  EXPECT_LT(result.clocks[1], result.clocks[2]);
+  EXPECT_LT(result.clocks[2], result.clocks[3]);
+}
+
+TEST(FalconSolverTest, WorstCaseOrderStillSolves) {
+  // Constraints in reverse order force maximal re-sweeping.
+  constexpr std::uint32_t kN = 50;
+  FalconSolver solver(kN);
+  for (std::uint32_t i = kN - 1; i > 0; --i) {
+    solver.add_constraint({i - 1, i});
+  }
+  const auto result = solver.solve();
+  ASSERT_TRUE(result.satisfiable);
+  for (std::uint32_t i = 1; i < kN; ++i) {
+    EXPECT_LT(result.clocks[i - 1], result.clocks[i]);
+  }
+  // Reverse order needs ~N passes — the super-linear behaviour under test.
+  EXPECT_GT(result.passes, kN / 2);
+}
+
+TEST(FalconSolverTest, DetectsCycle) {
+  FalconSolver solver(3);
+  solver.add_constraint({0, 1});
+  solver.add_constraint({1, 2});
+  solver.add_constraint({2, 0});
+  const auto result = solver.solve();
+  EXPECT_FALSE(result.satisfiable);
+  EXPECT_TRUE(result.clocks.empty());
+}
+
+TEST(FalconSolverTest, MaxPassesAborts) {
+  constexpr std::uint32_t kN = 100;
+  FalconSolver solver(kN);
+  for (std::uint32_t i = kN - 1; i > 0; --i) {
+    solver.add_constraint({i - 1, i});
+  }
+  const auto result = solver.solve(/*max_passes=*/2);
+  EXPECT_FALSE(result.satisfiable);
+}
+
+TEST(FalconSolverTest, EmptyConstraintsTriviallySatisfiable) {
+  FalconSolver solver(5);
+  const auto result = solver.solve();
+  ASSERT_TRUE(result.satisfiable);
+  EXPECT_EQ(result.clocks.size(), 5u);
+  EXPECT_EQ(result.passes, 1u);
+}
+
+TEST(FalconSolverTest, SolvesShuffledSyntheticExecution) {
+  gen::ClientServerOptions options;
+  options.num_events = 200;
+  const auto events = gen::shuffled(gen::client_server_events(options), 5);
+  const auto constraints = gen::to_constraints(events);
+  EXPECT_EQ(constraints.size(), gen::client_server_edges(events.size()));
+
+  FalconSolver solver(static_cast<std::uint32_t>(events.size()));
+  solver.add_constraints(constraints);
+  const auto result = solver.solve();
+  ASSERT_TRUE(result.satisfiable);
+  // The assignment is a valid linear extension of the HB partial order.
+  for (const auto& c : constraints) {
+    EXPECT_LT(result.clocks[c.before], result.clocks[c.after]);
+  }
+}
+
+TEST(FalconSolverTest, CostGrowsSuperlinearlyWithChainLength) {
+  auto evaluations_for = [](std::size_t n) {
+    gen::ClientServerOptions options;
+    options.num_events = n;
+    const auto events =
+        gen::shuffled(gen::client_server_events(options), 17);
+    FalconSolver solver(static_cast<std::uint32_t>(events.size()));
+    solver.add_constraints(gen::to_constraints(events));
+    const auto result = solver.solve();
+    EXPECT_TRUE(result.satisfiable);
+    return result.evaluations;
+  };
+  const auto small = evaluations_for(200);
+  const auto large = evaluations_for(800);
+  // 4x events must cost clearly more than 4x evaluations (Fig. 6 shape).
+  EXPECT_GT(large, small * 6);
+}
+
+TEST(GenTest, ClientServerShapes) {
+  for (const std::size_t n : {4u, 40u, 400u}) {
+    gen::ClientServerOptions options;
+    options.num_events = n;
+    const auto events = gen::client_server_events(options);
+    EXPECT_EQ(events.size(), n);
+    std::size_t snd = 0;
+    std::size_t rcv = 0;
+    for (const auto& e : events) {
+      if (e.type == EventType::kSnd) ++snd;
+      if (e.type == EventType::kRcv) ++rcv;
+    }
+    EXPECT_EQ(snd, n / 2);
+    EXPECT_EQ(rcv, n / 2);
+  }
+}
+
+TEST(GenTest, ClientServerTimestampOrderIsMisleading) {
+  // With P2's clock behind, the timestamp order across hosts contradicts
+  // causality — the motivating defect of timestamp-ordered logs.
+  gen::ClientServerOptions options;
+  options.num_events = 40;
+  options.p2_clock_offset_ns = -50'000'000;
+  const auto events = gen::client_server_events(options);
+  bool contradiction = false;
+  for (std::size_t i = 0; i + 1 < events.size(); i += 4) {
+    // SND(P1) at i causally precedes RCV(P2) at i+1 but has a later stamp.
+    if (events[i].timestamp > events[i + 1].timestamp) contradiction = true;
+  }
+  EXPECT_TRUE(contradiction);
+}
+
+TEST(GenTest, ShuffleIsPermutation) {
+  gen::ClientServerOptions options;
+  options.num_events = 100;
+  auto original = gen::client_server_events(options);
+  auto shuffled = gen::shuffled(original, 3);
+  ASSERT_EQ(shuffled.size(), original.size());
+  auto key = [](const Event& e) { return value_of(e.id); };
+  std::vector<std::uint64_t> a;
+  std::vector<std::uint64_t> b;
+  for (const auto& e : original) a.push_back(key(e));
+  for (const auto& e : shuffled) b.push_back(key(e));
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+  EXPECT_NE(original, shuffled);  // overwhelmingly likely for n=100
+}
+
+TEST(GenTest, RandomExecutionRcvsFollowSnds) {
+  gen::RandomExecutionOptions options;
+  options.num_processes = 4;
+  options.events_per_process = 40;
+  options.seed = 3;
+  const auto events = gen::random_execution(options);
+  // Every RCV must appear after its SND in generation order, with matching
+  // channel + byte range.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (events[i].type != EventType::kRcv) continue;
+    const auto* rn = events[i].net();
+    bool matched = false;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (events[j].type != EventType::kSnd) continue;
+      const auto* sn = events[j].net();
+      if (sn->channel == rn->channel && sn->offset == rn->offset &&
+          sn->size == rn->size) {
+        matched = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(matched) << "RCV at index " << i << " has no prior SND";
+  }
+}
+
+}  // namespace
+}  // namespace horus::baselines

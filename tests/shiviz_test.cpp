@@ -1,0 +1,97 @@
+#include "shiviz/shiviz_export.h"
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "common/string_util.h"
+#include "core/horus.h"
+#include "gen/synthetic.h"
+
+namespace horus {
+namespace {
+
+std::unique_ptr<Horus> build(std::vector<Event> events) {
+  auto horus = std::make_unique<Horus>();
+  for (Event& e : events) horus->ingest(std::move(e));
+  horus->seal();
+  return horus;
+}
+
+TEST(ShivizTest, OutputIsPairsOfLines) {
+  auto horus = build(gen::client_server_events({.num_events = 20}));
+  const std::string out =
+      shiviz::export_all(horus->graph(), horus->clocks());
+  const auto lines = split(out, '\n');
+  // Trailing newline yields one empty final element.
+  ASSERT_FALSE(lines.empty());
+  EXPECT_TRUE(lines.back().empty());
+  EXPECT_EQ((lines.size() - 1) % 2, 0u);
+  EXPECT_EQ((lines.size() - 1) / 2, 20u);
+}
+
+TEST(ShivizTest, ClockLinesMatchShivizRegex) {
+  auto horus = build(gen::client_server_events({.num_events = 12}));
+  const std::string out =
+      shiviz::export_all(horus->graph(), horus->clocks());
+  const auto lines = split(out, '\n');
+  for (std::size_t i = 0; i + 1 < lines.size(); i += 2) {
+    // "<host> <clock-json>": host has no spaces, clock parses as JSON object
+    // of integer counts.
+    const auto space = lines[i].find(' ');
+    ASSERT_NE(space, std::string::npos) << lines[i];
+    const std::string host = lines[i].substr(0, space);
+    EXPECT_EQ(host.find(' '), std::string::npos);
+    const Json clock = Json::parse(lines[i].substr(space + 1));
+    ASSERT_TRUE(clock.is_object());
+    for (const auto& [lane, count] : clock.as_object()) {
+      EXPECT_TRUE(count.is_int());
+      EXPECT_GT(count.as_int(), 0);
+    }
+    // The event's own lane must appear in its clock.
+    EXPECT_TRUE(clock.contains(host)) << lines[i];
+  }
+}
+
+TEST(ShivizTest, EventsAppearInLamportOrder) {
+  auto horus = build(gen::client_server_events({.num_events = 40}));
+  const std::string out =
+      shiviz::export_all(horus->graph(), horus->clocks());
+  // The first exported event must be a minimal one (own-lane count 1).
+  const auto lines = split(out, '\n');
+  const Json first_clock =
+      Json::parse(lines[0].substr(lines[0].find(' ') + 1));
+  bool has_one = false;
+  for (const auto& [lane, count] : first_clock.as_object()) {
+    if (count.as_int() == 1) has_one = true;
+  }
+  EXPECT_TRUE(has_one);
+}
+
+TEST(ShivizTest, OnlyLogsFilter) {
+  gen::RandomExecutionOptions options;
+  options.num_processes = 3;
+  options.events_per_process = 20;
+  auto horus = build(gen::random_execution(options));
+  shiviz::ExportOptions export_options;
+  export_options.only_logs = true;
+  const std::string out = shiviz::export_all(horus->graph(), horus->clocks(),
+                                             export_options);
+  // Every event line (odd lines) is a log message from the generator.
+  const auto lines = split(out, '\n');
+  for (std::size_t i = 1; i + 1 < lines.size(); i += 2) {
+    EXPECT_TRUE(contains(lines[i], "step")) << lines[i];
+  }
+}
+
+TEST(ShivizTest, SubsetExportOnlyContainsSubset) {
+  auto horus = build(gen::client_server_events({.num_events = 40}));
+  const auto q = horus->query();
+  const auto causal = q.get_causal_graph(0, 30);
+  const std::string out = shiviz::export_events(
+      horus->graph(), horus->clocks(), causal.nodes);
+  const auto lines = split(out, '\n');
+  EXPECT_EQ((lines.size() - 1) / 2, causal.nodes.size());
+}
+
+}  // namespace
+}  // namespace horus

@@ -1,0 +1,562 @@
+#include "tracer/sim_kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "adapters/log4j_adapter.h"
+#include "adapters/tracer_adapter.h"
+#include "tracer/message_io.h"
+
+namespace horus::sim {
+namespace {
+
+struct Capture {
+  std::vector<ProbeRecord> probes;
+  std::vector<LogRecord> logs;
+
+  void attach(SimKernel& kernel) {
+    kernel.set_probe_sink([this](const ProbeRecord& r) { probes.push_back(r); });
+    kernel.set_log_sink([this](const LogRecord& r) { logs.push_back(r); });
+  }
+
+  [[nodiscard]] std::size_t count(EventType type) const {
+    std::size_t n = 0;
+    for (const auto& p : probes) {
+      if (p.type == type) ++n;
+    }
+    return n;
+  }
+};
+
+SimKernel make_kernel() {
+  SimKernelOptions options;
+  options.seed = 7;
+  return SimKernel(options);
+}
+
+TEST(SimKernelTest, ProcessLifecycleEmitsStartAndEnd) {
+  SimKernel kernel = make_kernel();
+  kernel.add_host({.name = "h", .ip = "10.0.0.1"});
+  Capture cap;
+  cap.attach(kernel);
+  kernel.spawn_process("h", "svc", [](ThreadCtx& ctx) {
+    ctx.log("hello");
+  });
+  kernel.run();
+  EXPECT_EQ(cap.count(EventType::kStart), 1u);
+  EXPECT_EQ(cap.count(EventType::kEnd), 1u);
+  ASSERT_EQ(cap.logs.size(), 1u);
+  EXPECT_EQ(cap.logs[0].message, "hello");
+  EXPECT_EQ(cap.logs[0].service, "svc");
+}
+
+TEST(SimKernelTest, TimestampsUseSkewedHostClocks) {
+  SimKernel kernel = make_kernel();
+  kernel.add_host({.name = "a", .ip = "10.0.0.1", .clock_offset_ns = 0});
+  kernel.add_host(
+      {.name = "b", .ip = "10.0.0.2", .clock_offset_ns = -50'000'000});
+  Capture cap;
+  cap.attach(kernel);
+  kernel.spawn_process("a", "svc_a", [](ThreadCtx& ctx) { ctx.fsync("/x"); });
+  kernel.spawn_process("b", "svc_b", [](ThreadCtx& ctx) { ctx.fsync("/y"); });
+  kernel.run();
+  TimeNs ts_a = 0;
+  TimeNs ts_b = 0;
+  for (const auto& p : cap.probes) {
+    if (p.type == EventType::kFsync) {
+      (p.thread.host == "a" ? ts_a : ts_b) = p.timestamp;
+    }
+  }
+  // Same true time, but b's observed clock is ~50ms behind.
+  EXPECT_LT(ts_b, ts_a);
+  EXPECT_NEAR(static_cast<double>(ts_a - ts_b), 50'000'000.0, 5'000'000.0);
+}
+
+TEST(SimKernelTest, SpawnThreadEmitsCreateStart) {
+  SimKernel kernel = make_kernel();
+  kernel.add_host({.name = "h", .ip = "10.0.0.1"});
+  Capture cap;
+  cap.attach(kernel);
+  kernel.spawn_process("h", "svc", [](ThreadCtx& ctx) {
+    const ThreadRef child = ctx.spawn_thread([](ThreadCtx& c) {
+      c.log("from child");
+    });
+    ctx.join(child, [](ThreadCtx& c) { c.log("joined"); });
+  });
+  kernel.run();
+  EXPECT_EQ(cap.count(EventType::kCreate), 1u);
+  EXPECT_EQ(cap.count(EventType::kStart), 2u);
+  EXPECT_EQ(cap.count(EventType::kEnd), 2u);
+  EXPECT_EQ(cap.count(EventType::kJoin), 1u);
+  ASSERT_EQ(cap.logs.size(), 2u);
+  EXPECT_EQ(cap.logs[0].message, "from child");
+  EXPECT_EQ(cap.logs[1].message, "joined");
+  // The child has the same pid, different tid.
+  EXPECT_EQ(cap.logs[0].thread.pid, cap.logs[1].thread.pid);
+  EXPECT_NE(cap.logs[0].thread.tid, cap.logs[1].thread.tid);
+}
+
+TEST(SimKernelTest, ForkEmitsForkAndChildHasNewPid) {
+  SimKernel kernel = make_kernel();
+  kernel.add_host({.name = "h", .ip = "10.0.0.1"});
+  Capture cap;
+  cap.attach(kernel);
+  kernel.spawn_process("h", "parent", [](ThreadCtx& ctx) {
+    ctx.fork_process("child-svc", [](ThreadCtx& c) { c.log("child"); });
+  });
+  kernel.run();
+  EXPECT_EQ(cap.count(EventType::kFork), 1u);
+  ASSERT_EQ(cap.logs.size(), 1u);
+  EXPECT_EQ(cap.logs[0].service, "child-svc");
+}
+
+TEST(SimKernelTest, ConnectSendRecvFlow) {
+  SimKernel kernel = make_kernel();
+  kernel.add_host({.name = "server", .ip = "10.0.0.1"});
+  kernel.add_host({.name = "client", .ip = "10.0.0.2"});
+  Capture cap;
+  cap.attach(kernel);
+
+  std::string received;
+  kernel.spawn_process("server", "srv", [&received](ThreadCtx& ctx) {
+    ctx.listen(9000, [&received](ThreadCtx& hctx, int fd) {
+      hctx.recv(fd, [&received, fd](ThreadCtx& rctx, std::string data) {
+        received += data;
+        rctx.send(fd, "pong");
+      });
+    });
+  });
+  std::string reply;
+  kernel.spawn_process(
+      "client", "cli",
+      [&reply](ThreadCtx& ctx) {
+        ctx.connect("server", 9000, [&reply](ThreadCtx& cctx, int fd) {
+          cctx.send(fd, "ping");
+          cctx.recv(fd, [&reply](ThreadCtx&, std::string data) {
+            reply = data;
+          });
+        });
+      },
+      /*delay=*/1'000'000);
+  kernel.run();
+
+  EXPECT_EQ(received, "ping");
+  EXPECT_EQ(reply, "pong");
+  EXPECT_EQ(cap.count(EventType::kConnect), 1u);
+  EXPECT_EQ(cap.count(EventType::kAccept), 1u);
+  EXPECT_EQ(cap.count(EventType::kSnd), 2u);
+  EXPECT_EQ(cap.count(EventType::kRcv), 2u);
+  // Accepting spawns a handler thread.
+  EXPECT_EQ(cap.count(EventType::kCreate), 1u);
+}
+
+TEST(SimKernelTest, LargeSendSplitsIntoPartialReceives) {
+  SimKernel kernel = make_kernel();
+  kernel.add_host({.name = "server", .ip = "10.0.0.1",
+                   .recv_buffer_bytes = 100});
+  kernel.add_host({.name = "client", .ip = "10.0.0.2"});
+  Capture cap;
+  cap.attach(kernel);
+
+  std::string received;
+  kernel.spawn_process("server", "srv", [&received](ThreadCtx& ctx) {
+    ctx.listen(9000, [&received](ThreadCtx& hctx, int fd) {
+      // Keep receiving until 350 bytes arrive.
+      auto keep = std::make_shared<std::function<void(ThreadCtx&)>>();
+      *keep = [&received, fd, keep](ThreadCtx& c) {
+        c.recv(fd, [&received, keep](ThreadCtx& c2, std::string data) {
+          received += data;
+          if (received.size() < 350) (*keep)(c2);
+        });
+      };
+      (*keep)(hctx);
+    });
+  });
+  kernel.spawn_process(
+      "client", "cli",
+      [](ThreadCtx& ctx) {
+        ctx.connect("server", 9000, [](ThreadCtx& cctx, int fd) {
+          cctx.send(fd, std::string(350, 'x'));
+        });
+      },
+      1'000'000);
+  kernel.run();
+
+  EXPECT_EQ(received.size(), 350u);
+  EXPECT_EQ(cap.count(EventType::kSnd), 1u);
+  EXPECT_EQ(cap.count(EventType::kRcv), 4u);  // 100+100+100+50
+
+  // RCV byte ranges tile the SND range exactly.
+  std::uint64_t expected_offset = 0;
+  for (const auto& p : cap.probes) {
+    if (p.type != EventType::kRcv) continue;
+    ASSERT_TRUE(p.net.has_value());
+    EXPECT_EQ(p.net->offset, expected_offset);
+    expected_offset += p.net->size;
+  }
+  EXPECT_EQ(expected_offset, 350u);
+}
+
+TEST(SimKernelTest, SndRcvShareChannelIdentity) {
+  SimKernel kernel = make_kernel();
+  kernel.add_host({.name = "server", .ip = "10.0.0.1"});
+  kernel.add_host({.name = "client", .ip = "10.0.0.2"});
+  Capture cap;
+  cap.attach(kernel);
+  kernel.spawn_process("server", "srv", [](ThreadCtx& ctx) {
+    ctx.listen(9000, [](ThreadCtx& hctx, int fd) {
+      hctx.recv(fd, [](ThreadCtx&, std::string) {});
+    });
+  });
+  kernel.spawn_process(
+      "client", "cli",
+      [](ThreadCtx& ctx) {
+        ctx.connect("server", 9000, [](ThreadCtx& cctx, int fd) {
+          cctx.send(fd, "hello");
+        });
+      },
+      1'000'000);
+  kernel.run();
+  std::optional<ChannelId> snd_channel;
+  std::optional<ChannelId> rcv_channel;
+  for (const auto& p : cap.probes) {
+    if (p.type == EventType::kSnd) snd_channel = p.net->channel;
+    if (p.type == EventType::kRcv) rcv_channel = p.net->channel;
+  }
+  ASSERT_TRUE(snd_channel && rcv_channel);
+  EXPECT_EQ(*snd_channel, *rcv_channel);
+}
+
+TEST(SimKernelTest, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    SimKernel kernel = make_kernel();
+    kernel.add_host({.name = "a", .ip = "10.0.0.1"});
+    kernel.add_host({.name = "b", .ip = "10.0.0.2"});
+    std::vector<std::string> trace;
+    kernel.set_probe_sink([&trace](const ProbeRecord& r) {
+      trace.push_back(std::string(to_string(r.type)) + "@" +
+                      r.thread.to_string() + ":" + std::to_string(r.timestamp));
+    });
+    kernel.spawn_process("a", "srv", [](ThreadCtx& ctx) {
+      ctx.listen(1, [](ThreadCtx& hctx, int fd) {
+        hctx.recv(fd, [fd](ThreadCtx& c, std::string) { c.send(fd, "r"); });
+      });
+    });
+    kernel.spawn_process("b", "cli", [](ThreadCtx& ctx) {
+      ctx.connect("a", 1, [](ThreadCtx& c, int fd) {
+        c.send(fd, "q");
+        c.recv(fd, [](ThreadCtx&, std::string) {});
+      });
+    });
+    kernel.run();
+    return trace;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(SimKernelTest, RunUntilStopsTheClock) {
+  SimKernel kernel = make_kernel();
+  kernel.add_host({.name = "h", .ip = "10.0.0.1"});
+  Capture cap;
+  cap.attach(kernel);
+  kernel.spawn_process("h", "svc", [](ThreadCtx& ctx) {
+    ctx.sleep(10'000'000'000, [](ThreadCtx& c) { c.log("too late"); });
+  });
+  kernel.run(/*until=*/1'000'000'000);
+  EXPECT_TRUE(cap.logs.empty());
+  EXPECT_EQ(cap.count(EventType::kEnd), 0u);  // still blocked in sleep
+}
+
+TEST(SimKernelTest, ConnectToUnboundPortThrows) {
+  SimKernel kernel = make_kernel();
+  kernel.add_host({.name = "a", .ip = "10.0.0.1"});
+  kernel.add_host({.name = "b", .ip = "10.0.0.2"});
+  kernel.spawn_process("a", "cli", [](ThreadCtx& ctx) {
+    ctx.connect("b", 12345, [](ThreadCtx&, int) {});
+  });
+  EXPECT_THROW(kernel.run(), std::logic_error);
+}
+
+TEST(SimKernelTest, SequentialRequestsReuseOneConnection) {
+  SimKernel kernel = make_kernel();
+  kernel.add_host({.name = "server", .ip = "10.0.0.1"});
+  kernel.add_host({.name = "client", .ip = "10.0.0.2"});
+  Capture cap;
+  cap.attach(kernel);
+
+  kernel.spawn_process("server", "srv", [](ThreadCtx& ctx) {
+    ctx.listen(9000, [](ThreadCtx& hctx, int fd) {
+      auto keep = std::make_shared<std::function<void(ThreadCtx&)>>();
+      *keep = [fd, keep](ThreadCtx& c) {
+        c.recv(fd, [fd, keep](ThreadCtx& c2, std::string data) {
+          c2.send(fd, "echo:" + data);
+          (*keep)(c2);
+        });
+      };
+      (*keep)(hctx);
+    });
+  });
+  kernel.spawn_process(
+      "client", "cli",
+      [](ThreadCtx& ctx) {
+        ctx.connect("server", 9000, [](ThreadCtx& c, int fd) {
+          auto round = std::make_shared<std::function<void(ThreadCtx&, int)>>();
+          *round = [fd, round](ThreadCtx& c2, int remaining) {
+            if (remaining == 0) return;
+            c2.send(fd, "ping");
+            c2.recv(fd, [round, remaining](ThreadCtx& c3, std::string) {
+              (*round)(c3, remaining - 1);
+            });
+          };
+          (*round)(c, 5);
+        });
+      },
+      1'000'000);
+  kernel.run();
+
+  // One CONNECT/ACCEPT for five request-reply rounds.
+  EXPECT_EQ(cap.count(EventType::kConnect), 1u);
+  EXPECT_EQ(cap.count(EventType::kAccept), 1u);
+  EXPECT_EQ(cap.count(EventType::kSnd), 10u);
+}
+
+TEST(SimKernelTest, ManyConcurrentClientsEachGetAHandlerThread) {
+  SimKernel kernel = make_kernel();
+  kernel.add_host({.name = "server", .ip = "10.0.0.1"});
+  for (int c = 0; c < 8; ++c) {
+    kernel.add_host({.name = "client" + std::to_string(c),
+                     .ip = "10.0.1." + std::to_string(c + 1)});
+  }
+  Capture cap;
+  cap.attach(kernel);
+
+  int served = 0;
+  kernel.spawn_process("server", "srv", [&served](ThreadCtx& ctx) {
+    ctx.listen(9000, [&served](ThreadCtx& hctx, int fd) {
+      hctx.recv(fd, [&served, fd](ThreadCtx& c, std::string) {
+        ++served;
+        c.send(fd, "ok");
+      });
+    });
+  });
+  for (int c = 0; c < 8; ++c) {
+    kernel.spawn_process(
+        "client" + std::to_string(c), "cli",
+        [](ThreadCtx& ctx) {
+          ctx.connect("server", 9000, [](ThreadCtx& cctx, int fd) {
+            cctx.send(fd, "r");
+            cctx.recv(fd, [](ThreadCtx&, std::string) {});
+          });
+        },
+        1'000'000 + c * 10'000);
+  }
+  kernel.run();
+  EXPECT_EQ(served, 8);
+  EXPECT_EQ(cap.count(EventType::kAccept), 8u);
+  EXPECT_EQ(cap.count(EventType::kCreate), 8u);  // one handler per client
+}
+
+TEST(SimKernelTest, NestedThreadChainsJoinInOrder) {
+  SimKernel kernel = make_kernel();
+  kernel.add_host({.name = "h", .ip = "10.0.0.1"});
+  Capture cap;
+  cap.attach(kernel);
+  std::vector<std::string> order;
+  kernel.spawn_process("h", "svc", [&order](ThreadCtx& ctx) {
+    const ThreadRef outer = ctx.spawn_thread([&order](ThreadCtx& c) {
+      const ThreadRef inner = c.spawn_thread([&order](ThreadCtx& c2) {
+        order.push_back("inner");
+        (void)c2;
+      });
+      c.join(inner, [&order](ThreadCtx&) { order.push_back("outer"); });
+    });
+    ctx.join(outer, [&order](ThreadCtx&) { order.push_back("main"); });
+  });
+  kernel.run();
+  EXPECT_EQ(order, (std::vector<std::string>{"inner", "outer", "main"}));
+  EXPECT_EQ(cap.count(EventType::kJoin), 2u);
+  EXPECT_EQ(cap.count(EventType::kEnd), 3u);
+}
+
+TEST(SimKernelTest, TwoListenersOnDifferentPorts) {
+  SimKernel kernel = make_kernel();
+  kernel.add_host({.name = "server", .ip = "10.0.0.1"});
+  kernel.add_host({.name = "client", .ip = "10.0.0.2"});
+  int hits_a = 0;
+  int hits_b = 0;
+  kernel.spawn_process("server", "srv", [&hits_a, &hits_b](ThreadCtx& ctx) {
+    ctx.listen(1000, [&hits_a](ThreadCtx& hctx, int fd) {
+      hctx.recv(fd, [&hits_a](ThreadCtx&, std::string) { ++hits_a; });
+    });
+    ctx.listen(2000, [&hits_b](ThreadCtx& hctx, int fd) {
+      hctx.recv(fd, [&hits_b](ThreadCtx&, std::string) { ++hits_b; });
+    });
+  });
+  kernel.spawn_process(
+      "client", "cli",
+      [](ThreadCtx& ctx) {
+        ctx.connect("server", 1000, [](ThreadCtx& c, int fd) {
+          c.send(fd, "a");
+        });
+        ctx.connect("server", 2000, [](ThreadCtx& c, int fd) {
+          c.send(fd, "b");
+        });
+      },
+      1'000'000);
+  kernel.run();
+  EXPECT_EQ(hits_a, 1);
+  EXPECT_EQ(hits_b, 1);
+}
+
+TEST(SimKernelTest, DoubleBindThrows) {
+  SimKernel kernel = make_kernel();
+  kernel.add_host({.name = "h", .ip = "10.0.0.1"});
+  kernel.spawn_process("h", "srv", [](ThreadCtx& ctx) {
+    ctx.listen(9000, [](ThreadCtx&, int) {});
+    ctx.listen(9000, [](ThreadCtx&, int) {});
+  });
+  EXPECT_THROW(kernel.run(), std::logic_error);
+}
+
+TEST(SimKernelTest, InOrderDeliveryDespiteJitter) {
+  // Back-to-back sends must arrive in order even with latency jitter (the
+  // TCP in-order guarantee the inter-process encoder relies on).
+  SimKernelOptions options;
+  options.seed = 21;
+  options.link_jitter_ns = 400'000;  // jitter larger than the base latency
+  options.link_latency_ns = 100'000;
+  SimKernel kernel(options);
+  kernel.add_host({.name = "server", .ip = "10.0.0.1",
+                   .recv_buffer_bytes = 4});
+  kernel.add_host({.name = "client", .ip = "10.0.0.2"});
+
+  std::string received;
+  kernel.spawn_process("server", "srv", [&received](ThreadCtx& ctx) {
+    ctx.listen(9000, [&received](ThreadCtx& hctx, int fd) {
+      auto keep = std::make_shared<std::function<void(ThreadCtx&)>>();
+      *keep = [&received, fd, keep](ThreadCtx& c) {
+        c.recv(fd, [&received, keep](ThreadCtx& c2, std::string data) {
+          received += data;
+          if (received.size() < 12) (*keep)(c2);
+        });
+      };
+      (*keep)(hctx);
+    });
+  });
+  kernel.spawn_process(
+      "client", "cli",
+      [](ThreadCtx& ctx) {
+        ctx.connect("server", 9000, [](ThreadCtx& c, int fd) {
+          c.send(fd, "AAAA");
+          c.send(fd, "BBBB");
+          c.send(fd, "CCCC");
+        });
+      },
+      1'000'000);
+  kernel.run();
+  EXPECT_EQ(received, "AAAABBBBCCCC");
+}
+
+TEST(LogRecordTest, JsonLineRoundTrip) {
+  LogRecord r;
+  r.thread = ThreadRef{"node1", 10, 2};
+  r.timestamp = 123;
+  r.service = "Payment";
+  r.level = "ERROR";
+  r.logger = "PaymentController";
+  r.message = "Response: \"false\"";
+  const LogRecord back = LogRecord::from_json_line(r.to_json_line());
+  EXPECT_EQ(back.thread, r.thread);
+  EXPECT_EQ(back.timestamp, r.timestamp);
+  EXPECT_EQ(back.service, r.service);
+  EXPECT_EQ(back.level, r.level);
+  EXPECT_EQ(back.logger, r.logger);
+  EXPECT_EQ(back.message, r.message);
+}
+
+TEST(MessageIoTest, FramedMessagesSurvivePartialDelivery) {
+  SimKernelOptions options;
+  options.seed = 3;
+  SimKernel kernel(options);
+  kernel.add_host({.name = "server", .ip = "10.0.0.1",
+                   .recv_buffer_bytes = 64});
+  kernel.add_host({.name = "client", .ip = "10.0.0.2"});
+
+  std::vector<std::string> got;
+  kernel.spawn_process("server", "srv", [&got](ThreadCtx& ctx) {
+    ctx.listen(9000, [&got](ThreadCtx& hctx, int fd) {
+      auto reader = MessageReader::create(fd);
+      auto keep = std::make_shared<std::function<void(ThreadCtx&)>>();
+      *keep = [&got, reader, keep](ThreadCtx& c) {
+        reader->read(c, [&got, keep](ThreadCtx& c2, std::string msg) {
+          got.push_back(std::move(msg));
+          if (got.size() < 3) (*keep)(c2);
+        });
+      };
+      (*keep)(hctx);
+    });
+  });
+  kernel.spawn_process(
+      "client", "cli",
+      [](ThreadCtx& ctx) {
+        ctx.connect("server", 9000, [](ThreadCtx& cctx, int fd) {
+          send_message(cctx, fd, std::string(200, 'a'));
+          send_message(cctx, fd, "short");
+          send_message(cctx, fd, std::string(100, 'b'));
+        });
+      },
+      1'000'000);
+  kernel.run();
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], std::string(200, 'a'));
+  EXPECT_EQ(got[1], "short");
+  EXPECT_EQ(got[2], std::string(100, 'b'));
+}
+
+TEST(AdaptersTest, TracerAdapterNormalizesProbes) {
+  std::vector<Event> events;
+  TracerAdapter adapter(1000, [&events](Event e) { events.push_back(e); });
+  ProbeRecord rec;
+  rec.type = EventType::kSnd;
+  rec.thread = ThreadRef{"h", 1, 1};
+  rec.timestamp = 5;
+  rec.container = "Payment";
+  rec.net = NetPayload{{{"a", 1}, {"b", 2}}, 0, 10};
+  adapter.on_probe(rec);
+  rec.type = EventType::kCreate;
+  rec.net.reset();
+  rec.child = ThreadRef{"h", 1, 2};
+  adapter.on_probe(rec);
+
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(value_of(events[0].id), 1000u);
+  EXPECT_EQ(value_of(events[1].id), 1001u);
+  EXPECT_EQ(events[0].service, "Payment");
+  ASSERT_NE(events[0].net(), nullptr);
+  EXPECT_EQ(events[0].net()->size, 10u);
+  ASSERT_NE(events[1].child(), nullptr);
+  EXPECT_EQ(events[1].child()->child.tid, 2);
+  EXPECT_EQ(adapter.events_emitted(), 2u);
+}
+
+TEST(AdaptersTest, Log4jAdapterParsesJsonLines) {
+  std::vector<Event> events;
+  Log4jAdapter adapter(0, [&events](Event e) { events.push_back(e); });
+  LogRecord rec;
+  rec.thread = ThreadRef{"h", 2, 3};
+  rec.timestamp = 77;
+  rec.service = "Order";
+  rec.logger = "OrderController";
+  rec.message = "msg";
+  adapter.on_log_line(rec.to_json_line());
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].type, EventType::kLog);
+  ASSERT_NE(events[0].log(), nullptr);
+  EXPECT_EQ(events[0].log()->message, "msg");
+  EXPECT_EQ(events[0].thread, rec.thread);
+  EXPECT_THROW(adapter.on_log_line("not json"), JsonError);
+}
+
+}  // namespace
+}  // namespace horus::sim

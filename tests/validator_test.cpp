@@ -1,0 +1,183 @@
+#include "core/validator.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/horus.h"
+#include "gen/synthetic.h"
+#include "trainticket/trainticket.h"
+
+namespace horus {
+namespace {
+
+std::unique_ptr<Horus> build(std::vector<Event> events) {
+  auto horus = std::make_unique<Horus>();
+  for (Event& e : events) horus->ingest(std::move(e));
+  horus->seal();
+  return horus;
+}
+
+TEST(ValidatorTest, CleanSyntheticGraphPasses) {
+  auto horus = build(gen::client_server_events({.num_events = 400}));
+  const auto report = validate_graph(horus->graph(), horus->clocks());
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_EQ(report.to_string(), "ok");
+}
+
+TEST(ValidatorTest, CleanRandomExecutionsPass) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    gen::RandomExecutionOptions options;
+    options.num_processes = 5;
+    options.events_per_process = 30;
+    options.seed = seed;
+    auto horus = build(gen::random_execution(options));
+    const auto report = validate_graph(horus->graph(), horus->clocks());
+    EXPECT_TRUE(report.ok()) << "seed " << seed << ":\n" << report.to_string();
+  }
+}
+
+TEST(ValidatorTest, CleanTrainTicketRunPasses) {
+  tt::TrainTicketOptions options;
+  options.duration_ns = 20'000'000'000;
+  options.background_services = 4;
+  options.background_clients = 2;
+  Horus horus;
+  tt::run_trainticket(options, horus.sink());
+  horus.seal();
+  const auto report = validate_graph(horus.graph(), horus.clocks());
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+Event log_event(std::uint64_t id, const ThreadRef& thread, TimeNs ts) {
+  Event e;
+  e.id = EventId{id};
+  e.type = EventType::kLog;
+  e.thread = thread;
+  e.service = "svc";
+  e.timestamp = ts;
+  e.payload = LogPayload{"m", "t"};
+  return e;
+}
+
+TEST(ValidatorTest, DetectsCycle) {
+  ExecutionGraph graph;
+  graph.add_event(log_event(1, ThreadRef{"h", 1, 1}, 1), "h/1");
+  graph.add_event(log_event(2, ThreadRef{"h", 2, 1}, 2), "h/2");
+  graph.add_inter_edge(EventId{1}, EventId{2});
+  graph.add_inter_edge(EventId{2}, EventId{1});
+  const auto report = validate_graph(graph);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.issues[0].invariant, "V1");
+}
+
+TEST(ValidatorTest, DetectsCrossTimelineNextEdge) {
+  ExecutionGraph graph;
+  graph.add_event(log_event(1, ThreadRef{"h", 1, 1}, 1), "h/1");
+  graph.add_event(log_event(2, ThreadRef{"h", 2, 1}, 2), "h/2");
+  graph.add_intra_edge(EventId{1}, EventId{2});  // NEXT across timelines
+  const auto report = validate_graph(graph);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.issues[0].invariant, "V2");
+}
+
+TEST(ValidatorTest, DetectsBackwardsNextEdge) {
+  ExecutionGraph graph;
+  graph.add_event(log_event(1, ThreadRef{"h", 1, 1}, 100), "h/1");
+  graph.add_event(log_event(2, ThreadRef{"h", 1, 1}, 50), "h/1");
+  graph.add_intra_edge(EventId{1}, EventId{2});
+  const auto report = validate_graph(graph);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.issues[0].invariant, "V2");
+}
+
+TEST(ValidatorTest, DetectsBranchingTimeline) {
+  ExecutionGraph graph;
+  const ThreadRef t{"h", 1, 1};
+  graph.add_event(log_event(1, t, 1), "h/1");
+  graph.add_event(log_event(2, t, 2), "h/1");
+  graph.add_event(log_event(3, t, 3), "h/1");
+  graph.add_intra_edge(EventId{1}, EventId{2});
+  graph.add_intra_edge(EventId{1}, EventId{3});  // fork in the chain
+  const auto report = validate_graph(graph);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.issues[0].invariant, "V2");
+}
+
+Event net_event(std::uint64_t id, EventType type, const ThreadRef& thread,
+                const ChannelId& channel, std::uint64_t offset,
+                std::uint64_t size) {
+  Event e;
+  e.id = EventId{id};
+  e.type = type;
+  e.thread = thread;
+  e.service = "svc";
+  e.timestamp = static_cast<TimeNs>(id);
+  e.payload = NetPayload{channel, offset, size};
+  return e;
+}
+
+TEST(ValidatorTest, DetectsMismatchedHbEdge) {
+  ExecutionGraph graph;
+  const ChannelId c1{{"1.1.1.1", 1}, {"2.2.2.2", 2}};
+  const ChannelId c2{{"3.3.3.3", 3}, {"2.2.2.2", 2}};
+  graph.add_event(net_event(1, EventType::kSnd, ThreadRef{"a", 1, 1}, c1, 0,
+                            10),
+                  "a/1");
+  graph.add_event(net_event(2, EventType::kRcv, ThreadRef{"b", 2, 1}, c2, 0,
+                            10),
+                  "b/2");
+  graph.add_inter_edge(EventId{1}, EventId{2});  // channels differ!
+  const auto report = validate_graph(graph);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.issues[0].invariant, "V3");
+  EXPECT_NE(report.issues[0].detail.find("channel mismatch"),
+            std::string::npos);
+}
+
+TEST(ValidatorTest, DetectsNonOverlappingByteRanges) {
+  ExecutionGraph graph;
+  const ChannelId c{{"1.1.1.1", 1}, {"2.2.2.2", 2}};
+  graph.add_event(net_event(1, EventType::kSnd, ThreadRef{"a", 1, 1}, c, 0,
+                            10),
+                  "a/1");
+  graph.add_event(net_event(2, EventType::kRcv, ThreadRef{"b", 2, 1}, c, 50,
+                            10),
+                  "b/2");
+  graph.add_inter_edge(EventId{1}, EventId{2});
+  const auto report = validate_graph(graph);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.issues[0].detail.find("byte ranges"), std::string::npos);
+}
+
+TEST(ValidatorTest, DetectsStaleClocks) {
+  // Assign clocks, then add an edge the assignment never saw.
+  ExecutionGraph graph;
+  graph.add_event(log_event(1, ThreadRef{"a", 1, 1}, 1), "a/1");
+  graph.add_event(log_event(2, ThreadRef{"b", 2, 1}, 2), "b/2");
+  LogicalClockAssigner assigner(graph);
+  assigner.assign();
+  graph.add_inter_edge(EventId{2}, EventId{1});  // both have LC == 1 now
+  const auto report = validate_graph(graph, assigner.clocks());
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.issues[0].invariant, "V4");
+}
+
+TEST(ValidatorTest, ReportCapsIssueCount) {
+  ExecutionGraph graph;
+  const ThreadRef t{"h", 1, 1};
+  // 100 backwards NEXT edges.
+  for (std::uint64_t i = 0; i < 101; ++i) {
+    graph.add_event(log_event(i + 1, t, static_cast<TimeNs>(1000 - i)),
+                    "h/1");
+  }
+  for (std::uint64_t i = 1; i < 101; ++i) {
+    graph.add_intra_edge(EventId{i}, EventId{i + 1});
+  }
+  const auto report = validate_graph(graph);
+  ASSERT_FALSE(report.ok());
+  EXPECT_LE(report.issues.size(), 64u);
+}
+
+}  // namespace
+}  // namespace horus

@@ -1,0 +1,269 @@
+// horus_cli — command-line front end for capturing, storing and analyzing
+// causal execution graphs.
+//
+//   horus_cli capture   --workload trainticket|synthetic [--seed N]
+//                       [--events N] [--duration-s N] --out FILE
+//                       [--falcon-trace FILE]
+//   horus_cli stats     --graph FILE
+//   horus_cli validate  --graph FILE
+//   horus_cli query     --graph FILE QUERY
+//   horus_cli shiviz    --graph FILE [--only-logs] [--out FILE]
+//   horus_cli dot       --graph FILE --from EVENTID --to EVENTID [--out FILE]
+//
+// `capture` runs a workload through the full adapter/encoder pipeline and
+// writes a reloadable graph snapshot (logical time already assigned). The
+// analysis subcommands load that snapshot, re-derive vector clocks and
+// answer causal queries — the offline half of the Horus workflow.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baselines/falcon_trace.h"
+#include "core/horus.h"
+#include "core/validator.h"
+#include "gen/synthetic.h"
+#include "graph/dot_export.h"
+#include "query/evaluator.h"
+#include "query/procedures.h"
+#include "shiviz/shiviz_export.h"
+#include "trainticket/trainticket.h"
+
+namespace {
+
+using namespace horus;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+  std::vector<std::string> positional;
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback = {}) const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  [[nodiscard]] std::int64_t get_int(const std::string& key,
+                                     std::int64_t fallback) const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : std::stoll(it->second);
+  }
+  [[nodiscard]] bool has(const std::string& key) const {
+    return options.contains(key);
+  }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  if (argc < 2) return args;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const std::string key = arg.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        args.options[key] = argv[++i];
+      } else {
+        args.options[key] = "true";
+      }
+    } else {
+      args.positional.push_back(std::move(arg));
+    }
+  }
+  return args;
+}
+
+int usage() {
+  std::fprintf(stderr, R"(usage:
+  horus_cli capture   --workload trainticket|synthetic [--seed N]
+                      [--events N] [--duration-s N] --out FILE
+                      [--falcon-trace FILE]
+  horus_cli stats     --graph FILE
+  horus_cli validate  --graph FILE
+  horus_cli query     --graph FILE 'MATCH ... RETURN ...'   (or on stdin)
+  horus_cli shiviz    --graph FILE [--only-logs] [--out FILE]
+  horus_cli dot       --graph FILE --from EVENTID --to EVENTID [--out FILE]
+)");
+  return 2;
+}
+
+/// Loads a snapshot and re-derives logical time (VCs are not persisted).
+std::pair<std::unique_ptr<ExecutionGraph>, std::unique_ptr<LogicalClockAssigner>>
+load_graph(const std::string& path) {
+  auto graph = std::make_unique<ExecutionGraph>();
+  graph->load(path);
+  auto assigner = std::make_unique<LogicalClockAssigner>(
+      *graph, LogicalClockAssigner::Options{.write_lamport_property = true});
+  assigner->assign();
+  return {std::move(graph), std::move(assigner)};
+}
+
+int cmd_capture(const Args& args) {
+  const std::string workload = args.get("workload", "trainticket");
+  const std::string out_path = args.get("out");
+  if (out_path.empty()) return usage();
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  Horus horus;
+  std::vector<Event> raw_events;
+  EventSinkFn sink = [&horus, &raw_events](Event e) {
+    raw_events.push_back(e);
+    horus.ingest(std::move(e));
+  };
+
+  if (workload == "trainticket") {
+    tt::TrainTicketOptions options;
+    options.seed = seed;
+    options.duration_ns = args.get_int("duration-s", 60) * 1'000'000'000;
+    const auto report = tt::run_trainticket(options, sink);
+    std::printf("trainticket: %llu events captured; F13 manifested: %s\n",
+                static_cast<unsigned long long>(report.total_events),
+                report.payment_failed ? "yes" : "no");
+  } else if (workload == "synthetic") {
+    gen::ClientServerOptions options;
+    options.seed = seed;
+    options.num_events =
+        static_cast<std::size_t>(args.get_int("events", 10'000));
+    for (Event& e : gen::client_server_events(options)) sink(std::move(e));
+    std::printf("synthetic: %zu events captured\n", raw_events.size());
+  } else {
+    std::fprintf(stderr, "unknown workload '%s'\n", workload.c_str());
+    return 2;
+  }
+
+  horus.seal();
+  horus.graph().save(out_path);
+  std::printf("graph snapshot (%zu nodes, %zu relationships) -> %s\n",
+              horus.graph().store().node_count(),
+              horus.graph().store().edge_count(), out_path.c_str());
+
+  if (args.has("falcon-trace")) {
+    baselines::write_falcon_trace(raw_events, args.get("falcon-trace"));
+    std::printf("falcon-compatible event trace -> %s\n",
+                args.get("falcon-trace").c_str());
+  }
+  return 0;
+}
+
+int cmd_stats(const Args& args) {
+  auto [graph, assigner] = load_graph(args.get("graph"));
+  const auto& store = graph->store();
+  std::map<std::string, std::size_t> by_label;
+  for (graph::NodeId v = 0; v < store.node_count(); ++v) {
+    ++by_label[store.node_label(v)];
+  }
+  std::printf("nodes: %zu\nedges: %zu\ntimelines: %zu\n",
+              store.node_count(), store.edge_count(),
+              assigner->clocks().timeline_count());
+  for (const auto& [label, count] : by_label) {
+    std::printf("  %-8s %zu\n", label.c_str(), count);
+  }
+  return 0;
+}
+
+int cmd_validate(const Args& args) {
+  auto [graph, assigner] = load_graph(args.get("graph"));
+  const auto report = validate_graph(*graph, assigner->clocks());
+  std::printf("%s\n", report.to_string().c_str());
+  return report.ok() ? 0 : 1;
+}
+
+int cmd_query(const Args& args) {
+  auto [graph, assigner] = load_graph(args.get("graph"));
+  query::QueryEngine engine(*graph);
+  query::register_horus_procedures(engine, *graph, assigner->clocks());
+
+  std::string text;
+  if (!args.positional.empty()) {
+    text = args.positional[0];
+  } else {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      text += line;
+      text += '\n';
+    }
+  }
+  try {
+    const auto result = engine.run(text);
+    std::printf("%s(%zu rows)\n", result.to_table().c_str(),
+                result.rows.size());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "query failed: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_shiviz(const Args& args) {
+  auto [graph, assigner] = load_graph(args.get("graph"));
+  shiviz::ExportOptions options;
+  options.only_logs = args.has("only-logs");
+  const std::string text =
+      shiviz::export_all(*graph, assigner->clocks(), options);
+  if (args.has("out")) {
+    std::ofstream out(args.get("out"));
+    out << text;
+    std::printf("shiviz log -> %s\n", args.get("out").c_str());
+  } else {
+    std::fputs(text.c_str(), stdout);
+  }
+  return 0;
+}
+
+int cmd_dot(const Args& args) {
+  auto [graph, assigner] = load_graph(args.get("graph"));
+  const auto from = graph->node_of(
+      static_cast<EventId>(args.get_int("from", -1)));
+  const auto to =
+      graph->node_of(static_cast<EventId>(args.get_int("to", -1)));
+  if (!from || !to) {
+    std::fprintf(stderr, "unknown --from/--to event id\n");
+    return 1;
+  }
+  const CausalQueryEngine q(*graph, assigner->clocks());
+  const auto causal = q.get_causal_graph(*from, *to);
+  if (causal.nodes.empty()) {
+    std::fprintf(stderr, "events are not causally related\n");
+    return 1;
+  }
+  graph::DotOptions options;
+  options.cluster_by = std::string(kPropTimeline);
+  options.node_label = [](const graph::GraphStore& store,
+                          graph::NodeId node) {
+    const auto msg = store.property(node, kPropMessage);
+    if (const auto* s = std::get_if<std::string>(&msg)) return *s;
+    return store.node_label(node) + " #" + std::to_string(node);
+  };
+  const std::string dot = to_dot(graph->store(), causal.nodes, options);
+  if (args.has("out")) {
+    std::ofstream out(args.get("out"));
+    out << dot;
+    std::printf("dot graph (%zu nodes) -> %s\n", causal.nodes.size(),
+                args.get("out").c_str());
+  } else {
+    std::fputs(dot.c_str(), stdout);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  try {
+    if (args.command == "capture") return cmd_capture(args);
+    if (args.command == "stats") return cmd_stats(args);
+    if (args.command == "validate") return cmd_validate(args);
+    if (args.command == "query") return cmd_query(args);
+    if (args.command == "shiviz") return cmd_shiviz(args);
+    if (args.command == "dot") return cmd_dot(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
