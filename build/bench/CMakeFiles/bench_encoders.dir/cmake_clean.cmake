@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_encoders.dir/bench_encoders.cpp.o"
+  "CMakeFiles/bench_encoders.dir/bench_encoders.cpp.o.d"
+  "bench_encoders"
+  "bench_encoders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_encoders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

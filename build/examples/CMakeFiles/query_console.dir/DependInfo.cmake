@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/query_console.cpp" "examples/CMakeFiles/query_console.dir/query_console.cpp.o" "gcc" "examples/CMakeFiles/query_console.dir/query_console.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trainticket/CMakeFiles/horus_trainticket.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/horus_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/horus_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/horus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/adapters/CMakeFiles/horus_adapters.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracer/CMakeFiles/horus_tracer.dir/DependInfo.cmake"
+  "/root/repo/build/src/queue/CMakeFiles/horus_queue.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/horus_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/horus_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/horus_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/horus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trainticket_f13.dir/trainticket_f13.cpp.o"
+  "CMakeFiles/trainticket_f13.dir/trainticket_f13.cpp.o.d"
+  "trainticket_f13"
+  "trainticket_f13.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trainticket_f13.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("event")
+subdirs("tracer")
+subdirs("adapters")
+subdirs("queue")
+subdirs("graph")
+subdirs("query")
+subdirs("core")
+subdirs("baselines")
+subdirs("gen")
+subdirs("trainticket")
+subdirs("shiviz")

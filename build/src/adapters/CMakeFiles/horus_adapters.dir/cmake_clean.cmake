@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/horus_adapters.dir/file_source.cpp.o"
+  "CMakeFiles/horus_adapters.dir/file_source.cpp.o.d"
+  "CMakeFiles/horus_adapters.dir/log4j_adapter.cpp.o"
+  "CMakeFiles/horus_adapters.dir/log4j_adapter.cpp.o.d"
+  "CMakeFiles/horus_adapters.dir/logrus_adapter.cpp.o"
+  "CMakeFiles/horus_adapters.dir/logrus_adapter.cpp.o.d"
+  "CMakeFiles/horus_adapters.dir/tracer_adapter.cpp.o"
+  "CMakeFiles/horus_adapters.dir/tracer_adapter.cpp.o.d"
+  "libhorus_adapters.a"
+  "libhorus_adapters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/horus_adapters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/horus_baselines.dir/falcon_solver.cpp.o"
+  "CMakeFiles/horus_baselines.dir/falcon_solver.cpp.o.d"
+  "CMakeFiles/horus_baselines.dir/falcon_trace.cpp.o"
+  "CMakeFiles/horus_baselines.dir/falcon_trace.cpp.o.d"
+  "libhorus_baselines.a"
+  "libhorus_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/horus_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

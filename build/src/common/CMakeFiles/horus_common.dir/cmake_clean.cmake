@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/horus_common.dir/diag.cpp.o"
+  "CMakeFiles/horus_common.dir/diag.cpp.o.d"
+  "CMakeFiles/horus_common.dir/json.cpp.o"
+  "CMakeFiles/horus_common.dir/json.cpp.o.d"
+  "CMakeFiles/horus_common.dir/sim_clock.cpp.o"
+  "CMakeFiles/horus_common.dir/sim_clock.cpp.o.d"
+  "CMakeFiles/horus_common.dir/string_util.cpp.o"
+  "CMakeFiles/horus_common.dir/string_util.cpp.o.d"
+  "libhorus_common.a"
+  "libhorus_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/horus_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

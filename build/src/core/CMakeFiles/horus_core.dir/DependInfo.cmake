@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/causal_query.cpp" "src/core/CMakeFiles/horus_core.dir/causal_query.cpp.o" "gcc" "src/core/CMakeFiles/horus_core.dir/causal_query.cpp.o.d"
+  "/root/repo/src/core/clock_daemon.cpp" "src/core/CMakeFiles/horus_core.dir/clock_daemon.cpp.o" "gcc" "src/core/CMakeFiles/horus_core.dir/clock_daemon.cpp.o.d"
+  "/root/repo/src/core/execution_graph.cpp" "src/core/CMakeFiles/horus_core.dir/execution_graph.cpp.o" "gcc" "src/core/CMakeFiles/horus_core.dir/execution_graph.cpp.o.d"
+  "/root/repo/src/core/horus.cpp" "src/core/CMakeFiles/horus_core.dir/horus.cpp.o" "gcc" "src/core/CMakeFiles/horus_core.dir/horus.cpp.o.d"
+  "/root/repo/src/core/inter_encoder.cpp" "src/core/CMakeFiles/horus_core.dir/inter_encoder.cpp.o" "gcc" "src/core/CMakeFiles/horus_core.dir/inter_encoder.cpp.o.d"
+  "/root/repo/src/core/intra_encoder.cpp" "src/core/CMakeFiles/horus_core.dir/intra_encoder.cpp.o" "gcc" "src/core/CMakeFiles/horus_core.dir/intra_encoder.cpp.o.d"
+  "/root/repo/src/core/logical_clocks.cpp" "src/core/CMakeFiles/horus_core.dir/logical_clocks.cpp.o" "gcc" "src/core/CMakeFiles/horus_core.dir/logical_clocks.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/horus_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/horus_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/validator.cpp" "src/core/CMakeFiles/horus_core.dir/validator.cpp.o" "gcc" "src/core/CMakeFiles/horus_core.dir/validator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/event/CMakeFiles/horus_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/horus_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/queue/CMakeFiles/horus_queue.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/horus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/horus_core.dir/causal_query.cpp.o"
+  "CMakeFiles/horus_core.dir/causal_query.cpp.o.d"
+  "CMakeFiles/horus_core.dir/clock_daemon.cpp.o"
+  "CMakeFiles/horus_core.dir/clock_daemon.cpp.o.d"
+  "CMakeFiles/horus_core.dir/execution_graph.cpp.o"
+  "CMakeFiles/horus_core.dir/execution_graph.cpp.o.d"
+  "CMakeFiles/horus_core.dir/horus.cpp.o"
+  "CMakeFiles/horus_core.dir/horus.cpp.o.d"
+  "CMakeFiles/horus_core.dir/inter_encoder.cpp.o"
+  "CMakeFiles/horus_core.dir/inter_encoder.cpp.o.d"
+  "CMakeFiles/horus_core.dir/intra_encoder.cpp.o"
+  "CMakeFiles/horus_core.dir/intra_encoder.cpp.o.d"
+  "CMakeFiles/horus_core.dir/logical_clocks.cpp.o"
+  "CMakeFiles/horus_core.dir/logical_clocks.cpp.o.d"
+  "CMakeFiles/horus_core.dir/pipeline.cpp.o"
+  "CMakeFiles/horus_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/horus_core.dir/validator.cpp.o"
+  "CMakeFiles/horus_core.dir/validator.cpp.o.d"
+  "libhorus_core.a"
+  "libhorus_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/horus_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/horus_event.dir/event.cpp.o"
+  "CMakeFiles/horus_event.dir/event.cpp.o.d"
+  "CMakeFiles/horus_event.dir/event_type.cpp.o"
+  "CMakeFiles/horus_event.dir/event_type.cpp.o.d"
+  "libhorus_event.a"
+  "libhorus_event.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/horus_event.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

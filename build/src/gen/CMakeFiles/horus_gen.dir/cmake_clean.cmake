@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/horus_gen.dir/synthetic.cpp.o"
+  "CMakeFiles/horus_gen.dir/synthetic.cpp.o.d"
+  "libhorus_gen.a"
+  "libhorus_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/horus_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/dot_export.cpp" "src/graph/CMakeFiles/horus_graph.dir/dot_export.cpp.o" "gcc" "src/graph/CMakeFiles/horus_graph.dir/dot_export.cpp.o.d"
+  "/root/repo/src/graph/graph_io.cpp" "src/graph/CMakeFiles/horus_graph.dir/graph_io.cpp.o" "gcc" "src/graph/CMakeFiles/horus_graph.dir/graph_io.cpp.o.d"
+  "/root/repo/src/graph/graph_store.cpp" "src/graph/CMakeFiles/horus_graph.dir/graph_store.cpp.o" "gcc" "src/graph/CMakeFiles/horus_graph.dir/graph_store.cpp.o.d"
+  "/root/repo/src/graph/property.cpp" "src/graph/CMakeFiles/horus_graph.dir/property.cpp.o" "gcc" "src/graph/CMakeFiles/horus_graph.dir/property.cpp.o.d"
+  "/root/repo/src/graph/traversal.cpp" "src/graph/CMakeFiles/horus_graph.dir/traversal.cpp.o" "gcc" "src/graph/CMakeFiles/horus_graph.dir/traversal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/horus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/horus_graph.dir/dot_export.cpp.o"
+  "CMakeFiles/horus_graph.dir/dot_export.cpp.o.d"
+  "CMakeFiles/horus_graph.dir/graph_io.cpp.o"
+  "CMakeFiles/horus_graph.dir/graph_io.cpp.o.d"
+  "CMakeFiles/horus_graph.dir/graph_store.cpp.o"
+  "CMakeFiles/horus_graph.dir/graph_store.cpp.o.d"
+  "CMakeFiles/horus_graph.dir/property.cpp.o"
+  "CMakeFiles/horus_graph.dir/property.cpp.o.d"
+  "CMakeFiles/horus_graph.dir/traversal.cpp.o"
+  "CMakeFiles/horus_graph.dir/traversal.cpp.o.d"
+  "libhorus_graph.a"
+  "libhorus_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/horus_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/evaluator.cpp" "src/query/CMakeFiles/horus_query.dir/evaluator.cpp.o" "gcc" "src/query/CMakeFiles/horus_query.dir/evaluator.cpp.o.d"
+  "/root/repo/src/query/lexer.cpp" "src/query/CMakeFiles/horus_query.dir/lexer.cpp.o" "gcc" "src/query/CMakeFiles/horus_query.dir/lexer.cpp.o.d"
+  "/root/repo/src/query/parser.cpp" "src/query/CMakeFiles/horus_query.dir/parser.cpp.o" "gcc" "src/query/CMakeFiles/horus_query.dir/parser.cpp.o.d"
+  "/root/repo/src/query/procedures.cpp" "src/query/CMakeFiles/horus_query.dir/procedures.cpp.o" "gcc" "src/query/CMakeFiles/horus_query.dir/procedures.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/horus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/horus_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/horus_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/horus_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/queue/CMakeFiles/horus_queue.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/horus_query.dir/evaluator.cpp.o"
+  "CMakeFiles/horus_query.dir/evaluator.cpp.o.d"
+  "CMakeFiles/horus_query.dir/lexer.cpp.o"
+  "CMakeFiles/horus_query.dir/lexer.cpp.o.d"
+  "CMakeFiles/horus_query.dir/parser.cpp.o"
+  "CMakeFiles/horus_query.dir/parser.cpp.o.d"
+  "CMakeFiles/horus_query.dir/procedures.cpp.o"
+  "CMakeFiles/horus_query.dir/procedures.cpp.o.d"
+  "libhorus_query.a"
+  "libhorus_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/horus_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/queue/broker.cpp" "src/queue/CMakeFiles/horus_queue.dir/broker.cpp.o" "gcc" "src/queue/CMakeFiles/horus_queue.dir/broker.cpp.o.d"
+  "/root/repo/src/queue/consumer.cpp" "src/queue/CMakeFiles/horus_queue.dir/consumer.cpp.o" "gcc" "src/queue/CMakeFiles/horus_queue.dir/consumer.cpp.o.d"
+  "/root/repo/src/queue/partition.cpp" "src/queue/CMakeFiles/horus_queue.dir/partition.cpp.o" "gcc" "src/queue/CMakeFiles/horus_queue.dir/partition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/horus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/horus_queue.dir/broker.cpp.o"
+  "CMakeFiles/horus_queue.dir/broker.cpp.o.d"
+  "CMakeFiles/horus_queue.dir/consumer.cpp.o"
+  "CMakeFiles/horus_queue.dir/consumer.cpp.o.d"
+  "CMakeFiles/horus_queue.dir/partition.cpp.o"
+  "CMakeFiles/horus_queue.dir/partition.cpp.o.d"
+  "libhorus_queue.a"
+  "libhorus_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/horus_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/horus_shiviz.dir/shiviz_export.cpp.o"
+  "CMakeFiles/horus_shiviz.dir/shiviz_export.cpp.o.d"
+  "libhorus_shiviz.a"
+  "libhorus_shiviz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/horus_shiviz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

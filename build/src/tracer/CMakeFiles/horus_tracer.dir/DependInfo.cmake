@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tracer/message_io.cpp" "src/tracer/CMakeFiles/horus_tracer.dir/message_io.cpp.o" "gcc" "src/tracer/CMakeFiles/horus_tracer.dir/message_io.cpp.o.d"
+  "/root/repo/src/tracer/sim_kernel.cpp" "src/tracer/CMakeFiles/horus_tracer.dir/sim_kernel.cpp.o" "gcc" "src/tracer/CMakeFiles/horus_tracer.dir/sim_kernel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/event/CMakeFiles/horus_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/horus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/horus_tracer.dir/message_io.cpp.o"
+  "CMakeFiles/horus_tracer.dir/message_io.cpp.o.d"
+  "CMakeFiles/horus_tracer.dir/sim_kernel.cpp.o"
+  "CMakeFiles/horus_tracer.dir/sim_kernel.cpp.o.d"
+  "libhorus_tracer.a"
+  "libhorus_tracer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/horus_tracer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trainticket/rpc.cpp" "src/trainticket/CMakeFiles/horus_trainticket.dir/rpc.cpp.o" "gcc" "src/trainticket/CMakeFiles/horus_trainticket.dir/rpc.cpp.o.d"
+  "/root/repo/src/trainticket/trainticket.cpp" "src/trainticket/CMakeFiles/horus_trainticket.dir/trainticket.cpp.o" "gcc" "src/trainticket/CMakeFiles/horus_trainticket.dir/trainticket.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tracer/CMakeFiles/horus_tracer.dir/DependInfo.cmake"
+  "/root/repo/build/src/adapters/CMakeFiles/horus_adapters.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/horus_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/horus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/horus_trainticket.dir/rpc.cpp.o"
+  "CMakeFiles/horus_trainticket.dir/rpc.cpp.o.d"
+  "CMakeFiles/horus_trainticket.dir/trainticket.cpp.o"
+  "CMakeFiles/horus_trainticket.dir/trainticket.cpp.o.d"
+  "libhorus_trainticket.a"
+  "libhorus_trainticket.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/horus_trainticket.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clock_daemon_test.dir/clock_daemon_test.cpp.o"
+  "CMakeFiles/clock_daemon_test.dir/clock_daemon_test.cpp.o.d"
+  "clock_daemon_test"
+  "clock_daemon_test.pdb"
+  "clock_daemon_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clock_daemon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

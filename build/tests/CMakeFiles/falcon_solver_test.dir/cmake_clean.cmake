@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/falcon_solver_test.dir/falcon_solver_test.cpp.o"
+  "CMakeFiles/falcon_solver_test.dir/falcon_solver_test.cpp.o.d"
+  "falcon_solver_test"
+  "falcon_solver_test.pdb"
+  "falcon_solver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/falcon_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/falcon_trace_test.dir/falcon_trace_test.cpp.o"
+  "CMakeFiles/falcon_trace_test.dir/falcon_trace_test.cpp.o.d"
+  "falcon_trace_test"
+  "falcon_trace_test.pdb"
+  "falcon_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/falcon_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

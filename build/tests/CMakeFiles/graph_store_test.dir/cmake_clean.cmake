@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_store_test.dir/graph_store_test.cpp.o"
+  "CMakeFiles/graph_store_test.dir/graph_store_test.cpp.o.d"
+  "graph_store_test"
+  "graph_store_test.pdb"
+  "graph_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

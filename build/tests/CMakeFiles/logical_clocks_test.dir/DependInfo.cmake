@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/logical_clocks_test.cpp" "tests/CMakeFiles/logical_clocks_test.dir/logical_clocks_test.cpp.o" "gcc" "tests/CMakeFiles/logical_clocks_test.dir/logical_clocks_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/horus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/horus_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/horus_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/queue/CMakeFiles/horus_queue.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/horus_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/horus_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/horus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

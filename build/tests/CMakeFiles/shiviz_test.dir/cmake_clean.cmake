@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shiviz_test.dir/shiviz_test.cpp.o"
+  "CMakeFiles/shiviz_test.dir/shiviz_test.cpp.o.d"
+  "shiviz_test"
+  "shiviz_test.pdb"
+  "shiviz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shiviz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trainticket_test.dir/trainticket_test.cpp.o"
+  "CMakeFiles/trainticket_test.dir/trainticket_test.cpp.o.d"
+  "trainticket_test"
+  "trainticket_test.pdb"
+  "trainticket_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trainticket_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/json_test[1]_include.cmake")
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/event_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_store_test[1]_include.cmake")
+include("/root/repo/build/tests/traversal_test[1]_include.cmake")
+include("/root/repo/build/tests/queue_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_kernel_test[1]_include.cmake")
+include("/root/repo/build/tests/encoder_test[1]_include.cmake")
+include("/root/repo/build/tests/logical_clocks_test[1]_include.cmake")
+include("/root/repo/build/tests/causal_query_test[1]_include.cmake")
+include("/root/repo/build/tests/falcon_solver_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/shiviz_test[1]_include.cmake")
+include("/root/repo/build/tests/trainticket_test[1]_include.cmake")
+include("/root/repo/build/tests/query_test[1]_include.cmake")
+include("/root/repo/build/tests/case_study_test[1]_include.cmake")
+include("/root/repo/build/tests/validator_test[1]_include.cmake")
+include("/root/repo/build/tests/adapters_test[1]_include.cmake")
+include("/root/repo/build/tests/clock_daemon_test[1]_include.cmake")
+include("/root/repo/build/tests/falcon_trace_test[1]_include.cmake")
+include("/root/repo/build/tests/dot_export_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_io_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+add_test(cli_smoke "bash" "-c" "    set -e;     tmp=\$(mktemp -d); trap 'rm -rf \$tmp' EXIT;     /root/repo/build/tools/horus_cli capture --workload synthetic --events 400       --seed 3 --out \$tmp/g.hgraph --falcon-trace \$tmp/t.jsonl;     /root/repo/build/tools/horus_cli stats --graph \$tmp/g.hgraph | grep -q 'nodes: 400';     /root/repo/build/tools/horus_cli validate --graph \$tmp/g.hgraph;     /root/repo/build/tools/horus_cli query --graph \$tmp/g.hgraph       'MATCH (n:RCV) RETURN count(*) AS receives' | grep -q '200';     /root/repo/build/tools/horus_cli shiviz --graph \$tmp/g.hgraph --out \$tmp/s.log;     test -s \$tmp/s.log;     /root/repo/build/tools/horus_cli dot --graph \$tmp/g.hgraph --from 0 --to 41       --out \$tmp/g.dot;     grep -q digraph \$tmp/g.dot")
+set_tests_properties(cli_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;41;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/horus_cli.dir/horus_cli.cpp.o"
+  "CMakeFiles/horus_cli.dir/horus_cli.cpp.o.d"
+  "horus_cli"
+  "horus_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/horus_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
