@@ -62,6 +62,7 @@ std::size_t FileTailSource::poll() {
         ++parse_errors_;
         diag(DiagLevel::kWarn, "file-source",
              path + ": skipping malformed line: " + e.what());
+        if (dead_letter_) dead_letter_(line, e.what());
       }
     }
   }

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -45,6 +46,15 @@ class FileTailSource {
     return parse_errors_;
   }
 
+  /// Receives every malformed line together with its parse error.
+  using DeadLetterFn =
+      std::function<void(const std::string& raw_line, const std::string& error)>;
+
+  /// Routes malformed lines somewhere durable instead of only counting
+  /// them — typically Pipeline::dead_letter_sink(), so garbage input lands
+  /// on the dead-letter topic for later inspection.
+  void set_dead_letter(DeadLetterFn fn) { dead_letter_ = std::move(fn); }
+
   /// Serializes per-file offsets (a "registry file", in Filebeat terms).
   [[nodiscard]] std::string save_offsets() const;
 
@@ -63,6 +73,7 @@ class FileTailSource {
   std::map<std::string, TailedFile> files_;
   std::uint64_t shipped_ = 0;
   std::uint64_t parse_errors_ = 0;
+  DeadLetterFn dead_letter_;
 };
 
 }  // namespace horus

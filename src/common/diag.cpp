@@ -9,6 +9,7 @@ namespace horus {
 namespace {
 std::atomic<DiagLevel> g_level{DiagLevel::kOff};
 std::mutex g_mutex;
+std::atomic<std::uint64_t> g_counts[5];  // indexed by DiagLevel
 
 const char* level_name(DiagLevel level) {
   switch (level) {
@@ -28,10 +29,19 @@ DiagLevel diag_level() { return g_level.load(); }
 
 void diag(DiagLevel level, const std::string& component,
           const std::string& message) {
+  g_counts[static_cast<int>(level)].fetch_add(1, std::memory_order_relaxed);
   if (level < g_level.load(std::memory_order_relaxed)) return;
   const std::lock_guard lock(g_mutex);
   std::fprintf(stderr, "[horus:%s] %s: %s\n", level_name(level),
                component.c_str(), message.c_str());
+}
+
+std::uint64_t diag_count(DiagLevel level) {
+  return g_counts[static_cast<int>(level)].load(std::memory_order_relaxed);
+}
+
+void reset_diag_counts() {
+  for (auto& c : g_counts) c.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace horus

@@ -3,6 +3,7 @@
 // silent by default so tests and benches stay clean.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 namespace horus {
@@ -14,7 +15,15 @@ void set_diag_level(DiagLevel level);
 [[nodiscard]] DiagLevel diag_level();
 
 /// Emits one diagnostic line to stderr if `level` passes the filter.
+/// The per-level counter (diag_count) is bumped regardless of the filter,
+/// so tests can assert "a warning happened" without enabling output.
 void diag(DiagLevel level, const std::string& component,
           const std::string& message);
+
+/// Number of diag() calls made at exactly `level` since start / last reset.
+[[nodiscard]] std::uint64_t diag_count(DiagLevel level);
+
+/// Zeroes all per-level diag counters.
+void reset_diag_counts();
 
 }  // namespace horus

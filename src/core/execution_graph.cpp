@@ -77,11 +77,22 @@ std::optional<ExecutionGraph::TimelineTail> ExecutionGraph::timeline_tail(
   return it->second;
 }
 
+namespace {
+std::uint64_t edge_key(graph::NodeId from, graph::NodeId to) {
+  return (static_cast<std::uint64_t>(from) << 32) |
+         static_cast<std::uint64_t>(to);
+}
+}  // namespace
+
 void ExecutionGraph::add_intra_edge(EventId from, EventId to) {
   const auto a = node_of(from);
   const auto b = node_of(to);
   if (!a || !b) {
     throw std::logic_error("execution graph: intra edge on unknown event");
+  }
+  {
+    const std::lock_guard lock(mutex_);
+    if (!intra_edges_seen_.insert(edge_key(*a, *b)).second) return;
   }
   store_.add_edge(*a, *b, kIntraEdgeType);
 }
@@ -91,6 +102,10 @@ void ExecutionGraph::add_inter_edge(EventId from, EventId to) {
   const auto b = node_of(to);
   if (!a || !b) {
     throw std::logic_error("execution graph: inter edge on unknown event");
+  }
+  {
+    const std::lock_guard lock(mutex_);
+    if (!inter_edges_seen_.insert(edge_key(*a, *b)).second) return;
   }
   store_.add_edge(*a, *b, kInterEdgeType);
 }
@@ -140,6 +155,19 @@ void ExecutionGraph::load(const std::string& path) {
                       (*t == tail_it->second.timestamp &&
                        event_id > tail_it->second.id))) {
       tail_it->second = TimelineTail{event_id, *t};
+    }
+  }
+  // Seed the edge-dedup sets so encoders writing into a loaded graph stay
+  // idempotent against the snapshotted edges.
+  const auto intra_type = store_.edge_type_id(kIntraEdgeType);
+  const auto inter_type = store_.edge_type_id(kInterEdgeType);
+  for (graph::NodeId v = 0; v < store_.node_count(); ++v) {
+    for (const graph::Edge& e : store_.out_edges(v)) {
+      if (intra_type && e.type == *intra_type) {
+        intra_edges_seen_.insert(edge_key(v, e.to));
+      } else if (inter_type && e.type == *inter_type) {
+        inter_edges_seen_.insert(edge_key(v, e.to));
+      }
     }
   }
 }

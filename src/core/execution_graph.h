@@ -14,6 +14,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "event/event.h"
@@ -56,11 +57,16 @@ class ExecutionGraph {
   ///        (stored as the `timeline` property the clock assigner groups by).
   graph::NodeId add_event(const Event& event, const std::string& timeline);
 
-  /// Program-order edge between two already-persisted events.
+  /// Program-order edge between two already-persisted events. Idempotent
+  /// per (from, to): a crashed-and-restarted encoder replaying a window of
+  /// the queue may re-derive edges it already stored, and must not grow the
+  /// graph doing so.
   void add_intra_edge(EventId from, EventId to);
 
-  /// Inter-process causal edge; `rule` names the causality rule that
-  /// produced it (stored as an edge of type "HB").
+  /// Inter-process causal edge (stored as an edge of type "HB"). Idempotent
+  /// per (from, to), independently of any NEXT edge between the same pair —
+  /// the same two events can legitimately carry both (e.g. CREATE -> START
+  /// within one process timeline).
   void add_inter_edge(EventId from, EventId to);
 
   /// Node lookup; std::nullopt when the event was never persisted.
@@ -100,6 +106,10 @@ class ExecutionGraph {
   mutable std::mutex mutex_;
   std::unordered_map<EventId, graph::NodeId> node_by_event_;
   std::unordered_map<std::string, TimelineTail> tails_;
+  // Edge dedup for crash-replay idempotence, keyed (from << 32) | to.
+  // GraphStore::add_edge itself is not idempotent.
+  std::unordered_set<std::uint64_t> intra_edges_seen_;
+  std::unordered_set<std::uint64_t> inter_edges_seen_;
 };
 
 /// Converts an Event to the node property bag persisted in the store.

@@ -51,10 +51,13 @@ void MessageDeliveryRule::match(ChannelState& state,
     out.push_back(CausalPair{snd.id, rcv.id, name()});
     // Retire whichever range finishes first; keep the other for further
     // overlaps (one SND -> many partial RCVs, or one RCV covering many SNDs).
-    if (snd.end <= rcv.end) {
+    // Copy the bounds first: pop_front invalidates the front references.
+    const std::uint64_t snd_end = snd.end;
+    const std::uint64_t rcv_end = rcv.end;
+    if (snd_end <= rcv_end) {
       state.sends.pop_front();
       --pending_;
-      if (rcv.end == snd.end) {
+      if (rcv_end == snd_end) {
         state.receives.pop_front();
         --pending_;
       }
@@ -66,6 +69,14 @@ void MessageDeliveryRule::match(ChannelState& state,
 }
 
 std::size_t MessageDeliveryRule::pending() const noexcept { return pending_; }
+
+void MessageDeliveryRule::collect_pending(std::vector<EventId>& out) const {
+  for (const auto& [channel, state] : channels_) {
+    // Deque order is byte-offset order — the order a replay must preserve.
+    for (const Range& r : state.sends) out.push_back(r.id);
+    for (const Range& r : state.receives) out.push_back(r.id);
+  }
+}
 
 // ---------------------------------------------------------------------------
 // ConnectionRule
@@ -94,6 +105,11 @@ void ConnectionRule::on_event(const Event& event,
 
 std::size_t ConnectionRule::pending() const noexcept {
   return connects_.size() + accepts_.size();
+}
+
+void ConnectionRule::collect_pending(std::vector<EventId>& out) const {
+  for (const auto& [channel, id] : connects_) out.push_back(id);
+  for (const auto& [channel, id] : accepts_) out.push_back(id);
 }
 
 // ---------------------------------------------------------------------------
@@ -155,6 +171,15 @@ std::size_t LifecycleRule::pending() const noexcept {
   return n;
 }
 
+void LifecycleRule::collect_pending(std::vector<EventId>& out) const {
+  for (const auto& [thread, id] : creates_) out.push_back(id);
+  for (const auto& [thread, id] : starts_) out.push_back(id);
+  for (const auto& [thread, id] : ends_) out.push_back(id);
+  for (const auto& [thread, joins] : joins_) {
+    for (EventId id : joins) out.push_back(id);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // InterProcessEncoder
 // ---------------------------------------------------------------------------
@@ -171,6 +196,7 @@ void InterProcessEncoder::add_rule(std::unique_ptr<CausalRule> rule) {
 }
 
 void InterProcessEncoder::on_event(const Event& event) {
+  if (spill_capture_) event_cache_.emplace(event.id, event);
   for (const auto& rule : rules_) {
     rule->on_event(event, complete_);
   }
@@ -188,6 +214,26 @@ std::size_t InterProcessEncoder::pending() const noexcept {
   std::size_t n = 0;
   for (const auto& rule : rules_) n += rule->pending();
   return n;
+}
+
+std::vector<Event> InterProcessEncoder::snapshot_pending() {
+  std::vector<EventId> ids;
+  for (const auto& rule : rules_) rule->collect_pending(ids);
+
+  std::vector<Event> events;
+  events.reserve(ids.size());
+  std::unordered_map<EventId, Event> kept;
+  for (EventId id : ids) {
+    if (kept.contains(id)) continue;  // reported by more than one rule
+    auto it = event_cache_.find(id);
+    if (it == event_cache_.end()) continue;  // fed before capture enabled
+    events.push_back(it->second);
+    kept.emplace(id, it->second);
+  }
+  // Matched events no longer back any pending state — drop their copies so
+  // the cache is bounded by the pending set, not the stream length.
+  event_cache_ = std::move(kept);
+  return events;
 }
 
 }  // namespace horus

@@ -57,6 +57,16 @@ class CausalRule {
 
   /// Number of events currently waiting for their counterpart.
   [[nodiscard]] virtual std::size_t pending() const noexcept = 0;
+
+  /// Appends the ids of every event whose state must survive a crash of
+  /// this encoder: re-feeding exactly those events into a fresh rule
+  /// instance (in the appended order) must reproduce the pending state.
+  /// Used by the pipeline's write-ahead spill. The default reports nothing —
+  /// a rule keeping no pending state, or an external rule that opts out of
+  /// durability, needs no override.
+  virtual void collect_pending(std::vector<EventId>& out) const {
+    (void)out;
+  }
 };
 
 /// SND->RCV pairing by channel + byte-range overlap.
@@ -67,6 +77,7 @@ class MessageDeliveryRule final : public CausalRule {
   }
   void on_event(const Event& event, std::vector<CausalPair>& out) override;
   [[nodiscard]] std::size_t pending() const noexcept override;
+  void collect_pending(std::vector<EventId>& out) const override;
 
  private:
   struct Range {
@@ -92,6 +103,7 @@ class ConnectionRule final : public CausalRule {
   }
   void on_event(const Event& event, std::vector<CausalPair>& out) override;
   [[nodiscard]] std::size_t pending() const noexcept override;
+  void collect_pending(std::vector<EventId>& out) const override;
 
  private:
   std::unordered_map<ChannelId, EventId> connects_;
@@ -106,6 +118,9 @@ class LifecycleRule final : public CausalRule {
   }
   void on_event(const Event& event, std::vector<CausalPair>& out) override;
   [[nodiscard]] std::size_t pending() const noexcept override;
+  /// Includes ends_ even though pending() does not count them: a JOIN
+  /// arriving only after a restart still needs its END -> JOIN edge.
+  void collect_pending(std::vector<EventId>& out) const override;
 
  private:
   std::unordered_map<ThreadRef, EventId> creates_;  ///< by child thread
@@ -128,6 +143,18 @@ class InterProcessEncoder {
   /// Flushes buffered complete pairs as HB edges into the graph.
   void flush();
 
+  /// Enables pending-state capture: on_event() keeps a copy of each event
+  /// so snapshot_pending() can materialize the events behind unmatched
+  /// pending state. Off by default (no copies, no memory cost); the
+  /// pipeline turns it on when a write-ahead spill directory is configured.
+  void set_spill_capture(bool on) noexcept { spill_capture_ = on; }
+
+  /// The events whose rule state is still pending, in an order safe to
+  /// re-feed through a fresh encoder (see CausalRule::collect_pending).
+  /// Prunes the capture cache down to exactly this set as a side effect.
+  /// Requires spill capture; events fed before it was enabled are absent.
+  [[nodiscard]] std::vector<Event> snapshot_pending();
+
   /// Completed-but-unflushed pairs.
   [[nodiscard]] std::size_t buffered() const noexcept {
     return complete_.size();
@@ -144,6 +171,8 @@ class InterProcessEncoder {
   std::vector<std::unique_ptr<CausalRule>> rules_;
   std::vector<CausalPair> complete_;
   std::uint64_t edges_flushed_ = 0;
+  bool spill_capture_ = false;
+  std::unordered_map<EventId, Event> event_cache_;  ///< spill capture only
 };
 
 }  // namespace horus

@@ -37,6 +37,7 @@ void IntraProcessEncoder::on_event(Event event) {
   // are already buffered or already persisted.
   if (timeline.buffered_ids.contains(event.id) ||
       graph_.node_of(event.id).has_value()) {
+    ++duplicates_dropped_;
     return;
   }
 

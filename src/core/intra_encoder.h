@@ -55,6 +55,13 @@ class IntraProcessEncoder {
   /// Number of events flushed so far.
   [[nodiscard]] std::uint64_t flushed() const noexcept { return flushed_; }
 
+  /// Count of replayed/duplicated deliveries dropped by the id-based
+  /// suppression (at-least-once queue semantics; inflated by crash replays
+  /// and injected duplicates, never by first deliveries).
+  [[nodiscard]] std::uint64_t duplicates_dropped() const noexcept {
+    return duplicates_dropped_;
+  }
+
   /// Count of events that arrived with a timestamp older than their
   /// timeline's already-flushed tail. Such events can no longer be placed in
   /// program order (the flush horizon passed them); Horus appends them after
@@ -81,6 +88,7 @@ class IntraProcessEncoder {
   std::size_t pending_ = 0;
   std::uint64_t flushed_ = 0;
   std::uint64_t late_ = 0;
+  std::uint64_t duplicates_dropped_ = 0;
 };
 
 }  // namespace horus

@@ -1,9 +1,17 @@
 #include "core/pipeline.h"
 
+#include <exception>
+#include <filesystem>
+#include <fstream>
+
+#include "common/diag.h"
 #include "common/json.h"
+#include "core/validator.h"
+#include "queue/fault.h"
 
 namespace horus {
 
+namespace fs = std::filesystem;
 using Clock = std::chrono::steady_clock;
 
 std::string inter_routing_key(const Event& event) {
@@ -29,11 +37,76 @@ std::string inter_routing_key(const Event& event) {
   return event.thread.to_string();
 }
 
+namespace {
+
+/// Atomically replaces `path` with the serialized pending events (write to
+/// a temp file, then rename): a crash mid-write leaves the previous spill
+/// intact, never a torn one.
+void write_pending_wal(const std::string& path,
+                       const std::vector<Event>& events) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("pipeline: cannot write WAL " + tmp);
+    }
+    for (const Event& event : events) {
+      out << event.to_json().dump() << '\n';
+    }
+  }
+  fs::rename(tmp, path);
+}
+
+/// Loads a pending-pair spill; a missing file is an empty spill (first
+/// start), a corrupt line is skipped with a warning (it only widens the
+/// lost-edge window back to the in-memory behaviour for that one event).
+std::vector<Event> read_pending_wal(const std::string& path) {
+  std::vector<Event> events;
+  std::ifstream in(path);
+  if (!in) return events;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    try {
+      events.push_back(Event::from_json(Json::parse(line)));
+    } catch (const std::exception& e) {
+      diag(DiagLevel::kWarn, "pipeline",
+           "skipping corrupt WAL line in " + path + ": " + e.what());
+    }
+  }
+  return events;
+}
+
+}  // namespace
+
+template <typename Fn>
+auto Pipeline::backoff_retry(const char* what, Fn&& op) -> decltype(op()) {
+  int delay_ms = options_.retry_backoff_base_ms;
+  for (;;) {
+    try {
+      return op();
+    } catch (const queue::TransientFault& e) {
+      // Only transient broker faults are retryable; InjectedCrash and real
+      // errors propagate to the worker's recovery loop / the caller.
+      retried_.fetch_add(1, std::memory_order_relaxed);
+      diag(DiagLevel::kDebug, "pipeline",
+           std::string(what) + " failed transiently (" + e.what() +
+               "), retrying in " + std::to_string(delay_ms) + "ms");
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+      delay_ms = std::min(delay_ms * 2, options_.retry_backoff_cap_ms);
+    }
+  }
+}
+
 Pipeline::Pipeline(queue::Broker& broker, ExecutionGraph& graph,
                    PipelineOptions options)
-    : broker_(broker), graph_(graph), options_(options) {
+    : broker_(broker), graph_(graph), options_(std::move(options)) {
   broker_.create_topic(options_.sources_topic, options_.partitions);
   broker_.create_topic(options_.timeline_topic, options_.partitions);
+  broker_.create_topic(options_.dlq_topic, 1);
+  if (!options_.wal_dir.empty()) {
+    fs::create_directories(options_.wal_dir);
+  }
 }
 
 Pipeline::~Pipeline() {
@@ -67,9 +140,11 @@ void Pipeline::start() {
 }
 
 void Pipeline::publish(const Event& event) {
-  broker_.topic(options_.sources_topic)
-      .produce(timeline_key(event, options_.granularity),
-               event.to_json().dump());
+  backoff_retry("publish", [&] {
+    broker_.topic(options_.sources_topic)
+        .produce(timeline_key(event, options_.granularity),
+                 event.to_json().dump());
+  });
   published_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -77,16 +152,78 @@ EventSinkFn Pipeline::sink() {
   return [this](Event event) { publish(event); };
 }
 
+std::function<void(const std::string&, const std::string&)>
+Pipeline::dead_letter_sink() {
+  return [this](const std::string& raw, const std::string& error) {
+    dead_letter("adapter", raw, error);
+  };
+}
+
+void Pipeline::dead_letter(const std::string& stage,
+                           const std::string& payload,
+                           const std::string& error) {
+  Json entry = Json::object();
+  entry["stage"] = stage;
+  entry["error"] = error;
+  entry["payload"] = payload;
+  backoff_retry("dead-letter produce", [&] {
+    broker_.topic(options_.dlq_topic).produce(stage, entry.dump());
+  });
+  dead_lettered_.fetch_add(1, std::memory_order_relaxed);
+  diag(DiagLevel::kWarn, "pipeline",
+       "dead-lettered " + stage + " message: " + error);
+}
+
+std::string Pipeline::wal_path(int index) const {
+  return options_.wal_dir + "/inter-" + std::to_string(index) + ".wal";
+}
+
+// Worker threads: each is a crash-recovery loop around the actual stage
+// body. An injected crash kills the consumer and encoder; the replacement
+// resumes from the committed offsets (and, for the inter stage, from the
+// pending-pair WAL), exactly like a supervisor restarting a died worker
+// process.
 void Pipeline::intra_worker(int index, std::vector<int> partitions) {
+  for (;;) {
+    try {
+      run_intra(index, partitions);
+      return;
+    } catch (const queue::InjectedCrash& e) {
+      recoveries_.fetch_add(1, std::memory_order_relaxed);
+      diag(DiagLevel::kWarn, "pipeline",
+           "intra worker " + std::to_string(index) + " crashed (" + e.what() +
+               "), restarting");
+    }
+  }
+}
+
+void Pipeline::inter_worker(int index, std::vector<int> partitions) {
+  for (;;) {
+    try {
+      run_inter(index, partitions);
+      return;
+    } catch (const queue::InjectedCrash& e) {
+      recoveries_.fetch_add(1, std::memory_order_relaxed);
+      diag(DiagLevel::kWarn, "pipeline",
+           "inter worker " + std::to_string(index) + " crashed (" + e.what() +
+               "), restarting");
+    }
+  }
+}
+
+void Pipeline::run_intra(int index, const std::vector<int>& partitions) {
   queue::Consumer consumer(broker_, "horus-intra-" + std::to_string(index),
-                           options_.sources_topic, std::move(partitions));
+                           options_.sources_topic, partitions);
   queue::Topic& downstream = broker_.topic(options_.timeline_topic);
 
   IntraProcessEncoder encoder(
       graph_,
       [this, &downstream](Event event) {
         const std::string key = inter_routing_key(event);
-        downstream.produce(key, event.to_json().dump());
+        const std::string value = event.to_json().dump();
+        backoff_retry("timeline produce", [&] {
+          downstream.produce(key, value);
+        });
         intra_forwarded_.fetch_add(1, std::memory_order_relaxed);
       },
       IntraProcessEncoder::Options{options_.granularity});
@@ -94,13 +231,31 @@ void Pipeline::intra_worker(int index, std::vector<int> partitions) {
   auto last_flush = Clock::now();
   const auto interval =
       std::chrono::milliseconds(options_.event_flush_interval_ms);
+  std::uint64_t dup_seen = 0;
 
   while (true) {
-    const auto batch = consumer.poll(options_.poll_batch, /*timeout_ms=*/5);
+    const auto batch = backoff_retry("intra poll", [&] {
+      return consumer.poll(options_.poll_batch, /*timeout_ms=*/5);
+    });
     for (const auto& msg : batch) {
-      encoder.on_event(Event::from_json(Json::parse(msg.message.value)));
+      Event event;
+      try {
+        event = Event::from_json(Json::parse(msg.message.value));
+      } catch (const std::exception& e) {
+        dead_letter("intra-decode", msg.message.value, e.what());
+        continue;
+      }
+      if (auto reason = validate_event(event)) {
+        dead_letter("intra-validate", msg.message.value, *reason);
+        continue;
+      }
+      encoder.on_event(std::move(event));
       intra_processed_.fetch_add(1, std::memory_order_relaxed);
     }
+    const std::uint64_t dups = encoder.duplicates_dropped();
+    intra_duplicates_.fetch_add(dups - dup_seen, std::memory_order_relaxed);
+    dup_seen = dups;
+
     const auto now = Clock::now();
     const bool stopping = stop_requested_.load(std::memory_order_acquire);
     if (now - last_flush >= interval || (stopping && batch.empty())) {
@@ -112,57 +267,107 @@ void Pipeline::intra_worker(int index, std::vector<int> partitions) {
   }
 }
 
-void Pipeline::inter_worker(int index, std::vector<int> partitions) {
+void Pipeline::run_inter(int index, const std::vector<int>& partitions) {
   queue::Consumer consumer(broker_, "horus-inter-" + std::to_string(index),
-                           options_.timeline_topic, std::move(partitions));
+                           options_.timeline_topic, partitions);
   InterProcessEncoder encoder(graph_);
+
+  const bool durable = !options_.wal_dir.empty();
+  const std::string wal = durable ? wal_path(index) : std::string();
+  if (durable) {
+    encoder.set_spill_capture(true);
+    // Rehydrate the pending-pair state the previous incarnation spilled at
+    // its last commit; the queue window after that commit replays on top.
+    for (Event& event : read_pending_wal(wal)) {
+      encoder.on_event(std::move(event));
+    }
+  }
+
+  // One commit point: everything consumed so far is flushed to the graph,
+  // then the surviving pending state is spilled, then offsets commit. A
+  // crash between any two steps re-runs from the previous commit; flushes
+  // and edges are idempotent, so the replay is absorbed.
+  auto commit_cycle = [&] {
+    encoder.flush();
+    if (durable) write_pending_wal(wal, encoder.snapshot_pending());
+    consumer.commit();
+  };
 
   auto last_flush = Clock::now();
   const auto interval =
       std::chrono::milliseconds(options_.relationship_flush_interval_ms);
 
   while (true) {
-    const auto batch = consumer.poll(options_.poll_batch, /*timeout_ms=*/5);
+    const auto batch = backoff_retry("inter poll", [&] {
+      return consumer.poll(options_.poll_batch, /*timeout_ms=*/5);
+    });
     for (const auto& msg : batch) {
-      encoder.on_event(Event::from_json(Json::parse(msg.message.value)));
+      Event event;
+      try {
+        event = Event::from_json(Json::parse(msg.message.value));
+      } catch (const std::exception& e) {
+        dead_letter("inter-decode", msg.message.value, e.what());
+        continue;
+      }
+      encoder.on_event(std::move(event));
       inter_processed_.fetch_add(1, std::memory_order_relaxed);
     }
     const auto now = Clock::now();
     const bool stopping = stop_requested_.load(std::memory_order_acquire);
     if (now - last_flush >= interval || (stopping && batch.empty())) {
-      encoder.flush();
-      consumer.commit();
+      commit_cycle();
       last_flush = now;
       if (stopping && batch.empty()) break;
     }
   }
 }
 
-void Pipeline::drain() {
-  // The pipeline is drained when the intra stage has consumed everything
-  // published, its flushes have stopped producing new downstream events
-  // (duplicates are dropped, so forwarded <= published), and the inter
-  // stage has consumed everything forwarded. Poll the counters until the
-  // numbers are stable across a full flush interval.
-  const auto settle = std::chrono::milliseconds(
-      std::max(options_.event_flush_interval_ms,
-               options_.relationship_flush_interval_ms) +
-      10);
-  while (true) {
-    while (intra_processed_.load() < published_.load()) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+bool Pipeline::committed_through(const std::string& topic,
+                                 const std::string& group_prefix,
+                                 int workers) const {
+  queue::Topic& t = broker_.topic(topic);
+  for (int w = 0; w < workers; ++w) {
+    const std::string group = group_prefix + std::to_string(w);
+    for (int p = w; p < options_.partitions; p += workers) {
+      if (broker_.committed_offset(group, topic, p) <
+          t.partition(p).end_offset()) {
+        return false;
+      }
     }
-    const auto forwarded_before = intra_forwarded_.load();
-    while (inter_processed_.load() < intra_forwarded_.load()) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return true;
+}
+
+bool Pipeline::drain() {
+  // Drained == every stage has consumed AND committed everything the broker
+  // holds for it: first the sources topic (intra workers), then the
+  // timeline topic (inter workers; the intra stage no longer produces into
+  // it once the sources are committed through). Offsets are the ground
+  // truth — processed-event counters are inflated by injected duplicates
+  // and crash replays, committed offsets are not.
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(options_.drain_timeout_ms);
+  for (;;) {
+    if (committed_through(options_.sources_topic, "horus-intra-",
+                          options_.intra_workers) &&
+        committed_through(options_.timeline_topic, "horus-inter-",
+                          options_.inter_workers)) {
+      return true;
     }
-    // Wait a flush interval; if nothing moved, every stage is settled.
-    std::this_thread::sleep_for(settle);
-    if (intra_processed_.load() >= published_.load() &&
-        intra_forwarded_.load() == forwarded_before &&
-        inter_processed_.load() >= intra_forwarded_.load()) {
-      break;
+    if (Clock::now() >= deadline) {
+      diag(DiagLevel::kError, "pipeline",
+           "drain timed out after " +
+               std::to_string(options_.drain_timeout_ms) +
+               "ms; published=" + std::to_string(published_.load()) +
+               " intra=" + std::to_string(intra_processed_.load()) +
+               " forwarded=" + std::to_string(intra_forwarded_.load()) +
+               " inter=" + std::to_string(inter_processed_.load()) +
+               " retried=" + std::to_string(retried_.load()) +
+               " dead-lettered=" + std::to_string(dead_lettered_.load()) +
+               " recoveries=" + std::to_string(recoveries_.load()));
+      return false;
     }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
   }
 }
 

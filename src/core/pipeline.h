@@ -17,19 +17,35 @@
 // Encoders therefore need no cross-worker synchronization.
 //
 // Crash recovery: consumers resume from committed offsets (at-least-once;
-// the intra stage suppresses replayed duplicates) and a restarted intra
-// worker recovers each timeline's chain tail from the store, so program
-// order survives restarts. One caveat matches the paper's design: the
-// inter-process encoder's *pending* pairs are in-memory — a half of a
-// causal pair consumed and committed before a crash, whose counterpart
-// arrives only after the restart, will not be paired. Keeping the
-// relationship flush interval at or below the commit cadence bounds that
-// window.
+// the intra stage suppresses replayed duplicates and the graph stores edges
+// idempotently) and a restarted intra worker recovers each timeline's chain
+// tail from the store, so program order survives restarts. The
+// inter-process encoder's *pending* pairs are durable through a write-ahead
+// spill: with PipelineOptions::wal_dir set, each inter worker rewrites
+// <wal_dir>/inter-<index>.wal with the events backing its unmatched pending
+// state immediately before every offset commit, and a restarted worker
+// re-feeds that file before consuming. A half of a causal pair consumed and
+// committed before a crash therefore still pairs with a counterpart that
+// arrives only after the restart — the lost-edge window a purely in-memory
+// inter stage would have is closed. Without wal_dir the old in-memory
+// behaviour (and its window) remains.
+//
+// Fault model (see queue/fault.h for the injectable faults): the pipeline
+// tolerates transient produce/poll failures (retried with capped
+// exponential backoff), duplicated and redelivered messages (id-based dedup
+// plus idempotent edges), bounded partition stalls (drain() tracks broker
+// offsets, not wall clock), and scheduled consumer-worker crashes — the
+// worker thread counts a recovery, rebuilds its consumer and encoder, and
+// resumes from the committed offsets / the WAL. Messages that fail JSON
+// decoding, and events rejected by the ingress validator, are diverted to
+// the dead-letter topic (PipelineOptions::dlq_topic) instead of poisoning
+// the graph; drain() does not wait for them.
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
@@ -58,6 +74,18 @@ struct PipelineOptions {
   std::size_t poll_batch = 512;
   std::string sources_topic = "horus.events";
   std::string timeline_topic = "horus.timeline";
+  /// Dead-letter topic for undecodable or invalid events (one partition).
+  std::string dlq_topic = "horus.dlq";
+  /// Directory for the inter stage's pending-pair write-ahead spill.
+  /// Empty disables the spill (pending pairs die with a crashed worker).
+  std::string wal_dir;
+  /// Upper bound on drain(); expired drains report stuck-stage counters
+  /// via diag(kError) and return false.
+  int drain_timeout_ms = 30'000;
+  /// Backoff for transient broker faults: base doubles per attempt up to
+  /// the cap.
+  int retry_backoff_base_ms = 1;
+  int retry_backoff_cap_ms = 16;
 };
 
 /// Routing key under rule-based pair affinity (see file comment, point ii).
@@ -76,17 +104,28 @@ class Pipeline {
   void start();
 
   /// Publishes one event into the sources topic (thread-safe; this is the
-  /// producer API adapters use).
+  /// producer API adapters use). Transient produce faults are retried with
+  /// backoff — by the time this returns the event is in the queue.
   void publish(const Event& event);
 
   /// Sink adapter for EventSinkFn-based producers.
   [[nodiscard]] EventSinkFn sink();
 
-  /// Blocks until every published event has fully exited the pipeline
-  /// (both stages drained and flushed).
-  void drain();
+  /// Sink for raw inputs an adapter could not decode: the payload goes to
+  /// the dead-letter topic, tagged with the given error. Wire this into
+  /// e.g. adapters::FileTailSource::set_dead_letter.
+  [[nodiscard]] std::function<void(const std::string& raw,
+                                   const std::string& error)>
+  dead_letter_sink();
 
-  /// Stops all workers (drains first).
+  /// Blocks until every published event has fully exited the pipeline
+  /// (both stages consumed *and committed* everything the broker holds —
+  /// robust against injected duplicates and crash replays) or the drain
+  /// timeout expires. Returns false on timeout, after reporting the stuck
+  /// stage counters via diag(kError).
+  bool drain();
+
+  /// Stops all workers (flushing and committing what they consumed).
   void stop();
 
   // -- statistics ------------------------------------------------------------
@@ -99,10 +138,34 @@ class Pipeline {
   [[nodiscard]] std::uint64_t intra_processed() const noexcept {
     return intra_processed_.load();
   }
+  /// Retry attempts against transient broker faults (produce and poll).
+  [[nodiscard]] std::uint64_t events_retried() const noexcept {
+    return retried_.load();
+  }
+  /// Messages diverted to the dead-letter topic.
+  [[nodiscard]] std::uint64_t events_dead_lettered() const noexcept {
+    return dead_lettered_.load();
+  }
+  /// Worker crash-recovery cycles (injected crashes survived).
+  [[nodiscard]] std::uint64_t recoveries() const noexcept {
+    return recoveries_.load();
+  }
+  /// Replayed/duplicated deliveries dropped by the intra stage.
+  [[nodiscard]] std::uint64_t events_deduplicated() const noexcept {
+    return intra_duplicates_.load();
+  }
 
  private:
   void intra_worker(int index, std::vector<int> partitions);
   void inter_worker(int index, std::vector<int> partitions);
+  void run_intra(int index, const std::vector<int>& partitions);
+  void run_inter(int index, const std::vector<int>& partitions);
+  void dead_letter(const std::string& stage, const std::string& payload,
+                   const std::string& error);
+  [[nodiscard]] bool committed_through(const std::string& topic,
+                                       const std::string& group_prefix,
+                                       int workers) const;
+  [[nodiscard]] std::string wal_path(int index) const;
 
   queue::Broker& broker_;
   ExecutionGraph& graph_;
@@ -114,8 +177,15 @@ class Pipeline {
   std::atomic<std::uint64_t> intra_processed_{0};
   std::atomic<std::uint64_t> intra_forwarded_{0};
   std::atomic<std::uint64_t> inter_processed_{0};
+  std::atomic<std::uint64_t> retried_{0};
+  std::atomic<std::uint64_t> dead_lettered_{0};
+  std::atomic<std::uint64_t> recoveries_{0};
+  std::atomic<std::uint64_t> intra_duplicates_{0};
 
   std::vector<std::thread> workers_;
+
+  template <typename Fn>
+  auto backoff_retry(const char* what, Fn&& op) -> decltype(op());
 };
 
 }  // namespace horus

@@ -253,4 +253,31 @@ ValidationReport validate_graph(const ExecutionGraph& graph,
   return Validator(graph, &clocks).run();
 }
 
+std::optional<std::string> validate_event(const Event& event) {
+  if (event.id == kInvalidEventId) return "invalid event id";
+  if (event.thread.host.empty()) return "empty thread host";
+  switch (event.type) {
+    case EventType::kSnd:
+    case EventType::kRcv:
+    case EventType::kConnect:
+    case EventType::kAccept:
+      if (event.net() == nullptr) {
+        return std::string(to_string(event.type)) +
+               " event without a net payload";
+      }
+      break;
+    case EventType::kCreate:
+    case EventType::kFork:
+    case EventType::kJoin:
+      if (event.child() == nullptr) {
+        return std::string(to_string(event.type)) +
+               " event without a child-thread payload";
+      }
+      break;
+    default:
+      break;
+  }
+  return std::nullopt;
+}
+
 }  // namespace horus

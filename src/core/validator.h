@@ -16,6 +16,7 @@
 //       order.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -42,5 +43,12 @@ struct ValidationReport {
 /// Validates the graph plus assigned clocks (V1-V4).
 [[nodiscard]] ValidationReport validate_graph(const ExecutionGraph& graph,
                                               const ClockTable& clocks);
+
+/// Ingress check for one decoded event, applied by the pipeline before the
+/// event enters the encoders: a violating event can never satisfy V2/V3
+/// downstream, so it is diverted to the dead-letter topic instead of
+/// poisoning the graph. Returns a human-readable reason, or nullopt when
+/// the event is admissible.
+[[nodiscard]] std::optional<std::string> validate_event(const Event& event);
 
 }  // namespace horus

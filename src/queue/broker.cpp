@@ -5,6 +5,7 @@
 #include <functional>
 #include <stdexcept>
 
+#include "common/diag.h"
 #include "common/json.h"
 
 namespace horus::queue {
@@ -34,10 +35,22 @@ int Topic::partition_for(const std::string& key) const {
 
 std::pair<int, std::uint64_t> Topic::produce(std::string key,
                                              std::string value) {
+  if (fault_ != nullptr && fault_->should_fail_produce()) {
+    throw TransientFault("queue: injected produce failure on topic '" +
+                         name_ + "'");
+  }
   const int p = partition_for(key);
+  Partition& partition = *partitions_[static_cast<std::size_t>(p)];
+  const bool duplicate = fault_ != nullptr && fault_->should_duplicate();
+  if (duplicate) {
+    // A producer that retried after a lost ack: the same message lands
+    // twice. Downstream stages must absorb it (at-least-once delivery).
+    const std::uint64_t offset = partition.append(key, value);
+    partition.append(std::move(key), std::move(value));
+    return {p, offset};
+  }
   const std::uint64_t offset =
-      partitions_[static_cast<std::size_t>(p)]->append(std::move(key),
-                                                       std::move(value));
+      partition.append(std::move(key), std::move(value));
   return {p, offset};
 }
 
@@ -55,6 +68,14 @@ std::uint64_t Topic::total_messages() const {
   return total;
 }
 
+void Topic::set_fault_injector(FaultInjector* injector) {
+  fault_ = injector;
+  for (std::size_t i = 0; i < partitions_.size(); ++i) {
+    partitions_[i]->set_fault_injector(injector,
+                                       name_ + "/" + std::to_string(i));
+  }
+}
+
 Topic& Broker::create_topic(const std::string& name, int num_partitions) {
   const std::lock_guard lock(mutex_);
   auto it = topics_.find(name);
@@ -68,6 +89,7 @@ Topic& Broker::create_topic(const std::string& name, int num_partitions) {
   auto [new_it, inserted] =
       topics_.emplace(name, std::make_unique<Topic>(name, num_partitions));
   (void)inserted;
+  if (fault_ != nullptr) new_it->second->set_fault_injector(fault_.get());
   return *new_it->second;
 }
 
@@ -88,6 +110,11 @@ bool Broker::has_topic(const std::string& name) const {
 void Broker::commit_offset(const std::string& group, const std::string& topic,
                            int partition, std::uint64_t offset) {
   const std::lock_guard lock(mutex_);
+  if (!topics_.contains(topic)) {
+    diag(DiagLevel::kWarn, "queue",
+         "offset commit for unknown topic '" + topic + "' (group '" + group +
+             "', partition " + std::to_string(partition) + ")");
+  }
   offsets_[std::make_tuple(group, topic, partition)] = offset;
 }
 
@@ -141,16 +168,25 @@ void Broker::load(const std::string& dir) {
                    std::istreambuf_iterator<char>());
   const Json meta = Json::parse(text);
 
-  topics_.clear();
+  // Load into existing Topic objects where possible: Topic& references
+  // handed out before the load stay valid (see the header's lock-discipline
+  // note). Topics only in memory are kept untouched.
   for (const Json& t : meta.at("topics").as_array()) {
     const std::string& name = t.at("name").as_string();
     const int parts = static_cast<int>(t.at("partitions").as_int());
-    auto topic = std::make_unique<Topic>(name, parts);
-    for (int p = 0; p < parts; ++p) {
-      topic->partition(p).load(dir + "/" + name + "." + std::to_string(p) +
-                               ".log");
+    auto it = topics_.find(name);
+    if (it == topics_.end()) {
+      it = topics_.emplace(name, std::make_unique<Topic>(name, parts)).first;
+      if (fault_ != nullptr) it->second->set_fault_injector(fault_.get());
+    } else if (it->second->num_partitions() != parts) {
+      throw std::invalid_argument(
+          "queue: persisted topic '" + name +
+          "' has a different partition count than the live one");
     }
-    topics_.emplace(name, std::move(topic));
+    for (int p = 0; p < parts; ++p) {
+      it->second->partition(p).load(dir + "/" + name + "." +
+                                    std::to_string(p) + ".log");
+    }
   }
 
   offsets_.clear();
@@ -162,4 +198,13 @@ void Broker::load(const std::string& dir) {
   }
 }
 
+void Broker::set_fault_injector(std::shared_ptr<FaultInjector> injector) {
+  const std::lock_guard lock(mutex_);
+  fault_ = std::move(injector);
+  for (auto& [name, topic] : topics_) {
+    topic->set_fault_injector(fault_.get());
+  }
+}
+
 }  // namespace horus::queue
+

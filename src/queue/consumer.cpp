@@ -16,6 +16,11 @@ Consumer::Consumer(Broker& broker, std::string group, std::string topic,
 
 std::vector<ConsumedMessage> Consumer::poll(std::size_t max_messages,
                                             int timeout_ms) {
+  FaultInjector* injector = broker_.fault_injector();
+  if (injector != nullptr && injector->should_fail_poll()) {
+    throw TransientFault("queue: injected poll failure for group '" + group_ +
+                         "'");
+  }
   std::vector<ConsumedMessage> out;
   Topic& topic = broker_.topic(topic_name_);
 
@@ -51,6 +56,23 @@ std::vector<ConsumedMessage> Consumer::poll(std::size_t max_messages,
       out.push_back(ConsumedMessage{partitions_[0], std::move(m)});
     }
     drain(/*blocking=*/false);
+  }
+  if (injector != nullptr && !out.empty()) {
+    if (injector->should_redeliver()) {
+      // Rewind our position over the last message: it is delivered now AND
+      // will be delivered again on the next poll (at-least-once duplicate
+      // on the consumer side).
+      const int p = out.back().partition;
+      for (std::size_t i = 0; i < partitions_.size(); ++i) {
+        if (partitions_[i] == p) {
+          --positions_[i];
+          break;
+        }
+      }
+    }
+    // May throw InjectedCrash — positions are lost with this consumer and
+    // the replacement resumes from the committed offsets.
+    injector->on_consumed(group_, out.size());
   }
   return out;
 }

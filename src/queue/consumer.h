@@ -28,6 +28,12 @@ class Consumer {
   /// partitions, blocking up to `timeout_ms` if none are available anywhere.
   /// Returned messages advance this consumer's *position* but are not
   /// committed until commit() is called.
+  ///
+  /// With a fault injector attached to the broker this may throw
+  /// TransientFault (retryable poll failure), redeliver the last returned
+  /// message again on the next poll, or throw InjectedCrash (the scheduled
+  /// death of this consumer's worker — not retryable; build a new Consumer,
+  /// which resumes from the committed offsets).
   [[nodiscard]] std::vector<ConsumedMessage> poll(std::size_t max_messages,
                                                   int timeout_ms);
 

@@ -1,0 +1,97 @@
+#include "queue/fault.h"
+
+#include <algorithm>
+
+namespace horus::queue {
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)), rng_(plan_.seed) {}
+
+bool FaultInjector::should_fail_produce() {
+  if (plan_.produce_failure_p <= 0) return false;
+  const std::lock_guard lock(mutex_);
+  if (!rng_.chance(plan_.produce_failure_p)) return false;
+  ++counters_.produce_failures;
+  return true;
+}
+
+bool FaultInjector::should_duplicate() {
+  if (plan_.duplicate_p <= 0) return false;
+  const std::lock_guard lock(mutex_);
+  if (!rng_.chance(plan_.duplicate_p)) return false;
+  ++counters_.duplicates;
+  return true;
+}
+
+bool FaultInjector::should_fail_poll() {
+  if (plan_.poll_failure_p <= 0) return false;
+  const std::lock_guard lock(mutex_);
+  if (!rng_.chance(plan_.poll_failure_p)) return false;
+  ++counters_.poll_failures;
+  return true;
+}
+
+bool FaultInjector::should_redeliver() {
+  if (plan_.redeliver_p <= 0) return false;
+  const std::lock_guard lock(mutex_);
+  if (!rng_.chance(plan_.redeliver_p)) return false;
+  ++counters_.redeliveries;
+  return true;
+}
+
+bool FaultInjector::consume_stall(const std::string& partition_label) {
+  if (plan_.stall_p <= 0) return false;
+  const std::lock_guard lock(mutex_);
+  auto it = stall_left_.find(partition_label);
+  if (it != stall_left_.end() && it->second > 0) {
+    --it->second;
+    return true;
+  }
+  if (!rng_.chance(plan_.stall_p)) return false;
+  // Begin a stall spanning [1, stall_fetches_max] fetch attempts (this one
+  // included).
+  const int span = static_cast<int>(
+      rng_.uniform(1, std::max(1, plan_.stall_fetches_max)));
+  stall_left_[partition_label] = span - 1;
+  ++counters_.stalls;
+  return true;
+}
+
+void FaultInjector::on_consumed(const std::string& group, std::size_t n) {
+  if (plan_.crash_every == 0 && plan_.crash_after.empty()) return;
+  bool crash = false;
+  {
+    const std::lock_guard lock(mutex_);
+    const std::uint64_t before = consumed_[group];
+    const std::uint64_t after = before + n;
+    consumed_[group] = after;
+
+    int& done = crashes_done_[group];
+    if (plan_.crash_every > 0 && done < plan_.max_crashes_per_group &&
+        after / plan_.crash_every > before / plan_.crash_every) {
+      ++done;
+      crash = true;
+    }
+    if (!crash) {
+      auto it = plan_.crash_after.find(group);
+      if (it != plan_.crash_after.end()) {
+        std::size_t& idx = explicit_index_[group];
+        if (idx < it->second.size() && after >= it->second[idx]) {
+          ++idx;
+          crash = true;
+        }
+      }
+    }
+    if (crash) ++counters_.crashes;
+  }
+  if (crash) {
+    throw InjectedCrash("injected crash of consumer group '" + group + "'");
+  }
+}
+
+FaultInjector::Counters FaultInjector::counters() const {
+  const std::lock_guard lock(mutex_);
+  return counters_;
+}
+
+}  // namespace horus::queue

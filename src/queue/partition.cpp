@@ -3,8 +3,10 @@
 #include <chrono>
 #include <fstream>
 #include <stdexcept>
+#include <thread>
 
 #include "common/json.h"
+#include "queue/fault.h"
 
 namespace horus::queue {
 
@@ -19,6 +21,7 @@ std::uint64_t Partition::append(std::string key, std::string value) {
 std::size_t Partition::fetch(std::uint64_t offset, std::size_t max_messages,
                              std::vector<Message>& out) const {
   const std::lock_guard lock(mutex_);
+  if (fault_ != nullptr && fault_->consume_stall(fault_label_)) return 0;
   std::size_t n = 0;
   while (offset + n < log_.size() && n < max_messages) {
     out.push_back(log_[offset + n]);
@@ -31,6 +34,12 @@ std::size_t Partition::fetch_wait(std::uint64_t offset,
                                   std::size_t max_messages, int timeout_ms,
                                   std::vector<Message>& out) const {
   std::unique_lock lock(mutex_);
+  if (fault_ != nullptr && fault_->consume_stall(fault_label_)) {
+    // Simulate the latency of the hiccup without busy-spinning callers.
+    lock.unlock();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    return 0;
+  }
   cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
                [&] { return offset < log_.size(); });
   std::size_t n = 0;
@@ -78,6 +87,12 @@ void Partition::load(const std::string& path) {
   const std::lock_guard lock(mutex_);
   log_ = std::move(loaded);
   cv_.notify_all();
+}
+
+void Partition::set_fault_injector(FaultInjector* injector, std::string label) {
+  const std::lock_guard lock(mutex_);
+  fault_ = injector;
+  fault_label_ = std::move(label);
 }
 
 }  // namespace horus::queue

@@ -16,6 +16,8 @@
 
 namespace horus::queue {
 
+class FaultInjector;
+
 struct Message {
   std::uint64_t offset = 0;
   std::string key;
@@ -51,10 +53,18 @@ class Partition {
   /// Replaces contents with messages loaded from `path`.
   void load(const std::string& path);
 
+  /// Attaches the fault-injection harness (see queue/fault.h). A stalled
+  /// partition serves nothing from fetch()/fetch_wait() for a bounded
+  /// number of attempts — bounded delivery delay without reordering.
+  /// `label` identifies this partition in the injector ("topic/index").
+  void set_fault_injector(FaultInjector* injector, std::string label);
+
  private:
   mutable std::mutex mutex_;
   mutable std::condition_variable cv_;
   std::vector<Message> log_;
+  FaultInjector* fault_ = nullptr;
+  std::string fault_label_;
 };
 
 }  // namespace horus::queue

@@ -4,15 +4,28 @@
 //   horus_cli capture   --workload trainticket|synthetic [--seed N]
 //                       [--events N] [--duration-s N] --out FILE
 //                       [--falcon-trace FILE]
+//                       [--distributed [--partitions N] [--intra N]
+//                        [--inter N] [--wal-dir DIR] [--broker-out DIR]
+//                        [--fault-seed N] [--fault-crash-every N]
+//                        [--fault-max-crashes N] [--fault-fail P]
+//                        [--fault-duplicate P] [--fault-redeliver P]
+//                        [--fault-stall P]]
 //   horus_cli stats     --graph FILE
 //   horus_cli validate  --graph FILE
 //   horus_cli query     --graph FILE QUERY
 //   horus_cli shiviz    --graph FILE [--only-logs] [--out FILE]
 //   horus_cli dot       --graph FILE --from EVENTID --to EVENTID [--out FILE]
+//   horus_cli dlq       --broker DIR [--topic NAME]
 //
 // `capture` runs a workload through the full adapter/encoder pipeline and
-// writes a reloadable graph snapshot (logical time already assigned). The
-// analysis subcommands load that snapshot, re-derive vector clocks and
+// writes a reloadable graph snapshot (logical time already assigned). With
+// --distributed it deploys the queue-backed multi-worker pipeline instead
+// of the embedded facade; the --fault-* flags arm the deterministic fault
+// injector (crashes, duplicates, stalls, transient failures — see
+// queue/fault.h) so operators can rehearse recovery, and --wal-dir makes
+// the inter stage's pending pairs durable across the injected crashes.
+// `dlq` prints the dead-letter topic of a persisted broker (--broker-out).
+// The analysis subcommands load a snapshot, re-derive vector clocks and
 // answer causal queries — the offline half of the Horus workflow.
 #include <cstdio>
 #include <cstring>
@@ -25,7 +38,10 @@
 
 #include "baselines/falcon_trace.h"
 #include "core/horus.h"
+#include "core/pipeline.h"
 #include "core/validator.h"
+#include "queue/broker.h"
+#include "queue/fault.h"
 #include "gen/synthetic.h"
 #include "graph/dot_export.h"
 #include "query/evaluator.h"
@@ -51,6 +67,11 @@ struct Args {
                                      std::int64_t fallback) const {
     auto it = options.find(key);
     return it == options.end() ? fallback : std::stoll(it->second);
+  }
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : std::stod(it->second);
   }
   [[nodiscard]] bool has(const std::string& key) const {
     return options.contains(key);
@@ -82,11 +103,18 @@ int usage() {
   horus_cli capture   --workload trainticket|synthetic [--seed N]
                       [--events N] [--duration-s N] --out FILE
                       [--falcon-trace FILE]
+                      [--distributed [--partitions N] [--intra N] [--inter N]
+                       [--wal-dir DIR] [--broker-out DIR]
+                       [--fault-seed N] [--fault-crash-every N]
+                       [--fault-max-crashes N] [--fault-fail P]
+                       [--fault-duplicate P] [--fault-redeliver P]
+                       [--fault-stall P]]
   horus_cli stats     --graph FILE
   horus_cli validate  --graph FILE
   horus_cli query     --graph FILE 'MATCH ... RETURN ...'   (or on stdin)
   horus_cli shiviz    --graph FILE [--only-logs] [--out FILE]
   horus_cli dot       --graph FILE --from EVENTID --to EVENTID [--out FILE]
+  horus_cli dlq       --broker DIR [--topic NAME]
 )");
   return 2;
 }
@@ -102,7 +130,98 @@ load_graph(const std::string& path) {
   return {std::move(graph), std::move(assigner)};
 }
 
+/// The queue-backed deployment: events flow broker -> intra workers ->
+/// broker -> inter workers, optionally under injected faults, with the
+/// recovery statistics printed at the end.
+int cmd_capture_distributed(const Args& args) {
+  const std::string workload = args.get("workload", "trainticket");
+  const std::string out_path = args.get("out");
+  if (out_path.empty()) return usage();
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  queue::Broker broker;
+  queue::FaultPlan plan;
+  plan.seed = static_cast<std::uint64_t>(
+      args.get_int("fault-seed", static_cast<std::int64_t>(seed)));
+  plan.produce_failure_p = args.get_double("fault-fail", 0.0);
+  plan.poll_failure_p = plan.produce_failure_p;
+  plan.duplicate_p = args.get_double("fault-duplicate", 0.0);
+  plan.redeliver_p = args.get_double("fault-redeliver", 0.0);
+  plan.stall_p = args.get_double("fault-stall", 0.0);
+  plan.crash_every =
+      static_cast<std::uint64_t>(args.get_int("fault-crash-every", 0));
+  plan.max_crashes_per_group =
+      static_cast<int>(args.get_int("fault-max-crashes", 3));
+  if (plan.enabled()) {
+    broker.set_fault_injector(std::make_shared<queue::FaultInjector>(plan));
+  }
+
+  ExecutionGraph graph;
+  PipelineOptions options;
+  options.partitions = static_cast<int>(args.get_int("partitions", 4));
+  options.intra_workers = static_cast<int>(args.get_int("intra", 2));
+  options.inter_workers = static_cast<int>(args.get_int("inter", 2));
+  options.event_flush_interval_ms = 20;
+  options.relationship_flush_interval_ms = 20;
+  options.wal_dir = args.get("wal-dir");
+  Pipeline pipeline(broker, graph, options);
+  pipeline.start();
+
+  if (workload == "trainticket") {
+    tt::TrainTicketOptions tt_options;
+    tt_options.seed = seed;
+    tt_options.duration_ns = args.get_int("duration-s", 60) * 1'000'000'000;
+    const auto report = tt::run_trainticket(tt_options, pipeline.sink());
+    std::printf("trainticket: %llu events published\n",
+                static_cast<unsigned long long>(report.total_events));
+  } else if (workload == "synthetic") {
+    gen::ClientServerOptions gen_options;
+    gen_options.seed = seed;
+    gen_options.num_events =
+        static_cast<std::size_t>(args.get_int("events", 10'000));
+    for (Event& e : gen::client_server_events(gen_options)) {
+      pipeline.publish(e);
+    }
+    std::printf("synthetic: %llu events published\n",
+                static_cast<unsigned long long>(pipeline.events_published()));
+  } else {
+    std::fprintf(stderr, "unknown workload '%s'\n", workload.c_str());
+    return 2;
+  }
+
+  const bool drained = pipeline.drain();
+  if (!drained) {
+    std::fprintf(stderr, "warning: pipeline drain timed out\n");
+  }
+  pipeline.stop();
+
+  LogicalClockAssigner assigner(
+      graph, LogicalClockAssigner::Options{.write_lamport_property = true});
+  assigner.assign();
+  graph.save(out_path);
+  std::printf("graph snapshot (%zu nodes, %zu relationships) -> %s\n",
+              graph.store().node_count(), graph.store().edge_count(),
+              out_path.c_str());
+  std::printf(
+      "pipeline: published=%llu processed=%llu retried=%llu "
+      "dead-lettered=%llu recoveries=%llu deduplicated=%llu\n",
+      static_cast<unsigned long long>(pipeline.events_published()),
+      static_cast<unsigned long long>(pipeline.events_processed()),
+      static_cast<unsigned long long>(pipeline.events_retried()),
+      static_cast<unsigned long long>(pipeline.events_dead_lettered()),
+      static_cast<unsigned long long>(pipeline.recoveries()),
+      static_cast<unsigned long long>(pipeline.events_deduplicated()));
+
+  if (args.has("broker-out")) {
+    broker.persist(args.get("broker-out"));
+    std::printf("broker state (topics, offsets, dlq) -> %s\n",
+                args.get("broker-out").c_str());
+  }
+  return drained ? 0 : 1;
+}
+
 int cmd_capture(const Args& args) {
+  if (args.has("distributed")) return cmd_capture_distributed(args);
   const std::string workload = args.get("workload", "trainticket");
   const std::string out_path = args.get("out");
   if (out_path.empty()) return usage();
@@ -250,6 +369,33 @@ int cmd_dot(const Args& args) {
   return 0;
 }
 
+int cmd_dlq(const Args& args) {
+  const std::string dir = args.get("broker");
+  if (dir.empty()) return usage();
+  queue::Broker broker;
+  broker.load(dir);
+  const std::string topic_name = args.get("topic", "horus.dlq");
+  if (!broker.has_topic(topic_name)) {
+    std::printf("no '%s' topic in %s\n", topic_name.c_str(), dir.c_str());
+    return 0;
+  }
+  queue::Topic& topic = broker.topic(topic_name);
+  std::uint64_t total = 0;
+  for (int p = 0; p < topic.num_partitions(); ++p) {
+    const queue::Partition& partition = topic.partition(p);
+    std::vector<queue::Message> messages;
+    partition.fetch(0, static_cast<std::size_t>(partition.end_offset()),
+                    messages);
+    for (const queue::Message& m : messages) {
+      std::printf("%s\n", m.value.c_str());
+      ++total;
+    }
+  }
+  std::fprintf(stderr, "%llu dead-lettered message(s)\n",
+               static_cast<unsigned long long>(total));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -261,6 +407,7 @@ int main(int argc, char** argv) {
     if (args.command == "query") return cmd_query(args);
     if (args.command == "shiviz") return cmd_shiviz(args);
     if (args.command == "dot") return cmd_dot(args);
+    if (args.command == "dlq") return cmd_dlq(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
