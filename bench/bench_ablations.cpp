@@ -12,6 +12,7 @@
 //     vs. the full component-wise VC(a) < VC(b) comparison.
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
 #include "bench_util.h"
 #include "core/causal_query.h"
 #include "core/horus.h"
@@ -153,4 +154,4 @@ BENCHMARK(BM_FlushInterval)
 BENCHMARK(BM_Q1_PositionTest)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_Q1_FullVcCompare)->Unit(benchmark::kMicrosecond);
 
-BENCHMARK_MAIN();
+HORUS_BENCH_MAIN()

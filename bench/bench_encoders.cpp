@@ -4,6 +4,7 @@
 // encoding (causal-pair matching + edge write), and clock assignment.
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
 #include "common/json.h"
 #include "core/horus.h"
 #include "gen/synthetic.h"
@@ -108,4 +109,4 @@ BENCHMARK(BM_IntraEncoder)->Arg(100)->Arg(10'000)
 BENCHMARK(BM_InterEncoder)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ClockAssignment)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+HORUS_BENCH_MAIN()

@@ -15,6 +15,7 @@
 #include <cstring>
 
 #include "baselines/falcon_solver.h"
+#include "bench_main.h"
 #include "bench_util.h"
 #include "core/logical_clocks.h"
 #include "gen/synthetic.h"
@@ -86,7 +87,8 @@ Point run_point(std::size_t events) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  const bool quick = horus::bench::flag_present(argc, argv, "--quick");
+  horus::bench::JsonReport report(argc, argv);
 
   std::printf("=== Figure 6: logical time assignment, Falcon solver vs "
               "Horus ===\n\n");
@@ -102,7 +104,15 @@ int main(int argc, char** argv) {
     std::printf("%9zu %14.1f %10zu %12.1f %22.1f\n", p.events, p.falcon_ms,
                 p.falcon_passes, p.horus_ms, p.horus_incremental_ms);
     std::fflush(stdout);
+    horus::Json row = horus::Json::object();
+    row["events"] = static_cast<std::int64_t>(p.events);
+    row["falcon_ms"] = p.falcon_ms;
+    row["falcon_passes"] = static_cast<std::int64_t>(p.falcon_passes);
+    row["horus_ms"] = p.horus_ms;
+    row["horus_incremental_ms"] = p.horus_incremental_ms;
+    report.add_row(std::move(row));
   }
+  report.write("fig6_logical_time");
   std::printf("\npaper shape: Falcon grows super-linearly with graph size "
               "(unusable beyond\na few thousand events); Horus grows "
               "near-linearly and the incremental run\nscales with new "

@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "bench_main.h"
 #include "bench_util.h"
 #include "core/causal_query.h"
 #include "graph/traversal.h"
@@ -82,4 +83,4 @@ BENCHMARK(BM_Q1_HorusVectorClocks)
     ->Arg(100'000)
     ->Unit(benchmark::kMicrosecond);
 
-BENCHMARK_MAIN();
+HORUS_BENCH_MAIN()

@@ -13,6 +13,7 @@
 // paper does (it could not push the baseline past 100 events either).
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
 #include "bench_util.h"
 #include "core/causal_query.h"
 #include "graph/traversal.h"
@@ -86,4 +87,4 @@ BENCHMARK(BM_Q2_HorusGetCausalGraph)
     ->Arg(100'000)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+HORUS_BENCH_MAIN()

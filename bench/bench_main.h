@@ -1,0 +1,109 @@
+// Benchmark entry points with machine-readable output.
+//
+// Every bench_* binary accepts `--json <path>` (or `--json=<path>`) and
+// writes its results there as JSON, so the perf trajectory can be tracked
+// across commits (bench/run_all.sh collects one BENCH_<name>.json per
+// binary at the repo root).
+//
+//  - Google-Benchmark-based binaries use HORUS_BENCH_MAIN(), which maps
+//    --json onto --benchmark_out/--benchmark_out_format.
+//  - Hand-rolled mains (fig5/fig6/table1) collect rows into a JsonReport.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+
+namespace horus::bench {
+
+/// Value of "--json <path>" / "--json=<path>" in argv, or "" when absent.
+inline std::string json_out_path(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      return argv[i + 1];
+    }
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      return argv[i] + 7;
+    }
+  }
+  return {};
+}
+
+inline bool flag_present(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+/// Google-Benchmark main loop, with --json translated into the library's
+/// --benchmark_out flags before Initialize() consumes argv.
+inline int run_benchmark_main(int argc, char** argv) {
+  std::vector<std::string> storage;
+  storage.reserve(static_cast<std::size_t>(argc) + 1);
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      storage.push_back("--benchmark_out=" + std::string(argv[++i]));
+      storage.push_back("--benchmark_out_format=json");
+    } else if (arg.rfind("--json=", 0) == 0) {
+      storage.push_back("--benchmark_out=" + arg.substr(7));
+      storage.push_back("--benchmark_out_format=json");
+    } else {
+      storage.push_back(arg);
+    }
+  }
+  std::vector<char*> args;
+  args.reserve(storage.size());
+  for (std::string& s : storage) args.push_back(s.data());
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+/// Row collector for the hand-rolled benchmark mains. Mirrors the
+/// {"benchmarks": [...]} top-level shape of Google Benchmark's JSON so one
+/// consumer can read both.
+class JsonReport {
+ public:
+  JsonReport(int argc, char** argv) : path_(json_out_path(argc, argv)) {}
+
+  [[nodiscard]] bool enabled() const noexcept { return !path_.empty(); }
+
+  void add_row(Json row) { rows_.push_back(std::move(row)); }
+
+  /// Writes the report; a failed open is reported on stderr, not fatal.
+  void write(const char* bench_name) const {
+    if (path_.empty()) return;
+    Json doc = Json::object();
+    doc["name"] = std::string(bench_name);
+    doc["benchmarks"] = rows_;
+    std::ofstream out(path_, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "bench: cannot open %s\n", path_.c_str());
+      return;
+    }
+    out << doc.dump() << '\n';
+  }
+
+ private:
+  std::string path_;
+  Json rows_ = Json::array();
+};
+
+}  // namespace horus::bench
+
+#define HORUS_BENCH_MAIN()                          \
+  int main(int argc, char** argv) {                 \
+    return horus::bench::run_benchmark_main(argc, argv); \
+  }

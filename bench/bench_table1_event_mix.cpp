@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "bench_main.h"
 #include "core/horus.h"
 #include "trainticket/trainticket.h"
 
@@ -37,10 +38,11 @@ constexpr PaperRow kPaper[] = {
 int main(int argc, char** argv) {
   horus::tt::TrainTicketOptions options;
   // Full paper scale: six simulated minutes. --quick shrinks it for CI.
-  if (argc > 1 && std::strcmp(argv[1], "--quick") == 0) {
+  if (horus::bench::flag_present(argc, argv, "--quick")) {
     options.duration_ns = 60'000'000'000;
   }
   options.seed = 7;
+  horus::bench::JsonReport json(argc, argv);
 
   horus::Horus horus;
   const auto report = horus::tt::run_trainticket(options, horus.sink());
@@ -70,6 +72,13 @@ int main(int argc, char** argv) {
                 std::string(horus::to_string(row.type)).c_str(),
                 static_cast<unsigned long long>(count), pct, row.count,
                 row.pct);
+    horus::Json jrow = horus::Json::object();
+    jrow["event_type"] = std::string(horus::to_string(row.type));
+    jrow["measured"] = static_cast<std::int64_t>(count);
+    jrow["measured_pct"] = pct;
+    jrow["paper"] = static_cast<std::int64_t>(row.count);
+    jrow["paper_pct"] = row.pct;
+    json.add_row(std::move(jrow));
   }
   const auto fork_count =
       report.mix.counts[horus::index_of(horus::EventType::kFork)];
@@ -82,5 +91,6 @@ int main(int argc, char** argv) {
   }
   std::printf("\nF13 race manifested this run: %s\n",
               report.payment_failed ? "yes (payment failed)" : "no");
+  json.write("table1_event_mix");
   return 0;
 }

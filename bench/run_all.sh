@@ -1,0 +1,37 @@
+#!/usr/bin/env sh
+# Runs every bench_* binary and writes one BENCH_<name>.json per benchmark
+# at the repo root, for before/after comparison across commits.
+#
+# Usage: bench/run_all.sh [build-dir] [--quick]
+#   build-dir  defaults to ./build
+#   --quick    forwarded to every benchmark (smaller sizes / durations)
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir="$repo_root/build"
+quick=""
+for arg in "$@"; do
+  case "$arg" in
+    --quick) quick="--quick" ;;
+    *) build_dir="$arg" ;;
+  esac
+done
+
+benches="fig5_throughput fig6_logical_time fig7_q1 fig8_q2 table1_event_mix ablations encoders"
+
+status=0
+for name in $benches; do
+  bin="$build_dir/bench/bench_$name"
+  if [ ! -x "$bin" ]; then
+    echo "skip: $bin not built" >&2
+    continue
+  fi
+  out="$repo_root/BENCH_$name.json"
+  echo "=== bench_$name -> $out ==="
+  # shellcheck disable=SC2086  # $quick is intentionally word-split
+  if ! "$bin" --json "$out" $quick; then
+    echo "FAILED: bench_$name" >&2
+    status=1
+  fi
+done
+exit $status

@@ -25,9 +25,10 @@ CausalGraphResult CausalQueryEngine::get_causal_graph(graph::NodeId a,
   if (lc_a == 0 || lc_b == 0 || lc_a > lc_b) return result;
   if (a != b && !clocks_.happens_before(a, b)) return result;
 
-  // Step 1: LC-bounded over-approximation via the ordered index.
+  // Step 1: LC-bounded over-approximation via the ordered index, addressed
+  // by the pre-resolved key id (no string hashing on the query path).
   const std::vector<graph::NodeId> candidates =
-      store.range_scan(kPropLamport, lc_a, lc_b);
+      store.range_scan(graph_.keys().lamport, lc_a, lc_b);
   result.lc_candidates = candidates.size();
 
   // Step 2: vector-clock pruning of events concurrent with a or b.

@@ -13,7 +13,7 @@ graph::PropertyMap event_to_properties(const Event& event) {
   props.emplace(std::string(kPropHost), event.service);
   props.emplace(std::string(kPropThread), event.thread.to_string());
   props.emplace(std::string(kPropTimestamp), event.timestamp);
-  props.emplace("eventType", std::string(to_string(event.type)));
+  props.emplace(std::string(kPropEventType), std::string(to_string(event.type)));
   if (const auto* l = event.log()) {
     props.emplace(std::string(kPropMessage), l->message);
     props.emplace("logger", l->logger);
@@ -30,13 +30,59 @@ graph::PropertyMap event_to_properties(const Event& event) {
   return props;
 }
 
+graph::PropertyList ExecutionGraph::event_to_property_list(
+    const Event& event) const {
+  graph::PropertyList props;
+  props.reserve(8);
+  props.emplace_back(keys_.event_id,
+                     static_cast<std::int64_t>(value_of(event.id)));
+  props.emplace_back(keys_.host, event.service);
+  props.emplace_back(keys_.thread, event.thread.to_string());
+  props.emplace_back(keys_.timestamp, event.timestamp);
+  props.emplace_back(keys_.event_type, std::string(to_string(event.type)));
+  if (const auto* l = event.log()) {
+    props.emplace_back(keys_.message, l->message);
+    props.emplace_back(keys_.logger, l->logger);
+  } else if (const auto* n = event.net()) {
+    props.emplace_back(keys_.src, n->channel.src.to_string());
+    props.emplace_back(keys_.dst, n->channel.dst.to_string());
+    props.emplace_back(keys_.offset, static_cast<std::int64_t>(n->offset));
+    props.emplace_back(keys_.size, static_cast<std::int64_t>(n->size));
+  } else if (const auto* c = event.child()) {
+    props.emplace_back(keys_.child_thread, c->child.to_string());
+  } else if (const auto* f = event.fsync()) {
+    props.emplace_back(keys_.path, f->path);
+  }
+  return props;
+}
+
 ExecutionGraph::ExecutionGraph() {
+  // Schema keys are interned once; hot numeric keys (clock, timestamp, event
+  // id) live in dense direct columns and hot low-cardinality strings
+  // (timeline, event type, host) in interned columns, so the Fig. 7/8 query
+  // paths read flat vectors instead of per-node maps.
+  keys_.lamport = store_.declare_column(kPropLamport);
+  keys_.timestamp = store_.declare_column(kPropTimestamp);
+  keys_.event_id = store_.declare_column(kPropEventId);
+  keys_.timeline = store_.declare_interned_column(kPropTimeline);
+  keys_.event_type = store_.declare_interned_column(kPropEventType);
+  keys_.host = store_.declare_interned_column(kPropHost);
+  keys_.thread = store_.intern_prop_key(kPropThread);
+  keys_.message = store_.intern_prop_key(kPropMessage);
+  keys_.logger = store_.intern_prop_key("logger");
+  keys_.src = store_.intern_prop_key("src");
+  keys_.dst = store_.intern_prop_key("dst");
+  keys_.offset = store_.intern_prop_key("offset");
+  keys_.size = store_.intern_prop_key("size");
+  keys_.child_thread = store_.intern_prop_key("childThread");
+  keys_.path = store_.intern_prop_key("path");
+
   // The Horus query strategy needs: an ordered index on the Lamport clock
   // (LC range bounding), a hash index on eventId (node lookup by id) and on
   // host (the case-study query's anchor filters).
-  store_.create_ordered_index(kPropLamport);
-  store_.create_index(kPropEventId);
-  store_.create_index(kPropHost);
+  store_.create_ordered_index(keys_.lamport);
+  store_.create_index(keys_.event_id);
+  store_.create_index(keys_.host);
 }
 
 std::string timeline_key(const Event& event, TimelineGranularity granularity) {
@@ -53,10 +99,10 @@ graph::NodeId ExecutionGraph::add_event(const Event& event,
     auto it = node_by_event_.find(event.id);
     if (it != node_by_event_.end()) return it->second;
   }
-  graph::PropertyMap props = event_to_properties(event);
-  props.emplace(std::string(kPropTimeline), timeline);
+  graph::PropertyList props = event_to_property_list(event);
+  props.emplace_back(keys_.timeline, timeline);
   const graph::NodeId node =
-      store_.add_node(to_string(event.type), std::move(props));
+      store_.add_node_typed(to_string(event.type), std::move(props));
   const std::lock_guard lock(mutex_);
   node_by_event_.emplace(event.id, node);
   auto [tail_it, inserted] = tails_.try_emplace(
@@ -118,7 +164,7 @@ std::optional<graph::NodeId> ExecutionGraph::node_of(EventId id) const {
 }
 
 EventId ExecutionGraph::event_of(graph::NodeId node) const {
-  const auto v = store_.property(node, kPropEventId);
+  const graph::PropertyValue& v = store_.property(node, keys_.event_id);
   if (const auto* i = std::get_if<std::int64_t>(&v)) {
     return static_cast<EventId>(static_cast<std::uint64_t>(*i));
   }
@@ -138,14 +184,14 @@ void ExecutionGraph::load(const std::string& path) {
   graph::load_graph_file(store_, path);
   const std::lock_guard lock(mutex_);
   for (graph::NodeId v = 0; v < store_.node_count(); ++v) {
-    const auto id = store_.property(v, kPropEventId);
+    const graph::PropertyValue& id = store_.property(v, keys_.event_id);
     const auto* i = std::get_if<std::int64_t>(&id);
     if (i == nullptr) continue;
     const auto event_id = static_cast<EventId>(static_cast<std::uint64_t>(*i));
     node_by_event_.emplace(event_id, v);
 
-    const auto timeline = store_.property(v, kPropTimeline);
-    const auto ts = store_.property(v, kPropTimestamp);
+    const graph::PropertyValue& timeline = store_.property(v, keys_.timeline);
+    const graph::PropertyValue& ts = store_.property(v, keys_.timestamp);
     const auto* tl = std::get_if<std::string>(&timeline);
     const auto* t = std::get_if<std::int64_t>(&ts);
     if (tl == nullptr || t == nullptr) continue;

@@ -34,6 +34,28 @@ inline constexpr std::string_view kPropTimeline = "timeline";  // process key
 inline constexpr std::string_view kPropTimestamp = "timestamp";
 inline constexpr std::string_view kPropMessage = "message";  // LOG only
 inline constexpr std::string_view kPropLamport = "lamportLogicalTime";
+inline constexpr std::string_view kPropEventType = "eventType";
+
+/// The execution-graph schema, resolved to store PropKeyIds once at
+/// construction. Hot paths (clock assignment, causal queries, exports) use
+/// these ids instead of re-hashing key strings per node.
+struct ExecutionGraphKeys {
+  graph::PropKeyId event_id = graph::kNoPropKey;
+  graph::PropKeyId host = graph::kNoPropKey;
+  graph::PropKeyId thread = graph::kNoPropKey;
+  graph::PropKeyId timeline = graph::kNoPropKey;
+  graph::PropKeyId timestamp = graph::kNoPropKey;
+  graph::PropKeyId message = graph::kNoPropKey;
+  graph::PropKeyId lamport = graph::kNoPropKey;
+  graph::PropKeyId event_type = graph::kNoPropKey;
+  graph::PropKeyId logger = graph::kNoPropKey;
+  graph::PropKeyId src = graph::kNoPropKey;
+  graph::PropKeyId dst = graph::kNoPropKey;
+  graph::PropKeyId offset = graph::kNoPropKey;
+  graph::PropKeyId size = graph::kNoPropKey;
+  graph::PropKeyId child_thread = graph::kNoPropKey;
+  graph::PropKeyId path = graph::kNoPropKey;
+};
 
 /// The unit of program order. The paper builds *process* timelines (96 for
 /// the 20k-event TrainTicket trace; a process's threads share its host's
@@ -90,6 +112,11 @@ class ExecutionGraph {
     return store_;
   }
 
+  /// Schema keys resolved at construction (stable for the store's lifetime).
+  [[nodiscard]] const ExecutionGraphKeys& keys() const noexcept {
+    return keys_;
+  }
+
   [[nodiscard]] std::size_t event_count() const;
 
   /// Persists the stored execution (nodes, edges, properties — including
@@ -102,7 +129,13 @@ class ExecutionGraph {
   void load(const std::string& path);
 
  private:
+  /// Typed property bag for an event (hot write path — no string interning
+  /// per event).
+  [[nodiscard]] graph::PropertyList event_to_property_list(
+      const Event& event) const;
+
   graph::GraphStore store_;
+  ExecutionGraphKeys keys_;
   mutable std::mutex mutex_;
   std::unordered_map<EventId, graph::NodeId> node_by_event_;
   std::unordered_map<std::string, TimelineTail> tails_;
@@ -112,7 +145,8 @@ class ExecutionGraph {
   std::unordered_set<std::uint64_t> inter_edges_seen_;
 };
 
-/// Converts an Event to the node property bag persisted in the store.
+/// Converts an Event to the name-keyed node property bag persisted in the
+/// store (cold path; the graph's internal write path uses the typed form).
 [[nodiscard]] graph::PropertyMap event_to_properties(const Event& event);
 
 }  // namespace horus

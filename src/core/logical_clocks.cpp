@@ -9,15 +9,15 @@ bool ClockTable::happens_before(graph::NodeId a, graph::NodeId b) const {
   if (a == b) return false;
   if (!assigned(a) || !assigned(b)) return false;
   const auto ta = static_cast<std::size_t>(timeline_of_[a]);
-  const auto& vb = vc_[b];
+  const auto vb = vc(b);
   if (ta >= vb.size()) return false;  // timeline(a) unknown to b => no path
   return vb[ta] >= position_[a];
 }
 
 bool ClockTable::vc_less(graph::NodeId a, graph::NodeId b) const {
   if (!assigned(a) || !assigned(b)) return false;
-  const auto& va = vc_[a];
-  const auto& vb = vc_[b];
+  const auto va = vc(a);
+  const auto vb = vc(b);
   const std::size_t n = std::max(va.size(), vb.size());
   bool strictly = false;
   for (std::size_t i = 0; i < n; ++i) {
@@ -31,7 +31,7 @@ bool ClockTable::vc_less(graph::NodeId a, graph::NodeId b) const {
 
 std::string ClockTable::vc_string(graph::NodeId node) const {
   std::string out = "[";
-  const auto& v = node < vc_.size() ? vc_[node] : std::vector<std::int32_t>{};
+  const auto v = vc(node);
   for (std::size_t i = 0; i < timeline_names_.size(); ++i) {
     if (i > 0) out += ',';
     out += std::to_string(i < v.size() ? v[i] : 0);
@@ -44,18 +44,38 @@ LogicalClockAssigner::LogicalClockAssigner(ExecutionGraph& graph,
                                            Options options)
     : graph_(graph), options_(options) {}
 
+std::int32_t LogicalClockAssigner::timeline_for_pool(std::uint32_t pool_id) {
+  if (pool_id < timeline_of_pool_.size() &&
+      timeline_of_pool_[pool_id] >= 0) {
+    return timeline_of_pool_[pool_id];
+  }
+  const std::string name =
+      graph_.store().interned_name(graph_.keys().timeline, pool_id);
+  auto [tit, inserted] = table_.timeline_ids_.try_emplace(
+      name, static_cast<std::int32_t>(table_.timeline_names_.size()));
+  if (inserted) {
+    table_.timeline_names_.push_back(name);
+    table_.timeline_sizes_.push_back(0);
+  }
+  if (timeline_of_pool_.size() <= pool_id) {
+    timeline_of_pool_.resize(pool_id + 1, -1);
+  }
+  timeline_of_pool_[pool_id] = tit->second;
+  return tit->second;
+}
+
 std::size_t LogicalClockAssigner::assign() {
   const graph::GraphStore& store = graph_.store();
+  const ExecutionGraphKeys& keys = graph_.keys();
   const auto n = static_cast<graph::NodeId>(store.node_count());
 
   auto& lamport = table_.lamport_;
-  auto& vc = table_.vc_;
   auto& timeline_of = table_.timeline_of_;
   auto& position = table_.position_;
 
   if (lamport.size() < n) {
     lamport.resize(n, 0);
-    vc.resize(n);
+    table_.vc_slots_.resize(n);
     timeline_of.resize(n, -1);
     position.resize(n, 0);
   }
@@ -79,35 +99,30 @@ std::size_t LogicalClockAssigner::assign() {
   if (unassigned == 0) return 0;
 
   std::size_t processed = 0;
+  std::vector<std::int32_t> v_clock;  // scratch, reused across nodes
   while (!frontier.empty()) {
     const graph::NodeId v = frontier.back();
     frontier.pop_back();
     ++processed;
 
-    // Timeline identity from the stored timeline property (interned).
-    const auto thread_prop = store.property(v, kPropTimeline);
-    const std::string* thread_name = std::get_if<std::string>(&thread_prop);
-    if (thread_name == nullptr) {
+    // Timeline identity: an integer read from the interned timeline column —
+    // no string materialisation per node.
+    const std::uint32_t pool_id = store.interned_id(v, keys.timeline);
+    if (pool_id == graph::InternedColumnView::kAbsent) {
       throw std::logic_error("clock assigner: node without timeline property");
     }
-    auto [tit, inserted] = table_.timeline_ids_.try_emplace(
-        *thread_name, static_cast<std::int32_t>(table_.timeline_names_.size()));
-    if (inserted) {
-      table_.timeline_names_.push_back(*thread_name);
-      table_.timeline_sizes_.push_back(0);
-    }
-    const std::int32_t t = tit->second;
+    const std::int32_t t = timeline_for_pool(pool_id);
 
     // Lamport clock: 1 + max over predecessors.
     std::int64_t lc = 1;
     // Vector clock: component-wise max over predecessors, then tick own
     // component to this event's position in its timeline.
-    std::vector<std::int32_t> v_clock;
+    v_clock.clear();
     for (const graph::Edge& e : store.in_edges_snapshot(v)) {
       const graph::NodeId pred = e.to;
       if (pred >= n) continue;  // concurrently appended; healed next pass
       lc = std::max(lc, lamport[pred] + 1);
-      const auto& pv = vc[pred];
+      const auto pv = table_.vc(pred);
       if (pv.size() > v_clock.size()) v_clock.resize(pv.size(), 0);
       for (std::size_t i = 0; i < pv.size(); ++i) {
         v_clock[i] = std::max(v_clock[i], pv[i]);
@@ -120,12 +135,17 @@ std::size_t LogicalClockAssigner::assign() {
     v_clock[static_cast<std::size_t>(t)] = pos;
 
     lamport[v] = lc;
-    vc[v] = std::move(v_clock);
+    // Append the clock to the flat arena; predecessors' spans were fully
+    // consumed above, so the potential reallocation here is safe.
+    table_.vc_slots_[v] = {static_cast<std::uint32_t>(table_.vc_arena_.size()),
+                           static_cast<std::uint32_t>(v_clock.size())};
+    table_.vc_arena_.insert(table_.vc_arena_.end(), v_clock.begin(),
+                            v_clock.end());
     timeline_of[v] = t;
     position[v] = pos;
 
     if (options_.write_lamport_property) {
-      graph_.store().set_property(v, kPropLamport, lc);
+      graph_.store().set_property(v, keys.lamport, lc);
     }
 
     for (const graph::Edge& e : store.out_edges_snapshot(v)) {
@@ -147,6 +167,7 @@ std::size_t LogicalClockAssigner::assign() {
 
 std::size_t LogicalClockAssigner::reassign_all() {
   table_ = ClockTable{};
+  timeline_of_pool_.clear();  // table timeline ids were dropped with the table
   return assign();
 }
 

@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -43,8 +44,12 @@ class ClockTable {
   /// Vector clock of a node. Component i corresponds to timeline i; vectors
   /// may be shorter than the current timeline count (missing components are
   /// zero — timelines discovered later than the event's assignment).
-  [[nodiscard]] const std::vector<std::int32_t>& vc(graph::NodeId node) const {
-    return vc_[node];
+  /// Clocks live in one flat arena (assigned once, append-only); the span
+  /// stays valid until reassign_all().
+  [[nodiscard]] std::span<const std::int32_t> vc(graph::NodeId node) const {
+    if (node >= vc_slots_.size()) return {};
+    const VcSlot s = vc_slots_[node];
+    return {vc_arena_.data() + s.offset, s.len};
   }
 
   /// Timeline index of a node (-1 if unassigned).
@@ -84,12 +89,21 @@ class ClockTable {
  private:
   friend class LogicalClockAssigner;
 
+  /// Offset/length of a node's clock inside the flat arena.
+  struct VcSlot {
+    std::uint32_t offset = 0;
+    std::uint32_t len = 0;
+  };
+
   std::vector<std::int64_t> lamport_;
-  std::vector<std::vector<std::int32_t>> vc_;
+  std::vector<std::int32_t> vc_arena_;  ///< all vector clocks, back to back
+  std::vector<VcSlot> vc_slots_;
   std::vector<std::int32_t> timeline_of_;
   std::vector<std::int32_t> position_;
   std::vector<std::string> timeline_names_;
-  std::unordered_map<std::string, std::int32_t> timeline_ids_;
+  std::unordered_map<std::string, std::int32_t, graph::StringHash,
+                     std::equal_to<>>
+      timeline_ids_;
   std::vector<std::int32_t> timeline_sizes_;  ///< events assigned per timeline
 };
 
@@ -119,9 +133,14 @@ class LogicalClockAssigner {
   [[nodiscard]] const ClockTable& clocks() const noexcept { return table_; }
 
  private:
+  /// Table timeline id for a store-interned timeline pool id (interning the
+  /// name on first sight). Pool ids are append-only, so the cache is stable.
+  std::int32_t timeline_for_pool(std::uint32_t pool_id);
+
   ExecutionGraph& graph_;
   Options options_;
   ClockTable table_;
+  std::vector<std::int32_t> timeline_of_pool_;  ///< pool id -> table id cache
 };
 
 }  // namespace horus

@@ -12,25 +12,16 @@ namespace {
 using graph::GraphStore;
 using graph::NodeId;
 
-std::string node_desc(const GraphStore& store, NodeId node) {
-  std::string out = "#" + std::to_string(node) + "(" +
-                    store.node_label(node);
-  const auto thread = store.property(node, kPropThread);
-  if (const auto* s = std::get_if<std::string>(&thread)) out += " " + *s;
-  out += ")";
-  return out;
-}
-
 std::optional<std::int64_t> int_prop(const GraphStore& store, NodeId node,
-                                     std::string_view key) {
-  const auto v = store.property(node, key);
+                                     graph::PropKeyId key) {
+  const auto& v = store.property(node, key);
   if (const auto* i = std::get_if<std::int64_t>(&v)) return *i;
   return std::nullopt;
 }
 
 std::optional<std::string> str_prop(const GraphStore& store, NodeId node,
-                                    std::string_view key) {
-  const auto v = store.property(node, key);
+                                    graph::PropKeyId key) {
+  const auto& v = store.property(node, key);
   if (const auto* s = std::get_if<std::string>(&v)) return *s;
   return std::nullopt;
 }
@@ -38,7 +29,10 @@ std::optional<std::string> str_prop(const GraphStore& store, NodeId node,
 class Validator {
  public:
   Validator(const ExecutionGraph& graph, const ClockTable* clocks)
-      : graph_(graph), store_(graph.store()), clocks_(clocks) {}
+      : graph_(graph),
+        store_(graph.store()),
+        keys_(graph.keys()),
+        clocks_(clocks) {}
 
   ValidationReport run() {
     check_acyclic();
@@ -49,6 +43,15 @@ class Validator {
   }
 
  private:
+  [[nodiscard]] std::string node_desc(NodeId node) const {
+    std::string out =
+        "#" + std::to_string(node) + "(" + store_.node_label(node);
+    const auto& thread = store_.property(node, keys_.thread);
+    if (const auto* s = std::get_if<std::string>(&thread)) out += " " + *s;
+    out += ")";
+    return out;
+  }
+
   void issue(const char* invariant, std::string detail) {
     // Cap the report to keep massive violations readable.
     if (report_.issues.size() < 64) {
@@ -93,25 +96,26 @@ class Validator {
       for (const graph::Edge& e : store_.out_edges(v)) {
         if (e.type != *next_type) continue;
         ++next_out;
-        const auto tl_a = str_prop(store_, v, kPropTimeline);
-        const auto tl_b = str_prop(store_, e.to, kPropTimeline);
+        // Interned timeline column: integer compare instead of strings.
+        const auto tl_a = store_.interned_id(v, keys_.timeline);
+        const auto tl_b = store_.interned_id(e.to, keys_.timeline);
         if (tl_a != tl_b) {
           issue("V2", "NEXT edge crosses timelines: " +
-                          node_desc(store_, v) + " -> " +
-                          node_desc(store_, e.to));
+                          node_desc(v) + " -> " +
+                          node_desc(e.to));
         }
-        const auto ts_a = int_prop(store_, v, kPropTimestamp);
-        const auto ts_b = int_prop(store_, e.to, kPropTimestamp);
+        const auto ts_a = int_prop(store_, v, keys_.timestamp);
+        const auto ts_b = int_prop(store_, e.to, keys_.timestamp);
         if (ts_a && ts_b && *ts_a > *ts_b) {
           issue("V2", "NEXT edge goes backwards in time: " +
-                          node_desc(store_, v) + " -> " +
-                          node_desc(store_, e.to));
+                          node_desc(v) + " -> " +
+                          node_desc(e.to));
         }
       }
       if (next_out > 1) {
         issue("V2", "node has " + std::to_string(next_out) +
                         " outgoing NEXT edges (timeline is not a chain): " +
-                        node_desc(store_, v));
+                        node_desc(v));
       }
       std::size_t next_in = 0;
       for (const graph::Edge& e : store_.in_edges(v)) {
@@ -119,7 +123,7 @@ class Validator {
       }
       if (next_in > 1) {
         issue("V2", "node has " + std::to_string(next_in) +
-                        " incoming NEXT edges: " + node_desc(store_, v));
+                        " incoming NEXT edges: " + node_desc(v));
       }
     }
   }
@@ -141,23 +145,23 @@ class Validator {
     const std::string& to_label = store_.node_label(to);
 
     auto bad = [&](const std::string& why) {
-      issue("V3", "HB edge " + node_desc(store_, from) + " -> " +
-                      node_desc(store_, to) + ": " + why);
+      issue("V3", "HB edge " + node_desc(from) + " -> " +
+                      node_desc(to) + ": " + why);
     };
 
     if (from_label == "SND" && to_label == "RCV") {
-      const auto src_a = str_prop(store_, from, "src");
-      const auto src_b = str_prop(store_, to, "src");
-      const auto dst_a = str_prop(store_, from, "dst");
-      const auto dst_b = str_prop(store_, to, "dst");
+      const auto src_a = str_prop(store_, from, keys_.src);
+      const auto src_b = str_prop(store_, to, keys_.src);
+      const auto dst_a = str_prop(store_, from, keys_.dst);
+      const auto dst_b = str_prop(store_, to, keys_.dst);
       if (src_a != src_b || dst_a != dst_b) {
         bad("channel mismatch");
         return;
       }
-      const auto off_a = int_prop(store_, from, "offset");
-      const auto len_a = int_prop(store_, from, "size");
-      const auto off_b = int_prop(store_, to, "offset");
-      const auto len_b = int_prop(store_, to, "size");
+      const auto off_a = int_prop(store_, from, keys_.offset);
+      const auto len_a = int_prop(store_, from, keys_.size);
+      const auto off_b = int_prop(store_, to, keys_.offset);
+      const auto len_b = int_prop(store_, to, keys_.size);
       if (!off_a || !len_a || !off_b || !len_b) {
         bad("missing byte-range attributes");
         return;
@@ -168,23 +172,23 @@ class Validator {
       return;
     }
     if (from_label == "CONNECT" && to_label == "ACCEPT") {
-      if (str_prop(store_, from, "src") != str_prop(store_, to, "src") ||
-          str_prop(store_, from, "dst") != str_prop(store_, to, "dst")) {
+      if (str_prop(store_, from, keys_.src) != str_prop(store_, to, keys_.src) ||
+          str_prop(store_, from, keys_.dst) != str_prop(store_, to, keys_.dst)) {
         bad("channel mismatch");
       }
       return;
     }
     if ((from_label == "CREATE" || from_label == "FORK") &&
         to_label == "START") {
-      if (str_prop(store_, from, "childThread") !=
-          str_prop(store_, to, kPropThread)) {
+      if (str_prop(store_, from, keys_.child_thread) !=
+          str_prop(store_, to, keys_.thread)) {
         bad("CREATE/FORK child does not match STARTed thread");
       }
       return;
     }
     if (from_label == "END" && to_label == "JOIN") {
-      if (str_prop(store_, from, kPropThread) !=
-          str_prop(store_, to, "childThread")) {
+      if (str_prop(store_, from, keys_.thread) !=
+          str_prop(store_, to, keys_.child_thread)) {
         bad("END thread does not match JOINed child");
       }
       return;
@@ -199,7 +203,7 @@ class Validator {
     std::unordered_map<std::int32_t, std::vector<NodeId>> by_timeline;
     for (NodeId v = 0; v < n; ++v) {
       if (!clocks_->assigned(v)) {
-        issue("V4", "node without assigned clocks: " + node_desc(store_, v));
+        issue("V4", "node without assigned clocks: " + node_desc(v));
         continue;
       }
       by_timeline[clocks_->timeline_of(v)].push_back(v);
@@ -207,8 +211,8 @@ class Validator {
         if (clocks_->assigned(e.to) &&
             clocks_->lamport(v) >= clocks_->lamport(e.to)) {
           issue("V4", "Lamport clock does not increase along edge " +
-                          node_desc(store_, v) + " -> " +
-                          node_desc(store_, e.to));
+                          node_desc(v) + " -> " +
+                          node_desc(e.to));
         }
       }
     }
@@ -229,6 +233,7 @@ class Validator {
 
   const ExecutionGraph& graph_;
   const GraphStore& store_;
+  const ExecutionGraphKeys& keys_;
   const ClockTable* clocks_;
   ValidationReport report_;
 };

@@ -44,11 +44,12 @@ std::string to_dot(const GraphStore& store, const std::vector<NodeId>& nodes,
              escape_dot(label_fn(store, v)) + "\"];\n";
     }
   } else {
-    // Stable cluster order by property value.
+    // Stable cluster order by property value; the key is resolved to its
+    // interned id once, not re-hashed per node.
+    const PropKeyId cluster_key = store.prop_key_id(options.cluster_by);
     std::map<std::string, std::vector<NodeId>> clusters;
     for (const NodeId v : nodes) {
-      clusters[to_display_string(store.property(v, options.cluster_by))]
-          .push_back(v);
+      clusters[to_display_string(store.property(v, cluster_key))].push_back(v);
     }
     int index = 0;
     for (const auto& [value, members] : clusters) {

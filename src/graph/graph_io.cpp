@@ -27,6 +27,74 @@ PropertyValue property_from_json(const Json& j) {
   return std::monostate{};
 }
 
+void load_edges(GraphStore& store, std::istream& in, std::string& line) {
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const Json j = Json::parse(line);
+    store.add_edge(static_cast<NodeId>(j.at("from").as_int()),
+                   static_cast<NodeId>(j.at("to").as_int()),
+                   j.at("type").as_string());
+  }
+}
+
+void load_v1_nodes(GraphStore& store, std::istream& in, std::string& line,
+                   std::size_t nodes) {
+  for (std::size_t i = 0; i < nodes; ++i) {
+    if (!std::getline(in, line)) {
+      throw std::runtime_error("graph io: truncated node section");
+    }
+    const Json j = Json::parse(line);
+    PropertyMap props;
+    for (const auto& [key, value] : j.at("props").as_object()) {
+      props.emplace(key, property_from_json(value));
+    }
+    const NodeId assigned =
+        store.add_node(j.at("label").as_string(), std::move(props));
+    if (assigned != static_cast<NodeId>(j.at("id").as_int())) {
+      throw std::runtime_error("graph io: node ids are not dense");
+    }
+  }
+}
+
+void load_v2_nodes(GraphStore& store, std::istream& in, std::string& line,
+                   std::size_t nodes) {
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("graph io: missing key table");
+  }
+  const Json table = Json::parse(line);
+  // The file's key indices are positions in its own table; the store may
+  // already have keys interned (e.g. ExecutionGraph pre-interns its schema),
+  // so map file index -> store id instead of assuming they coincide.
+  std::vector<PropKeyId> key_map;
+  for (const Json& name : table.at("keys").as_array()) {
+    key_map.push_back(store.intern_prop_key(name.as_string()));
+  }
+
+  for (std::size_t i = 0; i < nodes; ++i) {
+    if (!std::getline(in, line)) {
+      throw std::runtime_error("graph io: truncated node section");
+    }
+    const Json j = Json::parse(line);
+    PropertyList props;
+    for (const Json& entry : j.at("props").as_array()) {
+      const auto& pair = entry.as_array();
+      if (pair.size() != 2) {
+        throw std::runtime_error("graph io: malformed property entry");
+      }
+      const auto idx = static_cast<std::size_t>(pair[0].as_int());
+      if (idx >= key_map.size()) {
+        throw std::runtime_error("graph io: property key index out of range");
+      }
+      props.emplace_back(key_map[idx], property_from_json(pair[1]));
+    }
+    const NodeId assigned =
+        store.add_node_typed(j.at("label").as_string(), std::move(props));
+    if (assigned != static_cast<NodeId>(j.at("id").as_int())) {
+      throw std::runtime_error("graph io: node ids are not dense");
+    }
+  }
+}
+
 }  // namespace
 
 void save_graph(const GraphStore& store, std::ostream& out) {
@@ -34,18 +102,32 @@ void save_graph(const GraphStore& store, std::ostream& out) {
 
   Json header = Json::object();
   header["format"] = "horus-graph";
-  header["version"] = 1;
+  header["version"] = kSnapshotVersion;
   header["nodes"] = static_cast<std::int64_t>(n);
   header["edges"] = static_cast<std::int64_t>(store.edge_count());
   out << header.dump() << '\n';
+
+  // Key table: store id order, so a node's [keyIdx, value] pairs reference
+  // positions in this array.
+  Json keys = Json::array();
+  const std::size_t key_count = store.prop_key_count();
+  for (PropKeyId k = 0; k < key_count; ++k) {
+    keys.push_back(Json(store.prop_key_name(k)));
+  }
+  Json table = Json::object();
+  table["keys"] = std::move(keys);
+  out << table.dump() << '\n';
 
   for (NodeId v = 0; v < n; ++v) {
     Json node = Json::object();
     node["id"] = static_cast<std::int64_t>(v);
     node["label"] = store.node_label(v);
-    Json props = Json::object();
-    for (const auto& [key, value] : store.node_properties(v)) {
-      props[key] = property_to_json(value);
+    Json props = Json::array();
+    for (const auto& [key, value] : store.node_property_list(v)) {
+      Json entry = Json::array();
+      entry.push_back(Json(static_cast<std::int64_t>(key)));
+      entry.push_back(property_to_json(value));
+      props.push_back(std::move(entry));
     }
     node["props"] = std::move(props);
     out << node.dump() << '\n';
@@ -79,30 +161,21 @@ void load_graph(GraphStore& store, std::istream& in) {
   if (header.get_or("format", std::string{}) != "horus-graph") {
     throw std::runtime_error("graph io: not a horus-graph snapshot");
   }
+  const std::int64_t version = header.get_or("version", std::int64_t{1});
   const auto nodes = static_cast<std::size_t>(header.at("nodes").as_int());
 
-  for (std::size_t i = 0; i < nodes; ++i) {
-    if (!std::getline(in, line)) {
-      throw std::runtime_error("graph io: truncated node section");
-    }
-    const Json j = Json::parse(line);
-    PropertyMap props;
-    for (const auto& [key, value] : j.at("props").as_object()) {
-      props.emplace(key, property_from_json(value));
-    }
-    const NodeId assigned = store.add_node(j.at("label").as_string(),
-                                           std::move(props));
-    if (assigned != static_cast<NodeId>(j.at("id").as_int())) {
-      throw std::runtime_error("graph io: node ids are not dense");
-    }
+  switch (version) {
+    case 1:
+      load_v1_nodes(store, in, line, nodes);
+      break;
+    case 2:
+      load_v2_nodes(store, in, line, nodes);
+      break;
+    default:
+      throw std::runtime_error("graph io: unsupported snapshot version " +
+                               std::to_string(version));
   }
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    const Json j = Json::parse(line);
-    store.add_edge(static_cast<NodeId>(j.at("from").as_int()),
-                   static_cast<NodeId>(j.at("to").as_int()),
-                   j.at("type").as_string());
-  }
+  load_edges(store, in, line);
 }
 
 void load_graph_file(GraphStore& store, const std::string& path) {

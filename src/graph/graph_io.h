@@ -1,6 +1,12 @@
 // Durable storage for the property-graph store: a JSON-lines snapshot
-// format (one line per node, then one line per edge). Loading replays
-// through the regular write path, so all indexes are rebuilt consistently.
+// format. Loading replays through the regular write path, so all indexes
+// are rebuilt consistently.
+//
+// Version 2 (written by save_graph): header line, then a key-table line
+// {"keys":[...]} listing interned property keys in store-id order, then one
+// line per node with props as [[keyIdx, value], ...] arrays, then one line
+// per edge. Version 1 (legacy: props as {"name": value} objects, no key
+// table) is still loaded transparently.
 //
 // This gives stored executions a life beyond the process — traces can be
 // captured once and re-analyzed later or shipped elsewhere, the same role
@@ -14,6 +20,9 @@
 
 namespace horus::graph {
 
+/// Snapshot version written by save_graph. load_graph accepts 1..kSnapshotVersion.
+inline constexpr int kSnapshotVersion = 2;
+
 /// Serializes the entire store. Deterministic output (node order, sorted
 /// properties) — diffable and golden-testable.
 void save_graph(const GraphStore& store, std::ostream& out);
@@ -21,7 +30,7 @@ void save_graph_file(const GraphStore& store, const std::string& path);
 
 /// Loads a snapshot into `store` (which must be empty; throws otherwise).
 /// All writes go through add_node/add_edge, so any indexes created on the
-/// store beforehand are maintained.
+/// store beforehand are maintained. Both v1 and v2 snapshots are accepted.
 void load_graph(GraphStore& store, std::istream& in);
 void load_graph_file(GraphStore& store, const std::string& path);
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace horus::graph {
 
@@ -9,10 +10,31 @@ namespace {
 [[noreturn]] void bad_node(NodeId node) {
   throw std::out_of_range("graph: invalid node id " + std::to_string(node));
 }
+
+const PropertyValue kNullValue{};
+
+/// Sorted-bag lookup by key id.
+PropertyList::const_iterator bag_find(const PropertyList& bag, PropKeyId key) {
+  auto it = std::lower_bound(
+      bag.begin(), bag.end(), key,
+      [](const auto& entry, PropKeyId k) { return entry.first < k; });
+  if (it != bag.end() && it->first == key) return it;
+  return bag.end();
+}
+
+PropertyList::iterator bag_lower_bound(PropertyList& bag, PropKeyId key) {
+  return std::lower_bound(
+      bag.begin(), bag.end(), key,
+      [](const auto& entry, PropKeyId k) { return entry.first < k; });
+}
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// interning
+// ---------------------------------------------------------------------------
+
 std::uint32_t GraphStore::intern_label(std::string_view label) {
-  auto it = label_ids_.find(std::string(label));
+  auto it = label_ids_.find(label);
   if (it != label_ids_.end()) return it->second;
   const auto id = static_cast<std::uint32_t>(labels_.size());
   labels_.emplace_back(label);
@@ -21,7 +43,7 @@ std::uint32_t GraphStore::intern_label(std::string_view label) {
 }
 
 EdgeTypeId GraphStore::intern_edge_type(std::string_view type) {
-  auto it = edge_type_ids_.find(std::string(type));
+  auto it = edge_type_ids_.find(type);
   if (it != edge_type_ids_.end()) return it->second;
   const auto id = static_cast<EdgeTypeId>(edge_types_.size());
   edge_types_.emplace_back(type);
@@ -29,30 +51,153 @@ EdgeTypeId GraphStore::intern_edge_type(std::string_view type) {
   return id;
 }
 
-void GraphStore::index_insert_locked(NodeId node, std::string_view key,
+PropKeyId GraphStore::intern_prop_key_locked(std::string_view key) {
+  auto it = prop_key_ids_.find(key);
+  if (it != prop_key_ids_.end()) return it->second;
+  const auto id = static_cast<PropKeyId>(prop_keys_.size());
+  prop_keys_.emplace_back(key);
+  prop_key_ids_.emplace(std::string(key), id);
+  return id;
+}
+
+PropKeyId GraphStore::intern_prop_key(std::string_view key) {
+  const std::unique_lock lock(mutex_);
+  return intern_prop_key_locked(key);
+}
+
+PropKeyId GraphStore::prop_key_id(std::string_view key) const {
+  const std::shared_lock lock(mutex_);
+  auto it = prop_key_ids_.find(key);
+  if (it == prop_key_ids_.end()) return kNoPropKey;
+  return it->second;
+}
+
+const std::string& GraphStore::prop_key_name(PropKeyId key) const {
+  const std::shared_lock lock(mutex_);
+  return prop_keys_.at(key);
+}
+
+std::size_t GraphStore::prop_key_count() const {
+  const std::shared_lock lock(mutex_);
+  return prop_keys_.size();
+}
+
+// ---------------------------------------------------------------------------
+// column promotion
+// ---------------------------------------------------------------------------
+
+PropKeyId GraphStore::declare_column(std::string_view key) {
+  const std::unique_lock lock(mutex_);
+  const PropKeyId id = intern_prop_key_locked(key);
+  auto [cit, inserted] = columns_.try_emplace(id);
+  if (!inserted) {
+    if (cit->second.interned) {
+      throw std::logic_error("graph: key '" + std::string(key) +
+                             "' already declared as an interned column");
+    }
+    return id;
+  }
+  DenseColumn& col = cit->second;
+  col.interned = false;
+  // Migrate existing bag values into the column.
+  for (NodeId node = 0; node < nodes_.size(); ++node) {
+    auto& bag = nodes_[node].properties;
+    auto it = bag_lower_bound(bag, id);
+    if (it == bag.end() || it->first != id) continue;
+    if (col.values.size() <= node) col.values.resize(node + 1);
+    col.values[node] = std::move(it->second);
+    bag.erase(it);
+  }
+  return id;
+}
+
+PropKeyId GraphStore::declare_interned_column(std::string_view key) {
+  const std::unique_lock lock(mutex_);
+  const PropKeyId id = intern_prop_key_locked(key);
+  auto [cit, inserted] = columns_.try_emplace(id);
+  if (!inserted) {
+    if (!cit->second.interned) {
+      throw std::logic_error("graph: key '" + std::string(key) +
+                             "' already declared as a direct column");
+    }
+    return id;
+  }
+  DenseColumn& col = cit->second;
+  col.interned = true;
+  for (NodeId node = 0; node < nodes_.size(); ++node) {
+    auto& bag = nodes_[node].properties;
+    auto it = bag_lower_bound(bag, id);
+    if (it == bag.end() || it->first != id) continue;
+    const auto* s = std::get_if<std::string>(&it->second);
+    if (s == nullptr) {
+      columns_.erase(id);
+      throw std::logic_error("graph: key '" + std::string(key) +
+                             "' holds non-string values; cannot intern");
+    }
+    std::uint32_t pool_id;
+    if (auto pit = col.pool_ids.find(*s); pit != col.pool_ids.end()) {
+      pool_id = pit->second;
+    } else {
+      pool_id = static_cast<std::uint32_t>(col.pool.size());
+      col.pool.push_back(*s);
+      col.pool_values.emplace_back(*s);
+      col.pool_ids.emplace(*s, pool_id);
+    }
+    if (col.ids.size() <= node) {
+      col.ids.resize(node + 1, InternedColumnView::kAbsent);
+    }
+    col.ids[node] = pool_id;
+    bag.erase(it);
+  }
+  return id;
+}
+
+// ---------------------------------------------------------------------------
+// property plumbing (lock held)
+// ---------------------------------------------------------------------------
+
+const PropertyValue* GraphStore::find_property_locked(NodeId node,
+                                                      PropKeyId key) const {
+  if (key >= prop_keys_.size()) return nullptr;
+  if (auto cit = columns_.find(key); cit != columns_.end()) {
+    const DenseColumn& col = cit->second;
+    if (col.interned) {
+      if (node >= col.ids.size()) return nullptr;
+      const std::uint32_t id = col.ids[node];
+      if (id == InternedColumnView::kAbsent) return nullptr;
+      return &col.pool_values[id];
+    }
+    if (node >= col.values.size()) return nullptr;
+    const PropertyValue& v = col.values[node];
+    if (std::holds_alternative<std::monostate>(v)) return nullptr;
+    return &v;
+  }
+  const auto& bag = nodes_[node].properties;
+  auto it = bag_find(bag, key);
+  if (it == bag.end()) return nullptr;
+  return &it->second;
+}
+
+void GraphStore::index_insert_locked(NodeId node, PropKeyId key,
                                      const PropertyValue& value) {
-  if (auto hit = hash_indexes_.find(std::string(key));
-      hit != hash_indexes_.end()) {
+  if (auto hit = hash_indexes_.find(key); hit != hash_indexes_.end()) {
     hit->second[value].push_back(node);
   }
-  if (auto oit = ordered_indexes_.find(std::string(key));
-      oit != ordered_indexes_.end()) {
+  if (auto oit = ordered_indexes_.find(key); oit != ordered_indexes_.end()) {
     if (const auto* i = std::get_if<std::int64_t>(&value)) {
       oit->second[*i].push_back(node);
     }
   }
 }
 
-void GraphStore::index_erase_locked(NodeId node, std::string_view key,
+void GraphStore::index_erase_locked(NodeId node, PropKeyId key,
                                     const PropertyValue& value) {
-  if (auto hit = hash_indexes_.find(std::string(key));
-      hit != hash_indexes_.end()) {
+  if (auto hit = hash_indexes_.find(key); hit != hash_indexes_.end()) {
     if (auto vit = hit->second.find(value); vit != hit->second.end()) {
       std::erase(vit->second, node);
     }
   }
-  if (auto oit = ordered_indexes_.find(std::string(key));
-      oit != ordered_indexes_.end()) {
+  if (auto oit = ordered_indexes_.find(key); oit != ordered_indexes_.end()) {
     if (const auto* i = std::get_if<std::int64_t>(&value)) {
       if (auto vit = oit->second.find(*i); vit != oit->second.end()) {
         std::erase(vit->second, node);
@@ -62,22 +207,114 @@ void GraphStore::index_erase_locked(NodeId node, std::string_view key,
   }
 }
 
+void GraphStore::set_property_locked(NodeId node, PropKeyId key,
+                                     PropertyValue value) {
+  if (const PropertyValue* old = find_property_locked(node, key)) {
+    index_erase_locked(node, key, *old);
+  }
+  auto cit = columns_.find(key);
+  if (cit != columns_.end()) {
+    DenseColumn& col = cit->second;
+    if (col.interned) {
+      if (const auto* s = std::get_if<std::string>(&value)) {
+        std::uint32_t pool_id;
+        if (auto pit = col.pool_ids.find(*s); pit != col.pool_ids.end()) {
+          pool_id = pit->second;
+        } else {
+          pool_id = static_cast<std::uint32_t>(col.pool.size());
+          col.pool.push_back(*s);
+          col.pool_values.emplace_back(*s);
+          col.pool_ids.emplace(*s, pool_id);
+        }
+        if (col.ids.size() <= node) {
+          col.ids.resize(node + 1, InternedColumnView::kAbsent);
+        }
+        col.ids[node] = pool_id;
+        index_insert_locked(node, key, col.pool_values[pool_id]);
+        return;
+      }
+      if (std::holds_alternative<std::monostate>(value)) {
+        if (node < col.ids.size()) col.ids[node] = InternedColumnView::kAbsent;
+        return;
+      }
+      throw std::logic_error("graph: interned column '" + prop_keys_[key] +
+                             "' only stores strings");
+    }
+    if (col.values.size() <= node) col.values.resize(node + 1);
+    col.values[node] = std::move(value);
+    const PropertyValue& stored = col.values[node];
+    if (!std::holds_alternative<std::monostate>(stored)) {
+      index_insert_locked(node, key, stored);
+    }
+    return;
+  }
+  auto& bag = nodes_[node].properties;
+  auto it = bag_lower_bound(bag, key);
+  if (it != bag.end() && it->first == key) {
+    it->second = std::move(value);
+    index_insert_locked(node, key, it->second);
+  } else {
+    it = bag.emplace(it, key, std::move(value));
+    index_insert_locked(node, key, it->second);
+  }
+}
+
+PropertyList GraphStore::collect_properties_locked(NodeId node) const {
+  PropertyList out = nodes_[node].properties;
+  for (const auto& [key, col] : columns_) {
+    if (col.interned) {
+      if (node < col.ids.size() && col.ids[node] != InternedColumnView::kAbsent)
+        out.emplace_back(key, col.pool_values[col.ids[node]]);
+    } else if (node < col.values.size() &&
+               !std::holds_alternative<std::monostate>(col.values[node])) {
+      out.emplace_back(key, col.values[node]);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+PropertyList GraphStore::intern_map_locked(PropertyMap properties) {
+  PropertyList list;
+  list.reserve(properties.size());
+  for (auto& [key, value] : properties) {
+    list.emplace_back(intern_prop_key_locked(key), std::move(value));
+  }
+  return list;
+}
+
+// ---------------------------------------------------------------------------
+// writes
+// ---------------------------------------------------------------------------
+
 NodeId GraphStore::add_node_locked(std::string_view label,
-                                   PropertyMap properties) {
+                                   PropertyList properties) {
   const auto id = static_cast<NodeId>(nodes_.size());
   NodeRecord rec;
   rec.label = intern_label(label);
-  rec.properties = std::move(properties);
   label_index_[rec.label].push_back(id);
-  for (const auto& [key, value] : rec.properties) {
-    index_insert_locked(id, key, value);
-  }
   nodes_.push_back(std::move(rec));
+  for (auto& [key, value] : properties) {
+    set_property_locked(id, key, std::move(value));
+  }
   return id;
 }
 
 NodeId GraphStore::add_node(std::string_view label, PropertyMap properties) {
   const std::unique_lock lock(mutex_);
+  return add_node_locked(label, intern_map_locked(std::move(properties)));
+}
+
+NodeId GraphStore::add_node_typed(std::string_view label,
+                                  PropertyList properties) {
+  const std::unique_lock lock(mutex_);
+  for (const auto& [key, value] : properties) {
+    if (key >= prop_keys_.size()) {
+      throw std::out_of_range("graph: unknown property key id " +
+                              std::to_string(key));
+    }
+  }
   return add_node_locked(label, std::move(properties));
 }
 
@@ -86,7 +323,7 @@ NodeId GraphStore::add_nodes_batch(std::string_view label,
   const std::unique_lock lock(mutex_);
   const auto first = static_cast<NodeId>(nodes_.size());
   for (auto& props : batch) {
-    add_node_locked(label, std::move(props));
+    add_node_locked(label, intern_map_locked(std::move(props)));
   }
   return first;
 }
@@ -105,44 +342,84 @@ void GraphStore::set_property(NodeId node, std::string_view key,
                               PropertyValue value) {
   const std::unique_lock lock(mutex_);
   if (node >= nodes_.size()) bad_node(node);
-  auto& props = nodes_[node].properties;
-  auto it = props.find(key);
-  if (it != props.end()) {
-    index_erase_locked(node, key, it->second);
-    it->second = std::move(value);
-    index_insert_locked(node, key, it->second);
-  } else {
-    auto [new_it, inserted] = props.emplace(std::string(key), std::move(value));
-    (void)inserted;
-    index_insert_locked(node, key, new_it->second);
-  }
+  set_property_locked(node, intern_prop_key_locked(key), std::move(value));
 }
+
+void GraphStore::set_property(NodeId node, PropKeyId key, PropertyValue value) {
+  const std::unique_lock lock(mutex_);
+  if (node >= nodes_.size()) bad_node(node);
+  if (key >= prop_keys_.size()) {
+    throw std::out_of_range("graph: unknown property key id " +
+                            std::to_string(key));
+  }
+  set_property_locked(node, key, std::move(value));
+}
+
+// ---------------------------------------------------------------------------
+// indexes
+// ---------------------------------------------------------------------------
 
 void GraphStore::create_index(std::string_view key) {
   const std::unique_lock lock(mutex_);
-  auto [it, inserted] = hash_indexes_.try_emplace(std::string(key));
+  const PropKeyId id = intern_prop_key_locked(key);
+  auto [it, inserted] = hash_indexes_.try_emplace(id);
   if (!inserted) return;
-  for (NodeId id = 0; id < nodes_.size(); ++id) {
-    auto pit = nodes_[id].properties.find(key);
-    if (pit != nodes_[id].properties.end()) {
-      it->second[pit->second].push_back(id);
+  for (NodeId node = 0; node < nodes_.size(); ++node) {
+    if (const PropertyValue* v = find_property_locked(node, id)) {
+      it->second[*v].push_back(node);
+    }
+  }
+}
+
+void GraphStore::create_index(PropKeyId key) {
+  const std::unique_lock lock(mutex_);
+  if (key >= prop_keys_.size()) {
+    throw std::out_of_range("graph: unknown property key id " +
+                            std::to_string(key));
+  }
+  auto [it, inserted] = hash_indexes_.try_emplace(key);
+  if (!inserted) return;
+  for (NodeId node = 0; node < nodes_.size(); ++node) {
+    if (const PropertyValue* v = find_property_locked(node, key)) {
+      it->second[*v].push_back(node);
     }
   }
 }
 
 void GraphStore::create_ordered_index(std::string_view key) {
   const std::unique_lock lock(mutex_);
-  auto [it, inserted] = ordered_indexes_.try_emplace(std::string(key));
+  const PropKeyId id = intern_prop_key_locked(key);
+  auto [it, inserted] = ordered_indexes_.try_emplace(id);
   if (!inserted) return;
-  for (NodeId id = 0; id < nodes_.size(); ++id) {
-    auto pit = nodes_[id].properties.find(key);
-    if (pit != nodes_[id].properties.end()) {
-      if (const auto* i = std::get_if<std::int64_t>(&pit->second)) {
-        it->second[*i].push_back(id);
+  for (NodeId node = 0; node < nodes_.size(); ++node) {
+    if (const PropertyValue* v = find_property_locked(node, id)) {
+      if (const auto* i = std::get_if<std::int64_t>(v)) {
+        it->second[*i].push_back(node);
       }
     }
   }
 }
+
+void GraphStore::create_ordered_index(PropKeyId key) {
+  const std::unique_lock lock(mutex_);
+  if (key >= prop_keys_.size()) {
+    throw std::out_of_range("graph: unknown property key id " +
+                            std::to_string(key));
+  }
+  auto [it, inserted] = ordered_indexes_.try_emplace(key);
+  if (!inserted) return;
+  for (NodeId node = 0; node < nodes_.size(); ++node) {
+    if (const PropertyValue* v = find_property_locked(node, key)) {
+      if (const auto* i = std::get_if<std::int64_t>(v)) {
+        it->second[*i].push_back(node);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// reads
+// ---------------------------------------------------------------------------
 
 std::size_t GraphStore::node_count() const {
   const std::shared_lock lock(mutex_);
@@ -160,19 +437,81 @@ const std::string& GraphStore::node_label(NodeId node) const {
   return labels_[nodes_[node].label];
 }
 
-const PropertyMap& GraphStore::node_properties(NodeId node) const {
+PropertyMap GraphStore::node_properties(NodeId node) const {
   const std::shared_lock lock(mutex_);
   if (node >= nodes_.size()) bad_node(node);
-  return nodes_[node].properties;
+  PropertyMap out;
+  for (auto& [key, value] : collect_properties_locked(node)) {
+    out.emplace(prop_keys_[key], std::move(value));
+  }
+  return out;
+}
+
+PropertyList GraphStore::node_property_list(NodeId node) const {
+  const std::shared_lock lock(mutex_);
+  if (node >= nodes_.size()) bad_node(node);
+  return collect_properties_locked(node);
 }
 
 PropertyValue GraphStore::property(NodeId node, std::string_view key) const {
   const std::shared_lock lock(mutex_);
   if (node >= nodes_.size()) bad_node(node);
-  const auto& props = nodes_[node].properties;
-  auto it = props.find(key);
-  if (it == props.end()) return std::monostate{};
-  return it->second;
+  auto it = prop_key_ids_.find(key);
+  if (it == prop_key_ids_.end()) return std::monostate{};
+  if (const PropertyValue* v = find_property_locked(node, it->second)) {
+    return *v;
+  }
+  return std::monostate{};
+}
+
+const PropertyValue& GraphStore::property(NodeId node, PropKeyId key) const {
+  const std::shared_lock lock(mutex_);
+  if (node >= nodes_.size()) bad_node(node);
+  if (const PropertyValue* v = find_property_locked(node, key)) return *v;
+  return kNullValue;
+}
+
+PropertyValue GraphStore::property_snapshot(NodeId node, PropKeyId key) const {
+  const std::shared_lock lock(mutex_);
+  if (node >= nodes_.size()) bad_node(node);
+  if (const PropertyValue* v = find_property_locked(node, key)) return *v;
+  return std::monostate{};
+}
+
+Int64ColumnView GraphStore::int64_column(PropKeyId key) const {
+  const std::shared_lock lock(mutex_);
+  auto cit = columns_.find(key);
+  if (cit == columns_.end() || cit->second.interned) return {};
+  return Int64ColumnView(&cit->second.values);
+}
+
+InternedColumnView GraphStore::interned_column(PropKeyId key) const {
+  const std::shared_lock lock(mutex_);
+  auto cit = columns_.find(key);
+  if (cit == columns_.end() || !cit->second.interned) return {};
+  return InternedColumnView(&cit->second.ids, &cit->second.pool);
+}
+
+std::uint32_t GraphStore::interned_id(NodeId node, PropKeyId key) const {
+  const std::shared_lock lock(mutex_);
+  auto cit = columns_.find(key);
+  if (cit == columns_.end() || !cit->second.interned) {
+    return InternedColumnView::kAbsent;
+  }
+  const DenseColumn& col = cit->second;
+  if (node >= col.ids.size()) return InternedColumnView::kAbsent;
+  return col.ids[node];
+}
+
+std::string GraphStore::interned_name(PropKeyId key,
+                                      std::uint32_t pool_id) const {
+  const std::shared_lock lock(mutex_);
+  auto cit = columns_.find(key);
+  if (cit == columns_.end() || !cit->second.interned) {
+    throw std::logic_error("graph: key id " + std::to_string(key) +
+                           " is not an interned column");
+  }
+  return cit->second.pool.at(pool_id);
 }
 
 std::span<const Edge> GraphStore::out_edges(NodeId node) const {
@@ -210,14 +549,14 @@ const std::string& GraphStore::edge_type_name(EdgeTypeId type) const {
 std::optional<EdgeTypeId> GraphStore::edge_type_id(
     std::string_view type) const {
   const std::shared_lock lock(mutex_);
-  auto it = edge_type_ids_.find(std::string(type));
+  auto it = edge_type_ids_.find(type);
   if (it == edge_type_ids_.end()) return std::nullopt;
   return it->second;
 }
 
 std::vector<NodeId> GraphStore::nodes_with_label(std::string_view label) const {
   const std::shared_lock lock(mutex_);
-  auto lit = label_ids_.find(std::string(label));
+  auto lit = label_ids_.find(label);
   if (lit == label_ids_.end()) return {};
   auto iit = label_index_.find(lit->second);
   if (iit == label_index_.end()) return {};
@@ -234,7 +573,21 @@ std::vector<NodeId> GraphStore::all_nodes() const {
 std::vector<NodeId> GraphStore::find_nodes(std::string_view key,
                                            const PropertyValue& value) const {
   const std::shared_lock lock(mutex_);
-  auto hit = hash_indexes_.find(std::string(key));
+  auto kit = prop_key_ids_.find(key);
+  if (kit == prop_key_ids_.end()) return {};
+  return find_nodes_locked(kit->second, value);
+}
+
+std::vector<NodeId> GraphStore::find_nodes(PropKeyId key,
+                                           const PropertyValue& value) const {
+  const std::shared_lock lock(mutex_);
+  if (key >= prop_keys_.size()) return {};
+  return find_nodes_locked(key, value);
+}
+
+std::vector<NodeId> GraphStore::find_nodes_locked(
+    PropKeyId key, const PropertyValue& value) const {
+  auto hit = hash_indexes_.find(key);
   if (hit != hash_indexes_.end()) {
     auto vit = hit->second.find(value);
     if (vit == hit->second.end()) return {};
@@ -243,9 +596,8 @@ std::vector<NodeId> GraphStore::find_nodes(std::string_view key,
   // No index: full scan, like a database query planner falling back.
   std::vector<NodeId> out;
   for (NodeId id = 0; id < nodes_.size(); ++id) {
-    auto pit = nodes_[id].properties.find(key);
-    if (pit != nodes_[id].properties.end() &&
-        property_equals(pit->second, value)) {
+    const PropertyValue* v = find_property_locked(id, key);
+    if (v != nullptr && property_equals(*v, value)) {
       out.push_back(id);
     }
   }
@@ -256,9 +608,30 @@ std::vector<NodeId> GraphStore::range_scan(std::string_view key,
                                            std::int64_t lo,
                                            std::int64_t hi) const {
   const std::shared_lock lock(mutex_);
-  auto oit = ordered_indexes_.find(std::string(key));
-  if (oit == ordered_indexes_.end()) {
+  auto kit = prop_key_ids_.find(key);
+  if (kit == prop_key_ids_.end()) {
     throw std::logic_error("graph: no ordered index on '" + std::string(key) +
+                           "'");
+  }
+  return range_scan_locked(kit->second, lo, hi, key);
+}
+
+std::vector<NodeId> GraphStore::range_scan(PropKeyId key, std::int64_t lo,
+                                           std::int64_t hi) const {
+  const std::shared_lock lock(mutex_);
+  const std::string_view name =
+      key < prop_keys_.size() ? std::string_view(prop_keys_[key])
+                              : std::string_view("<unknown key>");
+  return range_scan_locked(key, lo, hi, name);
+}
+
+std::vector<NodeId> GraphStore::range_scan_locked(PropKeyId key,
+                                                  std::int64_t lo,
+                                                  std::int64_t hi,
+                                                  std::string_view name) const {
+  auto oit = ordered_indexes_.find(key);
+  if (oit == ordered_indexes_.end()) {
+    throw std::logic_error("graph: no ordered index on '" + std::string(name) +
                            "'");
   }
   std::vector<NodeId> out;
@@ -271,7 +644,14 @@ std::vector<NodeId> GraphStore::range_scan(std::string_view key,
 
 bool GraphStore::has_ordered_index(std::string_view key) const {
   const std::shared_lock lock(mutex_);
-  return ordered_indexes_.contains(std::string(key));
+  auto kit = prop_key_ids_.find(key);
+  if (kit == prop_key_ids_.end()) return false;
+  return ordered_indexes_.contains(kit->second);
+}
+
+bool GraphStore::has_ordered_index(PropKeyId key) const {
+  const std::shared_lock lock(mutex_);
+  return ordered_indexes_.contains(key);
 }
 
 }  // namespace horus::graph

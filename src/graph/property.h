@@ -10,7 +10,9 @@
 #include <map>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <variant>
+#include <vector>
 
 namespace horus::graph {
 
@@ -21,6 +23,27 @@ using PropertyValue =
 
 /// Ordered map so that serialized output is deterministic.
 using PropertyMap = std::map<std::string, PropertyValue, std::less<>>;
+
+/// Store-wide interned property-key id. Keys are interned once per GraphStore;
+/// hot paths carry PropKeyIds instead of hashing/comparing strings per row.
+using PropKeyId = std::uint32_t;
+inline constexpr PropKeyId kNoPropKey = ~PropKeyId{0};
+
+/// A node's property bag in typed form: (key id, value) pairs sorted by key
+/// id. Cheaper than PropertyMap for the write path (no per-key allocation).
+using PropertyList = std::vector<std::pair<PropKeyId, PropertyValue>>;
+
+/// Transparent string hash so unordered_map lookups accept string_view
+/// without materialising a temporary std::string.
+struct StringHash {
+  using is_transparent = void;
+  [[nodiscard]] std::size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+  [[nodiscard]] std::size_t operator()(const std::string& s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
 
 [[nodiscard]] bool is_null(const PropertyValue& v) noexcept;
 

@@ -47,6 +47,33 @@ struct RowSet {
   return false;
 }
 
+/// compare_values semantics against a stored property, without copying the
+/// property into a temporary Value (strings are compared in place).
+[[nodiscard]] int compare_property_value(const graph::PropertyValue& p,
+                                         const Value& b) {
+  if (const auto* i = std::get_if<std::int64_t>(&p)) {
+    if (!b.is_number()) return -2;
+    const double x = static_cast<double>(*i);
+    const double y = b.as_number();
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  if (const auto* d = std::get_if<double>(&p)) {
+    if (!b.is_number()) return -2;
+    const double y = b.as_number();
+    return *d < y ? -1 : (*d > y ? 1 : 0);
+  }
+  if (const auto* s = std::get_if<std::string>(&p)) {
+    if (!b.is_string()) return -2;
+    const int c = s->compare(b.as_string());
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  if (const auto* bo = std::get_if<bool>(&p)) {
+    if (!b.is_bool()) return -2;
+    return static_cast<int>(*bo) - static_cast<int>(b.as_bool());
+  }
+  return b.is_null() ? 0 : -2;  // stored null (absent property)
+}
+
 // ---------------------------------------------------------------------------
 // Expression evaluation
 // ---------------------------------------------------------------------------
@@ -80,9 +107,19 @@ class Evaluator {
   const ExecutionGraph& graph_;
   const std::map<std::string, ProcedureDef, std::less<>>& procedures_;
   const QueryParams& params_;
+  /// Property names resolved to store key ids once per statement (the
+  /// Evaluator lives for one statement); rows after the first pay a pointer
+  /// hash instead of a string hash per access.
+  mutable std::unordered_map<const Expr*, graph::PropKeyId> prop_key_cache_;
 
   [[noreturn]] static void fail(const std::string& what) {
     throw QueryError("query evaluation error: " + what);
+  }
+
+  [[nodiscard]] graph::PropKeyId resolve_prop_key(const Expr& e) const {
+    auto [it, inserted] = prop_key_cache_.try_emplace(&e, graph::kNoPropKey);
+    if (inserted) it->second = graph_.store().prop_key_id(e.name);
+    return it->second;
   }
 
   // ---- expressions ----------------------------------------------------------
@@ -100,8 +137,10 @@ class Evaluator {
         const Value base = eval_expr(*e.lhs, rows, row);
         if (base.is_null()) return Value();
         if (!base.is_node()) fail("property access on non-node value");
+        // Typed lookup returns a reference into the store — no intermediate
+        // PropertyValue copy per row.
         return Value::from_property(
-            graph_.store().property(base.as_node().id, e.name));
+            graph_.store().property(base.as_node().id, resolve_prop_key(e)));
       }
       case Expr::Kind::kBinary: return eval_binary(e, rows, row);
       case Expr::Kind::kUnary: {
@@ -367,16 +406,19 @@ class Evaluator {
 
   // ---- MATCH ----------------------------------------------------------------
 
-  /// Inline pattern properties, evaluated against the incoming row.
-  using EvaluatedProps = std::vector<std::pair<std::string, Value>>;
+  /// Inline pattern properties, evaluated against the incoming row. Keys
+  /// are resolved to store ids here — candidate filtering below never hashes
+  /// a key string per node.
+  using EvaluatedProps = std::vector<std::pair<graph::PropKeyId, Value>>;
 
   [[nodiscard]] EvaluatedProps eval_pattern_props(
       const NodePattern& pattern, const RowSet& rows,
       const std::vector<Value>& row) const {
+    const graph::GraphStore& store = graph_.store();
     EvaluatedProps out;
     out.reserve(pattern.properties.size());
     for (const auto& [key, expr] : pattern.properties) {
-      out.emplace_back(key, eval_expr(*expr, rows, row));
+      out.emplace_back(store.prop_key_id(key), eval_expr(*expr, rows, row));
     }
     return out;
   }
@@ -390,8 +432,11 @@ class Evaluator {
       return false;
     }
     for (const auto& [key, want] : props) {
-      const graph::PropertyValue have = store.property(node, key);
-      if (compare_values(Value::from_property(have), want) != 0) return false;
+      // Typed lookup: reference into the store, compared in place — no
+      // PropertyValue or Value copy per candidate row.
+      if (compare_property_value(store.property(node, key), want) != 0) {
+        return false;
+      }
     }
     return true;
   }

@@ -17,8 +17,8 @@ std::string sanitize(std::string s) {
 }
 
 std::string property_string(const graph::GraphStore& store, graph::NodeId node,
-                            std::string_view key) {
-  const auto v = store.property(node, key);
+                            graph::PropKeyId key) {
+  const auto& v = store.property(node, key);
   if (const auto* s = std::get_if<std::string>(&v)) return *s;
   return {};
 }
@@ -29,6 +29,7 @@ std::string export_events(const ExecutionGraph& graph, const ClockTable& clocks,
                           const std::vector<graph::NodeId>& nodes,
                           const ExportOptions& options) {
   const graph::GraphStore& store = graph.store();
+  const ExecutionGraphKeys& keys = graph.keys();
 
   std::vector<graph::NodeId> ordered = nodes;
   std::sort(ordered.begin(), ordered.end(),
@@ -46,8 +47,8 @@ std::string export_events(const ExecutionGraph& graph, const ClockTable& clocks,
   for (graph::NodeId node = 0; node < store.node_count(); ++node) {
     const std::int32_t t = clocks.timeline_of(node);
     if (t < 0 || lanes.contains(t)) continue;
-    const std::string service = property_string(store, node, kPropHost);
-    const std::string timeline = property_string(store, node, kPropTimeline);
+    const std::string service = property_string(store, node, keys.host);
+    const std::string timeline = property_string(store, node, keys.timeline);
     lanes.emplace(t, sanitize(service + "_" + timeline));
   }
   auto lane_of = [&](graph::NodeId node) -> const std::string& {
@@ -64,7 +65,7 @@ std::string export_events(const ExecutionGraph& graph, const ClockTable& clocks,
     // for components must be resolvable even if no exported event shows
     // them; fall back to the stored timeline name.
     Json clock = Json::object();
-    const auto& vc = clocks.vc(node);
+    const auto vc = clocks.vc(node);
     for (std::size_t i = 0; i < vc.size(); ++i) {
       if (vc[i] == 0) continue;
       auto it = lanes.find(static_cast<std::int32_t>(i));
@@ -75,9 +76,9 @@ std::string export_events(const ExecutionGraph& graph, const ClockTable& clocks,
       clock[name] = static_cast<std::int64_t>(vc[i]);
     }
 
-    std::string text = property_string(store, node, kPropMessage);
+    std::string text = property_string(store, node, keys.message);
     if (text.empty()) {
-      text = label + " " + property_string(store, node, kPropThread);
+      text = label + " " + property_string(store, node, keys.thread);
     }
     // ShiViz events are single-line.
     std::replace(text.begin(), text.end(), '\n', ' ');

@@ -1,0 +1,132 @@
+// Property-style test of the interned-key API: a randomized interleaving of
+// set_property / find_nodes / range_scan issued through string keys must
+// observe exactly the same state as the same calls issued through interned
+// PropKeyIds, across all three storage layouts (direct column, interned
+// column, per-node bag). Unknown keys are empty / null everywhere.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "graph/graph_store.h"
+
+namespace horus {
+namespace {
+
+using graph::GraphStore;
+using graph::NodeId;
+using graph::PropertyValue;
+using graph::PropKeyId;
+
+std::vector<NodeId> sorted(std::vector<NodeId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(PropInternTest, StringAndTypedApisObserveIdenticalState) {
+  GraphStore store;
+  // One key per storage layout.
+  const PropKeyId lc = store.declare_column("lc");
+  const PropKeyId tl = store.declare_interned_column("tl");
+  const PropKeyId tag = store.intern_prop_key("tag");
+  store.create_ordered_index("lc");
+  store.create_index("tl");
+  store.create_index("tag");
+
+  constexpr NodeId kNodes = 64;
+  for (NodeId v = 0; v < kNodes; ++v) store.add_node("E", {});
+
+  std::mt19937 rng(20'260'805);
+  std::uniform_int_distribution<NodeId> pick_node(0, kNodes - 1);
+  std::uniform_int_distribution<int> pick_key(0, 2);
+  std::uniform_int_distribution<std::int64_t> pick_lc(0, 19);
+  std::uniform_int_distribution<int> pick_name(0, 3);
+
+  const std::string names[] = {"t0", "t1", "t2", "t3"};
+  const char* key_names[] = {"lc", "tl", "tag"};
+  const PropKeyId key_ids[] = {lc, tl, tag};
+
+  for (int round = 0; round < 400; ++round) {
+    // Mutate through whichever API the coin picks; both funnel into the
+    // same storage, so the observation below must not care.
+    const NodeId node = pick_node(rng);
+    const int k = pick_key(rng);
+    PropertyValue value;
+    if (k == 0) {
+      value = pick_lc(rng);
+    } else {
+      value = names[pick_name(rng)];
+    }
+    if (round % 2 == 0) {
+      store.set_property(node, key_names[k], value);
+    } else {
+      store.set_property(node, key_ids[k], PropertyValue(value));
+    }
+
+    if (round % 10 != 0) continue;
+
+    // Point lookups agree for every node and key.
+    for (NodeId v = 0; v < kNodes; ++v) {
+      for (int i = 0; i < 3; ++i) {
+        const PropertyValue by_string = store.property(v, key_names[i]);
+        const PropertyValue& by_id = store.property(v, key_ids[i]);
+        EXPECT_TRUE(graph::property_equals(by_string, by_id))
+            << "node " << v << " key " << key_names[i];
+      }
+    }
+    // Hash-index scans agree.
+    for (const std::string& name : names) {
+      EXPECT_EQ(sorted(store.find_nodes("tl", PropertyValue(name))),
+                sorted(store.find_nodes(tl, PropertyValue(name))));
+      EXPECT_EQ(sorted(store.find_nodes("tag", PropertyValue(name))),
+                sorted(store.find_nodes(tag, PropertyValue(name))));
+    }
+    // Ordered range scans agree.
+    EXPECT_EQ(store.range_scan("lc", 3, 12), store.range_scan(lc, 3, 12));
+    EXPECT_EQ(store.range_scan("lc", 0, 19), store.range_scan(lc, 0, 19));
+  }
+}
+
+TEST(PropInternTest, UnknownKeysAreEmpty) {
+  GraphStore store;
+  const NodeId v = store.add_node("E", {{"present", std::int64_t{1}}});
+
+  // Never-interned string key: null property, no index hits.
+  EXPECT_TRUE(std::holds_alternative<std::monostate>(
+      store.property(v, "never_seen")));
+  EXPECT_EQ(store.prop_key_id("never_seen"), graph::kNoPropKey);
+  EXPECT_TRUE(store.find_nodes("never_seen", PropertyValue(std::int64_t{1}))
+                  .empty());
+
+  // kNoPropKey through the typed API behaves the same.
+  EXPECT_TRUE(std::holds_alternative<std::monostate>(
+      store.property(v, graph::kNoPropKey)));
+  EXPECT_TRUE(
+      store.find_nodes(graph::kNoPropKey, PropertyValue(std::int64_t{1}))
+          .empty());
+
+  // Interned but never set on this node: null, and the id resolves.
+  const PropKeyId other = store.intern_prop_key("other");
+  EXPECT_TRUE(std::holds_alternative<std::monostate>(store.property(v, other)));
+
+  // Range scan on a key with no ordered index throws through both APIs.
+  EXPECT_THROW((void)store.range_scan("never_seen", 0, 1), std::logic_error);
+  EXPECT_THROW((void)store.range_scan(other, 0, 1), std::logic_error);
+}
+
+TEST(PropInternTest, InternedIdsAreStableAndDense) {
+  GraphStore store;
+  const PropKeyId a = store.intern_prop_key("a");
+  const PropKeyId b = store.intern_prop_key("b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(store.intern_prop_key("a"), a);
+  EXPECT_EQ(store.prop_key_id("a"), a);
+  EXPECT_EQ(store.prop_key_name(a), "a");
+  EXPECT_EQ(store.prop_key_count(), 2u);
+}
+
+}  // namespace
+}  // namespace horus

@@ -351,9 +351,10 @@ int cmd_dot(const Args& args) {
   }
   graph::DotOptions options;
   options.cluster_by = std::string(kPropTimeline);
-  options.node_label = [](const graph::GraphStore& store,
-                          graph::NodeId node) {
-    const auto msg = store.property(node, kPropMessage);
+  const graph::PropKeyId msg_key = graph->keys().message;
+  options.node_label = [msg_key](const graph::GraphStore& store,
+                                 graph::NodeId node) {
+    const auto& msg = store.property(node, msg_key);
     if (const auto* s = std::get_if<std::string>(&msg)) return *s;
     return store.node_label(node) + " #" + std::to_string(node);
   };
