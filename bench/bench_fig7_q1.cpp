@@ -9,10 +9,13 @@
 // location.
 #include <benchmark/benchmark.h>
 
+#include <random>
+#include <string>
 #include <vector>
 
 #include "bench_main.h"
 #include "bench_util.h"
+#include "common/thread_pool.h"
 #include "core/causal_query.h"
 #include "graph/traversal.h"
 
@@ -68,6 +71,47 @@ void BM_Q1_HorusVectorClocks(benchmark::State& state) {
   state.SetLabel("logical time (VC comparison)");
 }
 
+/// Q1 fan-out: a monitoring-style sweep of 10k independent isCausallyRelated
+/// queries, partitioned across the pool. Each chunk answers its queries with
+/// O(1) VC comparisons; registered at threads=1 and threads=N so the JSON
+/// records the scaling delta.
+void BM_Q1_HorusSweep(benchmark::State& state, unsigned threads) {
+  const auto num_events = static_cast<std::size_t>(state.range(0));
+  Horus& horus = bench::synthetic_horus(num_events);
+  const auto query = horus.query();
+  const auto n = static_cast<graph::NodeId>(
+      horus.graph().store().node_count());
+
+  std::mt19937 rng(7);
+  std::uniform_int_distribution<graph::NodeId> pick(0, n - 1);
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> pairs(10'000);
+  for (auto& [a, b] : pairs) {
+    a = pick(rng);
+    b = pick(rng);
+  }
+
+  ThreadPool& pool = ThreadPool::shared();
+  const std::size_t grain = 512;
+  std::vector<std::size_t> hits(ThreadPool::chunk_count(pairs.size(), grain));
+  for (auto _ : state) {
+    pool.parallel_for(pairs.size(), grain, threads,
+                      [&](ThreadPool::ChunkRange chunk) {
+                        std::size_t local = 0;
+                        for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+                          local += query.happens_before_vc(pairs[i].first,
+                                                           pairs[i].second);
+                        }
+                        hits[chunk.index] = local;
+                      });
+    benchmark::DoNotOptimize(hits.data());
+  }
+  std::size_t related = 0;
+  for (const std::size_t h : hits) related += h;
+  state.counters["queries"] = static_cast<double>(pairs.size());
+  state.counters["related"] = static_cast<double>(related);
+  state.SetLabel("VC sweep, threads=" + std::to_string(threads));
+}
+
 }  // namespace
 
 BENCHMARK(BM_Q1_ShortestPath)
@@ -83,4 +127,19 @@ BENCHMARK(BM_Q1_HorusVectorClocks)
     ->Arg(100'000)
     ->Unit(benchmark::kMicrosecond);
 
-HORUS_BENCH_MAIN()
+int main(int argc, char** argv) {
+  const unsigned n = horus::bench::threads_flag(argc, argv);
+  std::vector<unsigned> variants{1};
+  if (n > 1) variants.push_back(n);
+  for (const unsigned t : variants) {
+    const std::string name =
+        "BM_Q1_HorusSweep/threads:" + std::to_string(t);
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [t](benchmark::State& state) { BM_Q1_HorusSweep(state, t); })
+        ->Arg(10'000)
+        ->Arg(100'000)
+        ->Unit(benchmark::kMicrosecond);
+  }
+  return horus::bench::run_benchmark_main(argc, argv);
+}

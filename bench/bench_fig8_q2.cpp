@@ -13,6 +13,9 @@
 // paper does (it could not push the baseline past 100 events either).
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "bench_main.h"
 #include "bench_util.h"
 #include "core/causal_query.h"
@@ -67,6 +70,32 @@ void BM_Q2_HorusGetCausalGraph(benchmark::State& state) {
   state.SetLabel("logical time (LC bound + VC pruning)");
 }
 
+/// Q2 with the parallel causality engine: same ten 10%-span pairs, but the
+/// VC prune and induced-edge steps fan out across the pool. Registered at
+/// threads=1 and threads=N so one JSON captures the scaling delta; results
+/// are identical to the sequential engine by construction.
+void BM_Q2_HorusGetCausalGraphPar(benchmark::State& state, unsigned threads) {
+  const auto num_events = static_cast<std::size_t>(state.range(0));
+  Horus& horus = bench::synthetic_horus(num_events);
+  const auto query = horus.query(QueryOptions{.threads = threads});
+  const auto n =
+      static_cast<graph::NodeId>(horus.graph().store().node_count());
+  const graph::NodeId span = n / 10;
+  std::size_t nodes = 0;
+  for (auto _ : state) {
+    for (graph::NodeId i = 0; i < 10; ++i) {
+      const graph::NodeId a = i * (n - span - 1) / 10;
+      auto result = query.get_causal_graph(a, a + span);
+      nodes += result.nodes.size();
+      benchmark::DoNotOptimize(result);
+    }
+  }
+  state.counters["nodes/query"] = benchmark::Counter(
+      static_cast<double>(nodes) /
+      (static_cast<double>(state.iterations()) * 10.0));
+  state.SetLabel("parallel engine, threads=" + std::to_string(threads));
+}
+
 }  // namespace
 
 // The traversal baseline is only feasible on tiny graphs (as in the paper).
@@ -87,4 +116,21 @@ BENCHMARK(BM_Q2_HorusGetCausalGraph)
     ->Arg(100'000)
     ->Unit(benchmark::kMillisecond);
 
-HORUS_BENCH_MAIN()
+int main(int argc, char** argv) {
+  const unsigned n = horus::bench::threads_flag(argc, argv);
+  std::vector<unsigned> variants{1};
+  if (n > 1) variants.push_back(n);
+  for (const unsigned t : variants) {
+    const std::string name =
+        "BM_Q2_HorusGetCausalGraphPar/threads:" + std::to_string(t);
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [t](benchmark::State& state) {
+          BM_Q2_HorusGetCausalGraphPar(state, t);
+        })
+        ->Arg(10'000)
+        ->Arg(100'000)
+        ->Unit(benchmark::kMillisecond);
+  }
+  return horus::bench::run_benchmark_main(argc, argv);
+}

@@ -13,6 +13,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -20,6 +21,7 @@
 #include <vector>
 
 #include "common/json.h"
+#include "common/thread_pool.h"
 
 namespace horus::bench {
 
@@ -43,6 +45,27 @@ inline bool flag_present(int argc, char** argv, const char* flag) {
   return false;
 }
 
+/// Value of "--threads N" / "--threads=N" in argv; defaults to
+/// hardware concurrency so one flagless run measures the full machine.
+/// Every bench_* binary accepts the flag (run_benchmark_main strips it
+/// before Google Benchmark sees argv); the threaded fig7/fig8 variants
+/// register 1-vs-N runs from it.
+inline unsigned threads_flag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* value = nullptr;
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      value = argv[i + 1];
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      value = argv[i] + 10;
+    }
+    if (value != nullptr) {
+      const long parsed = std::strtol(value, nullptr, 10);
+      if (parsed > 0) return static_cast<unsigned>(parsed);
+    }
+  }
+  return ThreadPool::default_parallelism();
+}
+
 /// Google-Benchmark main loop, with --json translated into the library's
 /// --benchmark_out flags before Initialize() consumes argv.
 inline int run_benchmark_main(int argc, char** argv) {
@@ -56,6 +79,10 @@ inline int run_benchmark_main(int argc, char** argv) {
     } else if (arg.rfind("--json=", 0) == 0) {
       storage.push_back("--benchmark_out=" + arg.substr(7));
       storage.push_back("--benchmark_out_format=json");
+    } else if (arg == "--threads" && i + 1 < argc) {
+      ++i;  // consumed by threads_flag() before Initialize()
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      // consumed by threads_flag()
     } else {
       storage.push_back(arg);
     }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "graph/traversal.h"
+
 namespace horus {
 
 bool CausalQueryEngine::happens_before(graph::NodeId a,
@@ -12,6 +14,72 @@ bool CausalQueryEngine::happens_before(graph::NodeId a,
 bool CausalQueryEngine::happens_before_vc(graph::NodeId a,
                                           graph::NodeId b) const {
   return clocks_.vc_less(a, b);
+}
+
+void CausalQueryEngine::finalize(std::vector<graph::NodeId> kept,
+                                 graph::NodeId a, graph::NodeId b,
+                                 bool only_logs,
+                                 CausalGraphResult& result) const {
+  const graph::GraphStore& store = graph_.store();
+
+  if (only_logs) {
+    std::erase_if(kept, [&](graph::NodeId v) {
+      if (v == a || v == b) return false;
+      return store.node_label(v) != "LOG";
+    });
+  }
+
+  // Stable causal presentation order: Lamport clock, node id as tiebreaker.
+  std::sort(kept.begin(), kept.end(), [&](graph::NodeId x, graph::NodeId y) {
+    const auto lx = clocks_.lamport(x);
+    const auto ly = clocks_.lamport(y);
+    if (lx != ly) return lx < ly;
+    return x < y;
+  });
+
+  // Induced edge set. The membership bitmap is written before the fan-out
+  // and only read inside it.
+  std::vector<bool> in_set;
+  graph::NodeId max_id = 0;
+  for (const graph::NodeId v : kept) max_id = std::max(max_id, v);
+  in_set.resize(static_cast<std::size_t>(max_id) + 1, false);
+  for (const graph::NodeId v : kept) in_set[v] = true;
+
+  const unsigned threads = options_.effective_threads();
+  if (threads <= 1 || kept.size() < options_.min_parallel_items) {
+    for (const graph::NodeId v : kept) {
+      for (const graph::Edge& e : store.out_edges(v)) {
+        if (e.to < in_set.size() && in_set[e.to]) {
+          result.edges.emplace_back(v, e.to);
+        }
+      }
+    }
+  } else {
+    // Per-chunk edge vectors over the sorted node list, concatenated in
+    // chunk order — identical edge order to the sequential loop.
+    ThreadPool& pool = options_.effective_pool();
+    const std::size_t grain = 1024;
+    const std::size_t chunks = ThreadPool::chunk_count(kept.size(), grain);
+    std::vector<std::vector<std::pair<graph::NodeId, graph::NodeId>>> partial(
+        chunks);
+    pool.parallel_for(kept.size(), grain, threads,
+                      [&](ThreadPool::ChunkRange chunk) {
+                        auto& local = partial[chunk.index];
+                        for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+                          const graph::NodeId v = kept[i];
+                          for (const graph::Edge& e : store.out_edges(v)) {
+                            if (e.to < in_set.size() && in_set[e.to]) {
+                              local.emplace_back(v, e.to);
+                            }
+                          }
+                        }
+                      });
+    for (const auto& local : partial) {
+      result.edges.insert(result.edges.end(), local.begin(), local.end());
+    }
+  }
+
+  result.nodes = std::move(kept);
 }
 
 CausalGraphResult CausalQueryEngine::get_causal_graph(graph::NodeId a,
@@ -31,49 +99,73 @@ CausalGraphResult CausalQueryEngine::get_causal_graph(graph::NodeId a,
       store.range_scan(graph_.keys().lamport, lc_a, lc_b);
   result.lc_candidates = candidates.size();
 
-  // Step 2: vector-clock pruning of events concurrent with a or b.
+  // Step 2: vector-clock pruning of events concurrent with a or b. The
+  // prune is a pure per-candidate predicate, so it partitions into fixed
+  // chunks whose kept-vectors concatenate in chunk order — identical output
+  // to the sequential scan.
   std::vector<graph::NodeId> kept;
-  kept.reserve(candidates.size());
-  for (const graph::NodeId v : candidates) {
-    if (v == a || v == b) {
-      kept.push_back(v);
-      continue;
+  const unsigned threads = options_.effective_threads();
+  auto keep = [&](graph::NodeId v) {
+    return v == a || v == b ||
+           (clocks_.happens_before(a, v) && clocks_.happens_before(v, b));
+  };
+  if (threads <= 1 || candidates.size() < options_.min_parallel_items) {
+    kept.reserve(candidates.size());
+    for (const graph::NodeId v : candidates) {
+      if (keep(v)) kept.push_back(v);
     }
-    if (clocks_.happens_before(a, v) && clocks_.happens_before(v, b)) {
-      kept.push_back(v);
-    }
-  }
-
-  if (only_logs) {
-    std::erase_if(kept, [&](graph::NodeId v) {
-      if (v == a || v == b) return false;
-      return store.node_label(v) != "LOG";
-    });
-  }
-
-  // Stable causal presentation order: Lamport clock, node id as tiebreaker.
-  std::sort(kept.begin(), kept.end(), [&](graph::NodeId x, graph::NodeId y) {
-    const auto lx = clocks_.lamport(x);
-    const auto ly = clocks_.lamport(y);
-    if (lx != ly) return lx < ly;
-    return x < y;
-  });
-
-  // Step 3: induced edge set.
-  std::vector<bool> in_set;
-  graph::NodeId max_id = 0;
-  for (const graph::NodeId v : kept) max_id = std::max(max_id, v);
-  in_set.resize(static_cast<std::size_t>(max_id) + 1, false);
-  for (const graph::NodeId v : kept) in_set[v] = true;
-  for (const graph::NodeId v : kept) {
-    for (const graph::Edge& e : store.out_edges(v)) {
-      if (e.to < in_set.size() && in_set[e.to]) {
-        result.edges.emplace_back(v, e.to);
-      }
+  } else {
+    ThreadPool& pool = options_.effective_pool();
+    const std::size_t grain = 2048;
+    const std::size_t chunks =
+        ThreadPool::chunk_count(candidates.size(), grain);
+    std::vector<std::vector<graph::NodeId>> partial(chunks);
+    pool.parallel_for(candidates.size(), grain, threads,
+                      [&](ThreadPool::ChunkRange chunk) {
+                        std::vector<graph::NodeId>& local =
+                            partial[chunk.index];
+                        for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+                          if (keep(candidates[i])) {
+                            local.push_back(candidates[i]);
+                          }
+                        }
+                      });
+    std::size_t total = 0;
+    for (const auto& local : partial) total += local.size();
+    kept.reserve(total);
+    for (const auto& local : partial) {
+      kept.insert(kept.end(), local.begin(), local.end());
     }
   }
 
-  result.nodes = std::move(kept);
+  finalize(std::move(kept), a, b, only_logs, result);
+  return result;
+}
+
+CausalGraphResult CausalQueryEngine::get_causal_graph_traversal(
+    graph::NodeId a, graph::NodeId b, bool only_logs) const {
+  CausalGraphResult result;
+
+  const std::int64_t lc_a = clocks_.lamport(a);
+  const std::int64_t lc_b = clocks_.lamport(b);
+  if (lc_a == 0 || lc_b == 0 || lc_a > lc_b) return result;
+  if (a != b && !clocks_.happens_before(a, b)) return result;
+
+  // Pruned double flood: every node on a causal path from a to b satisfies
+  // the admit predicate, and (prefix/suffix closure of the cut) is reachable
+  // from a / reaches b through admitted nodes only, so the floods explore
+  // exactly the cut.
+  graph::ParallelOptions traversal_options;
+  traversal_options.threads = options_.threads;
+  traversal_options.pool = options_.pool;
+  graph::SubgraphResult between = graph::between_subgraph_parallel(
+      graph_.store(), a, b, traversal_options, [&](graph::NodeId v) {
+        return v == a || v == b ||
+               (clocks_.happens_before(a, v) && clocks_.happens_before(v, b));
+      });
+  result.lc_candidates = between.visited;
+
+  finalize(std::move(between.nodes), a, b, only_logs, result);
   return result;
 }
 

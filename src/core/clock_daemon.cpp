@@ -14,7 +14,7 @@ ClockDaemon::~ClockDaemon() {
 void ClockDaemon::start() {
   if (running_.exchange(true)) return;
   stop_requested_.store(false);
-  worker_ = std::thread([this] {
+  worker_ = ThreadPool::shared().spawn_service([this] {
     while (!stop_requested_.load(std::memory_order_acquire)) {
       tick();
       std::unique_lock lock(wake_mutex_);
@@ -30,7 +30,7 @@ void ClockDaemon::stop() {
   if (!running_.load()) return;
   stop_requested_.store(true, std::memory_order_release);
   wake_.notify_all();
-  if (worker_.joinable()) worker_.join();
+  worker_.join();
   running_.store(false);
   tick();  // pick up anything that landed after the last periodic pass
 }

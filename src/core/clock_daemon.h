@@ -23,8 +23,8 @@
 #include <cstdint>
 #include <mutex>
 #include <shared_mutex>
-#include <thread>
 
+#include "common/thread_pool.h"
 #include "core/causal_query.h"
 #include "core/execution_graph.h"
 #include "core/logical_clocks.h"
@@ -81,7 +81,9 @@ class ClockDaemon {
   LogicalClockAssigner assigner_;
   std::size_t assigned_ = 0;
 
-  std::thread worker_;
+  /// Periodic tick loop, spawned through the shared ThreadPool's service
+  /// facility (see thread_pool.h).
+  ThreadPool::ServiceThread worker_;
   std::mutex wake_mutex_;
   std::condition_variable wake_;
   std::atomic<bool> running_{false};

@@ -56,8 +56,10 @@ class Horus {
   [[nodiscard]] const ClockTable& clocks() const noexcept {
     return assigner_.clocks();
   }
-  [[nodiscard]] CausalQueryEngine query() const {
-    return CausalQueryEngine(graph_, assigner_.clocks());
+  /// Causal query engine over the sealed graph. Pass QueryOptions{.threads}
+  /// to fan Q2 out across the shared thread pool.
+  [[nodiscard]] CausalQueryEngine query(QueryOptions options = {}) const {
+    return CausalQueryEngine(graph_, assigner_.clocks(), options);
   }
   [[nodiscard]] IntraProcessEncoder& intra() noexcept { return intra_; }
   [[nodiscard]] InterProcessEncoder& inter() noexcept { return inter_; }

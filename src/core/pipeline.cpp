@@ -125,17 +125,18 @@ void Pipeline::start() {
     }
     return parts;
   };
+  ThreadPool& pool = ThreadPool::shared();
   for (int i = 0; i < options_.intra_workers; ++i) {
-    workers_.emplace_back([this, i, parts = assignment(options_.intra_workers,
-                                                       i)] {
-      intra_worker(i, parts);
-    });
+    workers_.push_back(pool.spawn_service(
+        [this, i, parts = assignment(options_.intra_workers, i)] {
+          intra_worker(i, parts);
+        }));
   }
   for (int i = 0; i < options_.inter_workers; ++i) {
-    workers_.emplace_back([this, i, parts = assignment(options_.inter_workers,
-                                                       i)] {
-      inter_worker(i, parts);
-    });
+    workers_.push_back(pool.spawn_service(
+        [this, i, parts = assignment(options_.inter_workers, i)] {
+          inter_worker(i, parts);
+        }));
   }
 }
 
@@ -374,9 +375,7 @@ bool Pipeline::drain() {
 void Pipeline::stop() {
   if (!running_.load()) return;
   stop_requested_.store(true, std::memory_order_release);
-  for (std::thread& worker : workers_) {
-    if (worker.joinable()) worker.join();
-  }
+  for (ThreadPool::ServiceThread& worker : workers_) worker.join();
   workers_.clear();
   running_.store(false);
 }

@@ -48,9 +48,9 @@
 #include <functional>
 #include <memory>
 #include <string>
-#include <thread>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/execution_graph.h"
 #include "core/inter_encoder.h"
 #include "core/intra_encoder.h"
@@ -182,7 +182,9 @@ class Pipeline {
   std::atomic<std::uint64_t> recoveries_{0};
   std::atomic<std::uint64_t> intra_duplicates_{0};
 
-  std::vector<std::thread> workers_;
+  /// Long-running stage workers, spawned through the shared ThreadPool's
+  /// service facility (dedicated threads; centralized join/lifecycle).
+  std::vector<ThreadPool::ServiceThread> workers_;
 
   template <typename Fn>
   auto backoff_retry(const char* what, Fn&& op) -> decltype(op());

@@ -1,7 +1,10 @@
 #include "graph/traversal.h"
 
 #include <algorithm>
+#include <atomic>
 #include <deque>
+#include <future>
+#include <memory>
 
 namespace horus::graph {
 
@@ -236,6 +239,139 @@ SubgraphResult between_subgraph(const GraphStore& g, NodeId from, NodeId to) {
   out.visited += flood(g, to, /*forward=*/false, bwd);
   for (NodeId v = 0; v < n; ++v) {
     if (fwd[v] && bwd[v]) out.nodes.push_back(v);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Frontier-parallel traversals
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Level-synchronous flood core. `seen` entries are claimed with an atomic
+/// exchange so each node enters exactly one chunk's next-frontier vector;
+/// the vectors are concatenated in chunk order, keeping the visited *set*
+/// (all any caller derives results from) equal to the sequential flood's.
+FloodResult flood_frontier(const GraphStore& g, NodeId start, bool forward,
+                           const ParallelOptions& options,
+                           const NodeFilter& admit) {
+  const std::size_t n = g.node_count();
+  FloodResult result;
+  result.seen.assign(n, 0);
+  if (start >= n) return result;
+
+  const auto seen =
+      std::make_unique<std::atomic<char>[]>(n);  // zero-initialized
+  seen[start].store(1, std::memory_order_relaxed);
+
+  ThreadPool& pool = options.effective_pool();
+  const unsigned threads =
+      options.threads == 0 ? ThreadPool::default_parallelism()
+                           : options.threads;
+
+  std::vector<NodeId> frontier{start};
+  std::size_t visited = 0;
+  while (!frontier.empty()) {
+    visited += frontier.size();
+    const std::size_t chunks =
+        ThreadPool::chunk_count(frontier.size(), options.grain);
+    std::vector<std::vector<NodeId>> next(chunks);
+    pool.parallel_for(
+        frontier.size(), options.grain, threads,
+        [&](ThreadPool::ChunkRange chunk) {
+          std::vector<NodeId>& local = next[chunk.index];
+          for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+            const NodeId cur = frontier[i];
+            const auto edges = forward ? g.out_edges(cur) : g.in_edges(cur);
+            for (const Edge& e : edges) {
+              if (seen[e.to].load(std::memory_order_relaxed) != 0) continue;
+              if (admit && !admit(e.to)) continue;
+              if (seen[e.to].exchange(1, std::memory_order_relaxed) == 0) {
+                local.push_back(e.to);
+              }
+            }
+          }
+        });
+    frontier.clear();
+    for (const std::vector<NodeId>& local : next) {
+      frontier.insert(frontier.end(), local.begin(), local.end());
+    }
+  }
+
+  for (std::size_t v = 0; v < n; ++v) {
+    result.seen[v] = seen[v].load(std::memory_order_relaxed);
+  }
+  result.visited = visited;
+  return result;
+}
+
+}  // namespace
+
+FloodResult flood_parallel(const GraphStore& g, NodeId start, bool forward,
+                           const ParallelOptions& options,
+                           const NodeFilter& admit) {
+  return flood_frontier(g, start, forward, options, admit);
+}
+
+ReachResult reachable_parallel(const GraphStore& g, NodeId from, NodeId to,
+                               const ParallelOptions& options) {
+  ReachResult out;
+  if (from == to) {
+    out.reachable = true;
+    out.visited = 1;
+    return out;
+  }
+  const FloodResult flooded = flood_frontier(g, from, /*forward=*/true,
+                                             options, /*admit=*/{});
+  out.visited = flooded.visited;
+  out.reachable = to < flooded.seen.size() && flooded.seen[to] != 0;
+  return out;
+}
+
+SubgraphResult between_subgraph_parallel(const GraphStore& g, NodeId from,
+                                         NodeId to,
+                                         const ParallelOptions& options,
+                                         const NodeFilter& admit) {
+  SubgraphResult out;
+  const std::size_t n = g.node_count();
+  ThreadPool& pool = options.effective_pool();
+
+  // Descendants of `from` and ancestors of `to` as two concurrent tasks
+  // (each internally frontier-parallel over half the thread budget).
+  ParallelOptions half = options;
+  const unsigned threads = options.threads == 0
+                               ? ThreadPool::default_parallelism()
+                               : options.threads;
+  half.threads = threads > 1 ? (threads + 1) / 2 : 1;
+  std::future<FloodResult> backward;
+  if (threads > 1) {
+    backward = pool.submit([&] {
+      return flood_frontier(g, to, /*forward=*/false, half, admit);
+    });
+  }
+  const FloodResult fwd = flood_frontier(g, from, /*forward=*/true, half,
+                                         admit);
+  const FloodResult bwd =
+      threads > 1 ? pool.wait_helping(backward)
+                  : flood_frontier(g, to, /*forward=*/false, half, admit);
+  out.visited = fwd.visited + bwd.visited;
+
+  // Parallel intersection: per-chunk vectors over ascending id ranges,
+  // concatenated in chunk order — same sorted output as the sequential scan.
+  const std::size_t grain = std::max<std::size_t>(options.grain, 1024);
+  const std::size_t chunks = ThreadPool::chunk_count(n, grain);
+  std::vector<std::vector<NodeId>> partial(chunks);
+  pool.parallel_for(n, grain, threads, [&](ThreadPool::ChunkRange chunk) {
+    std::vector<NodeId>& local = partial[chunk.index];
+    for (std::size_t v = chunk.begin; v < chunk.end; ++v) {
+      if (fwd.seen[v] != 0 && bwd.seen[v] != 0) {
+        local.push_back(static_cast<NodeId>(v));
+      }
+    }
+  });
+  for (const std::vector<NodeId>& local : partial) {
+    out.nodes.insert(out.nodes.end(), local.begin(), local.end());
   }
   return out;
 }

@@ -14,9 +14,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "graph/graph_store.h"
 
 namespace horus::graph {
@@ -85,5 +87,67 @@ struct SubgraphResult {
 
 [[nodiscard]] SubgraphResult between_subgraph(const GraphStore& g, NodeId from,
                                               NodeId to);
+
+// ---------------------------------------------------------------------------
+// Frontier-parallel traversals
+// ---------------------------------------------------------------------------
+//
+// Level-synchronous BFS: each frontier is partitioned into fixed chunks
+// dispatched across the pool; workers claim newly discovered nodes with an
+// atomic test-and-set and append them to a per-chunk next-frontier vector.
+// The next frontier is the concatenation of those vectors in chunk order,
+// so the *set* of visited nodes (and every result derived from it below) is
+// identical to the sequential algorithm for any thread count. The graph
+// must be quiesced (no concurrent writers), per GraphStore's read contract.
+
+struct ParallelOptions {
+  /// Max threads the traversal may use: 1 = sequential, 0 = the pool's
+  /// default_parallelism().
+  unsigned threads = 1;
+  /// Pool supplying helper threads; nullptr = ThreadPool::shared().
+  ThreadPool* pool = nullptr;
+  /// Frontier chunk size (scheduling granularity; does not affect results).
+  std::size_t grain = 128;
+
+  [[nodiscard]] ThreadPool& effective_pool() const {
+    return pool != nullptr ? *pool : ThreadPool::shared();
+  }
+};
+
+/// Optional per-node admission predicate: a discovered node is entered into
+/// the traversal only if `admit(node)` is true (the hook the causal engine
+/// uses for its per-edge vector-clock prune). Must be thread-safe.
+using NodeFilter = std::function<bool(NodeId)>;
+
+struct FloodResult {
+  /// seen[v] != 0 iff v was reached (start included).
+  std::vector<char> seen;
+  /// Nodes expanded (same count as the sequential flood).
+  std::size_t visited = 0;
+};
+
+/// Parallel counterpart of the internal DFS flood: marks every node
+/// reachable from `start` over out-edges (forward) or in-edges (backward),
+/// restricted to admitted nodes. `admit` gates discovered neighbors; the
+/// start node is always entered.
+[[nodiscard]] FloodResult flood_parallel(const GraphStore& g, NodeId start,
+                                         bool forward,
+                                         const ParallelOptions& options = {},
+                                         const NodeFilter& admit = {});
+
+/// Directed reachability via the frontier-parallel flood. The reachable bit
+/// is identical to reachable() for every thread count; visited reflects the
+/// full flood (the sequential version stops early on a hit).
+[[nodiscard]] ReachResult reachable_parallel(
+    const GraphStore& g, NodeId from, NodeId to,
+    const ParallelOptions& options = {});
+
+/// between_subgraph() with the forward and backward floods running as
+/// concurrent tasks (each internally frontier-parallel) and a parallel
+/// intersection. `admit` restricts both floods. Node order is identical to
+/// the sequential version (sorted by node id).
+[[nodiscard]] SubgraphResult between_subgraph_parallel(
+    const GraphStore& g, NodeId from, NodeId to,
+    const ParallelOptions& options = {}, const NodeFilter& admit = {});
 
 }  // namespace horus::graph

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <unordered_map>
@@ -82,8 +83,11 @@ class Evaluator {
  public:
   Evaluator(const ExecutionGraph& graph,
             const std::map<std::string, ProcedureDef, std::less<>>& procedures,
-            const QueryParams& params)
-      : graph_(graph), procedures_(procedures), params_(params) {}
+            const QueryParams& params, const QueryOptions& options)
+      : graph_(graph),
+        procedures_(procedures),
+        params_(params),
+        options_(options) {}
 
   [[nodiscard]] RowSet run(const Query& query) const {
     RowSet rows;
@@ -107,19 +111,38 @@ class Evaluator {
   const ExecutionGraph& graph_;
   const std::map<std::string, ProcedureDef, std::less<>>& procedures_;
   const QueryParams& params_;
+  const QueryOptions& options_;
   /// Property names resolved to store key ids once per statement (the
   /// Evaluator lives for one statement); rows after the first pay a pointer
-  /// hash instead of a string hash per access.
+  /// hash instead of a string hash per access. Guarded by a mutex because
+  /// parallel clause fan-out evaluates expressions from several threads.
   mutable std::unordered_map<const Expr*, graph::PropKeyId> prop_key_cache_;
+  mutable std::mutex prop_key_mutex_;
 
   [[noreturn]] static void fail(const std::string& what) {
     throw QueryError("query evaluation error: " + what);
   }
 
   [[nodiscard]] graph::PropKeyId resolve_prop_key(const Expr& e) const {
+    const std::lock_guard lock(prop_key_mutex_);
     auto [it, inserted] = prop_key_cache_.try_emplace(&e, graph::kNoPropKey);
     if (inserted) it->second = graph_.store().prop_key_id(e.name);
     return it->second;
+  }
+
+  /// True when clause fan-out over `rows` input rows should use the pool.
+  [[nodiscard]] bool fan_out(std::size_t rows) const {
+    return options_.effective_threads() > 1 && rows >= 2 &&
+           rows >= options_.min_parallel_items;
+  }
+
+  /// Row chunk size for clause fan-out: small enough to balance, large
+  /// enough to amortize dispatch. Chunk boundaries (not scheduling) are what
+  /// result ordering depends on, and they are fixed by this value.
+  [[nodiscard]] std::size_t fan_out_grain(std::size_t rows) const {
+    const std::size_t target =
+        static_cast<std::size_t>(options_.effective_threads()) * 8;
+    return std::max<std::size_t>(1, rows / std::max<std::size_t>(target, 1));
   }
 
   // ---- expressions ----------------------------------------------------------
@@ -671,8 +694,12 @@ class Evaluator {
       RowSet next;
       next.columns = current.columns;
       std::vector<std::string> new_columns;
-      for (const auto& row : current.rows) {
-        match_path(path, current, row, new_columns, next.rows);
+      if (!fan_out(current.rows.size())) {
+        for (const auto& row : current.rows) {
+          match_path(path, current, row, new_columns, next.rows);
+        }
+      } else {
+        match_path_parallel(path, current, new_columns, next.rows);
       }
       for (const std::string& c : new_columns) next.columns.push_back(c);
       // Normalize row widths (rows bound before later columns existed).
@@ -682,16 +709,106 @@ class Evaluator {
     return current;
   }
 
+  /// Parallel MATCH fan-out: each fixed chunk of input rows expands into a
+  /// chunk-local (new_columns, rows) pair; chunks are then merged in chunk
+  /// order. A pattern variable's merged column position is determined by
+  /// the first row (in input order) that binds it — exactly the sequential
+  /// accumulation order — so the merged RowSet is identical to the
+  /// sequential one for any thread count.
+  void match_path_parallel(const PathPattern& path, const RowSet& current,
+                           std::vector<std::string>& new_columns,
+                           std::vector<std::vector<Value>>& out) const {
+    struct ChunkOut {
+      std::vector<std::string> new_columns;
+      std::vector<std::vector<Value>> rows;
+    };
+    const std::size_t n = current.rows.size();
+    const std::size_t grain = fan_out_grain(n);
+    std::vector<ChunkOut> chunks(ThreadPool::chunk_count(n, grain));
+    options_.effective_pool().parallel_for(
+        n, grain, options_.effective_threads(),
+        [&](ThreadPool::ChunkRange chunk) {
+          ChunkOut& local = chunks[chunk.index];
+          for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+            match_path(path, current, current.rows[i], local.new_columns,
+                       local.rows);
+          }
+        });
+
+    // Merged column order: first-seen across chunks in chunk order. A
+    // column's first-seen chunk is the chunk holding the first row that
+    // binds it, and within a chunk discovery follows row order, so this is
+    // the sequential discovery order.
+    for (const ChunkOut& chunk : chunks) {
+      for (const std::string& c : chunk.new_columns) {
+        if (std::find(new_columns.begin(), new_columns.end(), c) ==
+            new_columns.end()) {
+          new_columns.push_back(c);
+        }
+      }
+    }
+    const std::size_t base = current.columns.size();
+    for (ChunkOut& chunk : chunks) {
+      // Local column j lands at merged position mapping[j].
+      std::vector<std::size_t> mapping(chunk.new_columns.size());
+      bool identity = true;
+      for (std::size_t j = 0; j < chunk.new_columns.size(); ++j) {
+        const auto it = std::find(new_columns.begin(), new_columns.end(),
+                                  chunk.new_columns[j]);
+        mapping[j] = static_cast<std::size_t>(it - new_columns.begin());
+        identity = identity && mapping[j] == j;
+      }
+      if (identity) {
+        for (auto& row : chunk.rows) out.push_back(std::move(row));
+        continue;
+      }
+      for (auto& row : chunk.rows) {
+        std::vector<Value> remapped(base + new_columns.size());
+        for (std::size_t c = 0; c < base && c < row.size(); ++c) {
+          remapped[c] = std::move(row[c]);
+        }
+        for (std::size_t j = 0; j < mapping.size(); ++j) {
+          if (base + j < row.size()) {
+            remapped[base + mapping[j]] = std::move(row[base + j]);
+          }
+        }
+        out.push_back(std::move(remapped));
+      }
+    }
+  }
+
   // ---- WHERE ----------------------------------------------------------------
 
   [[nodiscard]] RowSet eval_where(const Clause& clause,
                                   const RowSet& input) const {
     RowSet out;
     out.columns = input.columns;
-    for (const auto& row : input.rows) {
-      if (eval_expr(*clause.predicate, input, row).truthy()) {
-        out.rows.push_back(row);
+    if (!fan_out(input.rows.size())) {
+      for (const auto& row : input.rows) {
+        if (eval_expr(*clause.predicate, input, row).truthy()) {
+          out.rows.push_back(row);
+        }
       }
+      return out;
+    }
+    // Chunked filter; per-chunk survivors concatenate in chunk order, so
+    // row order matches the sequential filter.
+    const std::size_t n = input.rows.size();
+    const std::size_t grain = fan_out_grain(n);
+    std::vector<std::vector<std::vector<Value>>> chunks(
+        ThreadPool::chunk_count(n, grain));
+    options_.effective_pool().parallel_for(
+        n, grain, options_.effective_threads(),
+        [&](ThreadPool::ChunkRange chunk) {
+          auto& local = chunks[chunk.index];
+          for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+            if (eval_expr(*clause.predicate, input, input.rows[i]).truthy()) {
+              local.push_back(input.rows[i]);
+            }
+          }
+        });
+    for (auto& local : chunks) {
+      for (auto& row : local) out.rows.push_back(std::move(row));
     }
     return out;
   }
@@ -1085,7 +1202,8 @@ class Evaluator {
     out.columns = input.columns;
     for (const std::string& name : names) out.columns.push_back(name);
 
-    for (const auto& row : input.rows) {
+    auto call_row = [&](const std::vector<Value>& row,
+                        std::vector<std::vector<Value>>& sink) {
       std::vector<Value> args;
       args.reserve(clause.call_args.size());
       for (const auto& a : clause.call_args) {
@@ -1096,8 +1214,29 @@ class Evaluator {
         for (const std::size_t i : selected) {
           extended.push_back(yielded.at(i));
         }
-        out.rows.push_back(std::move(extended));
+        sink.push_back(std::move(extended));
       }
+    };
+
+    if (!fan_out(input.rows.size())) {
+      for (const auto& row : input.rows) call_row(row, out.rows);
+      return out;
+    }
+    // Independent per-row procedure calls dispatched to the pool; yielded
+    // rows concatenate in chunk order, matching the sequential loop.
+    const std::size_t n = input.rows.size();
+    const std::size_t grain = fan_out_grain(n);
+    std::vector<std::vector<std::vector<Value>>> chunks(
+        ThreadPool::chunk_count(n, grain));
+    options_.effective_pool().parallel_for(
+        n, grain, options_.effective_threads(),
+        [&](ThreadPool::ChunkRange chunk) {
+          for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+            call_row(input.rows[i], chunks[chunk.index]);
+          }
+        });
+    for (auto& local : chunks) {
+      for (auto& row : local) out.rows.push_back(std::move(row));
     }
     return out;
   }
@@ -1167,7 +1306,8 @@ QueryResult QueryEngine::run(std::string_view text,
 
 QueryResult QueryEngine::run(const Query& query,
                              const QueryParams& params) const {
-  const auto rows = Evaluator(graph_, procedures_, params).run(query);
+  const auto rows =
+      Evaluator(graph_, procedures_, params, options_).run(query);
   QueryResult result;
   result.columns = rows.columns;
   result.rows = rows.rows;

@@ -24,6 +24,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/causal_query.h"
 #include "core/execution_graph.h"
 #include "query/ast.h"
 #include "query/lexer.h"
@@ -51,7 +52,15 @@ using QueryParams = std::map<std::string, Value, std::less<>>;
 
 class QueryEngine {
  public:
-  explicit QueryEngine(const ExecutionGraph& graph) : graph_(graph) {}
+  /// @param options parallelism knob: with threads > 1 the row-at-a-time
+  ///        clauses (MATCH pattern expansion, WHERE filtering, CALL
+  ///        procedure fan-out) dispatch independent sub-queries — fixed
+  ///        row chunks — to the thread pool and merge the per-chunk
+  ///        results in chunk order, so output ordering is unchanged.
+  ///        Registered procedures must be thread-safe when threads > 1
+  ///        (the built-in horus.* procedures are).
+  explicit QueryEngine(const ExecutionGraph& graph, QueryOptions options = {})
+      : graph_(graph), options_(options) {}
 
   /// Registers (or replaces) a callable procedure, e.g.
   /// "horus.getCausalGraph".
@@ -66,9 +75,13 @@ class QueryEngine {
                                 const QueryParams& params = {}) const;
 
   [[nodiscard]] const ExecutionGraph& graph() const noexcept { return graph_; }
+  [[nodiscard]] const QueryOptions& options() const noexcept {
+    return options_;
+  }
 
  private:
   const ExecutionGraph& graph_;
+  QueryOptions options_;
   std::map<std::string, ProcedureDef, std::less<>> procedures_;
 };
 

@@ -22,6 +22,7 @@ class Parser {
  private:
   std::vector<Token> tokens_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
 
   [[noreturn]] void fail(const std::string& what) const {
     throw QueryError("query parse error at byte " +
@@ -311,6 +312,26 @@ class Parser {
 
   // ---- expressions -----------------------------------------------------------
 
+  // Expression parsing is recursive descent; nested parens, lists, function
+  // arguments, and NOT chains all deepen the C++ call stack. Adversarial
+  // input (e.g. 100k '(' bytes) would otherwise overflow it, so nesting is
+  // bounded and over-deep queries fail with a QueryError like any other
+  // malformed input. Every recursion cycle passes through parse_not(), which
+  // is where the guard lives.
+  static constexpr std::size_t kMaxExprDepth = 512;
+
+  struct DepthGuard {
+    explicit DepthGuard(Parser& p) : parser(p) {
+      if (++parser.depth_ > kMaxExprDepth) {
+        parser.fail("expression nesting too deep");
+      }
+    }
+    ~DepthGuard() { --parser.depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+    Parser& parser;
+  };
+
   ExprPtr parse_expr() { return parse_or(); }
 
   ExprPtr make_binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
@@ -339,6 +360,7 @@ class Parser {
   }
 
   ExprPtr parse_not() {
+    const DepthGuard guard(*this);
     if (accept_keyword("NOT")) {
       auto e = std::make_unique<Expr>();
       e->kind = Expr::Kind::kUnary;

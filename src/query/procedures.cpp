@@ -13,16 +13,17 @@ graph::NodeId node_arg(const Value& v, const char* proc) {
 }  // namespace
 
 void register_horus_procedures(QueryEngine& engine, const ExecutionGraph& graph,
-                               const ClockTable& clocks) {
+                               const ClockTable& clocks,
+                               QueryOptions options) {
   engine.register_procedure(
       "horus.happensBefore",
       ProcedureDef{
           {"result"},
-          [&graph, &clocks](const std::vector<Value>& args) {
+          [&graph, &clocks, options](const std::vector<Value>& args) {
             if (args.size() != 2) {
               throw QueryError("horus.happensBefore expects (a, b)");
             }
-            const CausalQueryEngine q(graph, clocks);
+            const CausalQueryEngine q(graph, clocks, options);
             const bool hb = q.happens_before(
                 node_arg(args[0], "horus.happensBefore"),
                 node_arg(args[1], "horus.happensBefore"));
@@ -33,11 +34,11 @@ void register_horus_procedures(QueryEngine& engine, const ExecutionGraph& graph,
       "horus.getCausalEdges",
       ProcedureDef{
           {"from", "to"},
-          [&graph, &clocks](const std::vector<Value>& args) {
+          [&graph, &clocks, options](const std::vector<Value>& args) {
             if (args.size() != 2) {
               throw QueryError("horus.getCausalEdges expects (a, b)");
             }
-            const CausalQueryEngine q(graph, clocks);
+            const CausalQueryEngine q(graph, clocks, options);
             const CausalGraphResult result = q.get_causal_graph(
                 node_arg(args[0], "horus.getCausalEdges"),
                 node_arg(args[1], "horus.getCausalEdges"));
@@ -53,14 +54,14 @@ void register_horus_procedures(QueryEngine& engine, const ExecutionGraph& graph,
       "horus.getCausalGraph",
       ProcedureDef{
           {"node"},
-          [&graph, &clocks](const std::vector<Value>& args) {
+          [&graph, &clocks, options](const std::vector<Value>& args) {
             if (args.size() < 2 || args.size() > 3) {
               throw QueryError(
                   "horus.getCausalGraph expects (a, b[, onlyLogs])");
             }
             const bool only_logs =
                 args.size() == 3 && args[2].is_bool() && args[2].as_bool();
-            const CausalQueryEngine q(graph, clocks);
+            const CausalQueryEngine q(graph, clocks, options);
             const CausalGraphResult result = q.get_causal_graph(
                 node_arg(args[0], "horus.getCausalGraph"),
                 node_arg(args[1], "horus.getCausalGraph"), only_logs);

@@ -22,8 +22,12 @@
 namespace horus::query {
 
 /// Registers horus.happensBefore and horus.getCausalGraph. The engine keeps
-/// references; `graph` and `clocks` must outlive it.
+/// references; `graph` and `clocks` must outlive it. `options` is the
+/// parallelism knob handed to every CausalQueryEngine the procedures build
+/// (the procedures themselves are thread-safe, so they compose with a
+/// parallel QueryEngine).
 void register_horus_procedures(QueryEngine& engine, const ExecutionGraph& graph,
-                               const ClockTable& clocks);
+                               const ClockTable& clocks,
+                               QueryOptions options = {});
 
 }  // namespace horus::query

@@ -538,10 +538,14 @@ void deploy_background_client(SimKernel& kernel, World& world, int index) {
   kernel.spawn_process(
       host_of(index + 1), name,
       [&world, index](ThreadCtx& ctx) {
-        // Recursive request loop, CPS style.
+        // Recursive request loop, CPS style. The stored function must not
+        // capture `loop` strongly — that is a shared_ptr cycle (the function
+        // owning itself) and leaks the closure chain; the pending sleep/call
+        // continuations hold the strong references instead.
         auto loop = std::make_shared<std::function<void(ThreadCtx&)>>();
-        *loop = [&world, loop, index](ThreadCtx& c) {
-          if (c.true_now() >= world.deadline) return;
+        *loop = [&world, weak = std::weak_ptr(loop), index](ThreadCtx& c) {
+          const auto loop = weak.lock();
+          if (loop == nullptr || c.true_now() >= world.deadline) return;
           const TrainTicketOptions& opts = world.options;
           const TimeNs think = opts.client_think_time_ns / 2 +
                                world.rng.uniform(0, opts.client_think_time_ns);

@@ -1,0 +1,200 @@
+// Fuzz-style robustness test for the query front-end.
+//
+// A seeded mutator derives thousands of corrupted inputs from a corpus of
+// valid queries — truncations, token swaps, junk-byte insertions, deletions,
+// duplications — and feeds them to the lexer/parser. The contract under
+// test: parse_query() either succeeds or throws QueryError; it must never
+// crash, overflow the stack, or throw anything else. The asan preset runs
+// this suite (label `quick`), so out-of-bounds reads in the lexer or parser
+// surface as hard failures.
+//
+// The deep-nesting tests pin the parser's recursion-depth limit: expression
+// nesting beyond kMaxExprDepth is rejected with QueryError instead of
+// overflowing the C++ call stack (found by exactly this fuzzer).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "query/parser.h"
+
+namespace horus::query {
+namespace {
+
+const std::vector<std::string>& corpus() {
+  static const std::vector<std::string> queries = {
+      "MATCH (n:LOG) RETURN n.message ORDER BY n.message",
+      "MATCH (n:LOG {host: 'Payment'}) RETURN n.message LIMIT 3",
+      "MATCH (a:SND)-[:HB]->(b:RCV) RETURN a.host AS src, b.host AS dst",
+      "MATCH (a:SND)-[*1..4]->(b) RETURN count(*) AS reach",
+      "MATCH (n) WHERE n.timestamp > 5 AND NOT n.host = 'L' RETURN n.id",
+      "MATCH (n:LOG) WITH n.host AS h, count(*) AS c RETURN h, c ORDER BY c "
+      "DESC",
+      "MATCH (n:LOG) WHERE n.message CONTAINS 'false' RETURN n.message",
+      "MATCH (n:LOG) WITH collect(n.message) AS msgs UNWIND msgs AS m "
+      "RETURN m",
+      "CALL horus.happensBefore(1, 50) YIELD result RETURN result",
+      "CALL horus.getCausalGraph(0, 40, TRUE) YIELD node RETURN count(*)",
+      "MATCH (n) RETURN DISTINCT n.host AS host",
+      "RETURN 1 + 2 * 3 - 4 / 2 % 3 AS arith",
+      "RETURN [1, 2, 'three', TRUE, NULL] AS list",
+      "MATCH (n) WHERE n.x IN [1, 2, 3] OR n.y STARTS WITH 'ab' "
+      "RETURN n.x ENDS WITH 'z'",
+      "RETURN $param AS p",
+  };
+  return queries;
+}
+
+/// Parses `text`, asserting the no-crash contract. Returns true when the
+/// query parsed cleanly (used to sanity-check the corpus itself).
+bool parse_survives(const std::string& text) {
+  try {
+    const Query q = parse_query(text);
+    return !q.clauses.empty();
+  } catch (const QueryError&) {
+    return false;  // rejection is fine; crashing is not
+  }
+  // Anything else escapes and fails the test at the gtest layer.
+}
+
+/// One seeded mutation of `text`. Kinds: truncate, delete a span, duplicate
+/// a span, swap two chunks, insert junk bytes (printable and not), flip a
+/// byte.
+std::string mutate(const std::string& text, std::mt19937_64& rng) {
+  std::string out = text;
+  std::uniform_int_distribution<int> kind_dist(0, 5);
+  const auto pos_in = [&rng](std::size_t size) {
+    return std::uniform_int_distribution<std::size_t>(0, size)(rng);
+  };
+  switch (kind_dist(rng)) {
+    case 0: {  // truncate
+      if (!out.empty()) out.resize(pos_in(out.size() - 1));
+      break;
+    }
+    case 1: {  // delete a span
+      if (!out.empty()) {
+        const std::size_t at = pos_in(out.size() - 1);
+        const std::size_t len = 1 + pos_in(7);
+        out.erase(at, len);
+      }
+      break;
+    }
+    case 2: {  // duplicate a span
+      if (!out.empty()) {
+        const std::size_t at = pos_in(out.size() - 1);
+        const std::size_t len = 1 + pos_in(15);
+        out.insert(at, out.substr(at, len));
+      }
+      break;
+    }
+    case 3: {  // swap two chunks
+      if (out.size() >= 8) {
+        const std::size_t a = pos_in(out.size() / 2 - 1);
+        const std::size_t b =
+            out.size() / 2 + pos_in(out.size() / 2 - 4);
+        const std::size_t len = 1 + pos_in(3);
+        for (std::size_t i = 0; i < len && a + i < out.size() &&
+                                b + i < out.size();
+             ++i) {
+          std::swap(out[a + i], out[b + i]);
+        }
+      }
+      break;
+    }
+    case 4: {  // insert junk
+      static const char junk[] = "()[]{}<>-*.,:'\"$%\\\0\xff\x01;";
+      const std::size_t at = pos_in(out.size());
+      const std::size_t len = 1 + pos_in(7);
+      for (std::size_t i = 0; i < len; ++i) {
+        out.insert(out.begin() + static_cast<std::ptrdiff_t>(at),
+                   junk[pos_in(sizeof(junk) - 2)]);
+      }
+      break;
+    }
+    default: {  // flip a byte
+      if (!out.empty()) {
+        out[pos_in(out.size() - 1)] =
+            static_cast<char>(pos_in(255));
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+TEST(QueryFuzzTest, CorpusParses) {
+  for (const std::string& text : corpus()) {
+    EXPECT_TRUE(parse_survives(text)) << text;
+  }
+}
+
+TEST(QueryFuzzTest, MutatedQueriesNeverCrashTheParser) {
+  std::mt19937_64 rng(0xF00D);
+  int parsed = 0;
+  int rejected = 0;
+  for (const std::string& base : corpus()) {
+    for (int round = 0; round < 150; ++round) {
+      std::string text = base;
+      // Stack 1-4 mutations so inputs drift far from the corpus.
+      const int stack = 1 + static_cast<int>(rng() % 4);
+      for (int i = 0; i < stack; ++i) text = mutate(text, rng);
+      SCOPED_TRACE("mutant of: " + base);
+      if (parse_survives(text)) {
+        ++parsed;
+      } else {
+        ++rejected;
+      }
+    }
+  }
+  // The exact split is irrelevant; what matters is we got here without a
+  // crash and the mutator is not degenerate (both outcomes occur).
+  EXPECT_GT(parsed + rejected, 2000);
+  EXPECT_GT(rejected, 0);
+}
+
+TEST(QueryFuzzTest, RandomBytesNeverCrashTheLexer) {
+  std::mt19937_64 rng(0xBEEF);
+  std::uniform_int_distribution<int> byte(0, 255);
+  std::uniform_int_distribution<std::size_t> len(0, 120);
+  for (int round = 0; round < 500; ++round) {
+    std::string text(len(rng), '\0');
+    for (char& c : text) c = static_cast<char>(byte(rng));
+    parse_survives(text);  // must not crash; outcome is irrelevant
+  }
+}
+
+TEST(QueryFuzzTest, ModerateNestingStillParses) {
+  // Well under the limit: parenthesised arithmetic 100 deep.
+  std::string text = "RETURN ";
+  for (int i = 0; i < 100; ++i) text += '(';
+  text += '1';
+  for (int i = 0; i < 100; ++i) text += ')';
+  EXPECT_TRUE(parse_survives(text)) << "depth-100 expression must parse";
+}
+
+TEST(QueryFuzzTest, DeepParenNestingIsRejectedNotACrash) {
+  // Far beyond the limit: without the parser's depth guard this is a stack
+  // overflow (each '(' is ~5 recursive calls deep).
+  std::string text = "RETURN ";
+  for (int i = 0; i < 100'000; ++i) text += '(';
+  text += '1';
+  EXPECT_THROW((void)parse_query(text), QueryError);
+}
+
+TEST(QueryFuzzTest, DeepNotChainIsRejectedNotACrash) {
+  std::string text = "WHERE ";
+  for (int i = 0; i < 50'000; ++i) text += "NOT ";
+  text += "TRUE";
+  EXPECT_THROW((void)parse_query(text), QueryError);
+}
+
+TEST(QueryFuzzTest, DeepListNestingIsRejectedNotACrash) {
+  std::string text = "RETURN ";
+  for (int i = 0; i < 100'000; ++i) text += '[';
+  EXPECT_THROW((void)parse_query(text), QueryError);
+}
+
+}  // namespace
+}  // namespace horus::query

@@ -111,9 +111,15 @@ int usage() {
                        [--fault-stall P]]
   horus_cli stats     --graph FILE
   horus_cli validate  --graph FILE
-  horus_cli query     --graph FILE 'MATCH ... RETURN ...'   (or on stdin)
+  horus_cli query     --graph FILE [--threads N] 'MATCH ... RETURN ...'
+                      (query text also accepted on stdin)
   horus_cli shiviz    --graph FILE [--only-logs] [--out FILE]
   horus_cli dot       --graph FILE --from EVENTID --to EVENTID [--out FILE]
+                      [--threads N]
+
+  --threads N   worker threads for query evaluation and causal-graph
+                extraction (default: hardware concurrency; 1 = sequential;
+                results are identical for every N)
   horus_cli dlq       --broker DIR [--topic NAME]
 )");
   return 2;
@@ -291,10 +297,19 @@ int cmd_validate(const Args& args) {
   return report.ok() ? 0 : 1;
 }
 
+/// The CLI parallelism knob, shared by query and dot.
+QueryOptions query_options(const Args& args) {
+  return QueryOptions{.threads = static_cast<unsigned>(args.get_int(
+      "threads",
+      static_cast<std::int64_t>(ThreadPool::default_parallelism())))};
+}
+
 int cmd_query(const Args& args) {
   auto [graph, assigner] = load_graph(args.get("graph"));
-  query::QueryEngine engine(*graph);
-  query::register_horus_procedures(engine, *graph, assigner->clocks());
+  const QueryOptions options = query_options(args);
+  query::QueryEngine engine(*graph, options);
+  query::register_horus_procedures(engine, *graph, assigner->clocks(),
+                                   options);
 
   std::string text;
   if (!args.positional.empty()) {
@@ -343,7 +358,7 @@ int cmd_dot(const Args& args) {
     std::fprintf(stderr, "unknown --from/--to event id\n");
     return 1;
   }
-  const CausalQueryEngine q(*graph, assigner->clocks());
+  const CausalQueryEngine q(*graph, assigner->clocks(), query_options(args));
   const auto causal = q.get_causal_graph(*from, *to);
   if (causal.nodes.empty()) {
     std::fprintf(stderr, "events are not causally related\n");
