@@ -22,6 +22,7 @@
 
 #include "common/json.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 
 namespace horus::bench {
 
@@ -66,9 +67,43 @@ inline unsigned threads_flag(int argc, char** argv) {
   return ThreadPool::default_parallelism();
 }
 
+/// The process metrics registry as a Json value, for embedding into every
+/// benchmark report: the counters explain the wall-clock numbers (how many
+/// candidates were pruned, how often the pool stole, ...).
+inline Json metrics_snapshot() {
+  return Json::parse(obs::Registry::global().expose_json());
+}
+
+/// Re-opens a finished report file and embeds the metrics snapshot under a
+/// top-level "metrics" key (Google Benchmark owns the file while running,
+/// so post-hoc rewrite is the only seam). bench/run_all.sh fails any
+/// produced JSON missing the key.
+inline void embed_metrics_snapshot(const std::string& path) {
+  if (path.empty()) return;
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench: cannot re-open %s to embed metrics\n",
+                 path.c_str());
+    return;
+  }
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  try {
+    Json doc = Json::parse(text);
+    doc["metrics"] = metrics_snapshot();
+    std::ofstream out(path, std::ios::trunc);
+    out << doc.dump() << '\n';
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench: metrics embed failed for %s: %s\n",
+                 path.c_str(), e.what());
+  }
+}
+
 /// Google-Benchmark main loop, with --json translated into the library's
 /// --benchmark_out flags before Initialize() consumes argv.
 inline int run_benchmark_main(int argc, char** argv) {
+  const std::string json_path = json_out_path(argc, argv);
   std::vector<std::string> storage;
   storage.reserve(static_cast<std::size_t>(argc) + 1);
   for (int i = 0; i < argc; ++i) {
@@ -83,6 +118,8 @@ inline int run_benchmark_main(int argc, char** argv) {
       ++i;  // consumed by threads_flag() before Initialize()
     } else if (arg.rfind("--threads=", 0) == 0) {
       // consumed by threads_flag()
+    } else if (arg == "--quick") {
+      // consumed by flag_present(); the GB-based binaries ignore it
     } else {
       storage.push_back(arg);
     }
@@ -95,6 +132,7 @@ inline int run_benchmark_main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  embed_metrics_snapshot(json_path);
   return 0;
 }
 
@@ -115,6 +153,7 @@ class JsonReport {
     Json doc = Json::object();
     doc["name"] = std::string(bench_name);
     doc["benchmarks"] = rows_;
+    doc["metrics"] = metrics_snapshot();
     std::ofstream out(path_, std::ios::trunc);
     if (!out) {
       std::fprintf(stderr, "bench: cannot open %s\n", path_.c_str());

@@ -49,6 +49,13 @@ for name in $benches; do
   if ! "$bin" --json "$out" $quick $threads; then
     echo "FAILED: bench_$name" >&2
     status=1
+    continue
+  fi
+  # Every report must carry the registry snapshot (bench_main.h embeds it);
+  # a missing block means the embed path silently broke.
+  if ! grep -q '"metrics"' "$out"; then
+    echo "FAILED: bench_$name produced $out without a \"metrics\" snapshot" >&2
+    status=1
   fi
 done
 exit $status

@@ -4,12 +4,16 @@
 #include <cstdio>
 #include <mutex>
 
+#include "obs/metrics.h"
+
 namespace horus {
 
 namespace {
+constexpr int kNumEmissionLevels = 4;  // kDebug..kError; kOff is filter-only
+
 std::atomic<DiagLevel> g_level{DiagLevel::kOff};
 std::mutex g_mutex;
-std::atomic<std::uint64_t> g_counts[5];  // indexed by DiagLevel
+std::atomic<std::uint64_t> g_counts[kNumEmissionLevels];
 
 const char* level_name(DiagLevel level) {
   switch (level) {
@@ -17,9 +21,31 @@ const char* level_name(DiagLevel level) {
     case DiagLevel::kInfo: return "INFO";
     case DiagLevel::kWarn: return "WARN";
     case DiagLevel::kError: return "ERROR";
-    case DiagLevel::kOff: return "OFF";
+    case DiagLevel::kOff: break;
   }
-  return "?";
+  return "ERROR";  // unreachable after clamping; never "?" in output
+}
+
+// kOff is a *filter* setting, not an emission severity; a diag(kOff, ...)
+// call (or an out-of-range cast) is a caller bug that used to both emit
+// "[horus:OFF]" and bump a phantom counter. Clamp it to kError so the
+// message still surfaces, attributed to a real level.
+DiagLevel clamp_emission_level(DiagLevel level) {
+  const int raw = static_cast<int>(level);
+  if (raw < 0 || raw >= kNumEmissionLevels) return DiagLevel::kError;
+  return level;
+}
+
+obs::Counter& level_counter(DiagLevel level) {
+  static obs::Family<obs::Counter>& family = obs::Registry::global().counters(
+      "horus_diag_total", "Diagnostic lines per severity level");
+  static obs::Counter* children[kNumEmissionLevels] = {
+      &family.with({{"level", "debug"}}),
+      &family.with({{"level", "info"}}),
+      &family.with({{"level", "warn"}}),
+      &family.with({{"level", "error"}}),
+  };
+  return *children[static_cast<int>(level)];
 }
 }  // namespace
 
@@ -29,7 +55,9 @@ DiagLevel diag_level() { return g_level.load(); }
 
 void diag(DiagLevel level, const std::string& component,
           const std::string& message) {
+  level = clamp_emission_level(level);
   g_counts[static_cast<int>(level)].fetch_add(1, std::memory_order_relaxed);
+  level_counter(level).inc();
   if (level < g_level.load(std::memory_order_relaxed)) return;
   const std::lock_guard lock(g_mutex);
   std::fprintf(stderr, "[horus:%s] %s: %s\n", level_name(level),
@@ -37,7 +65,9 @@ void diag(DiagLevel level, const std::string& component,
 }
 
 std::uint64_t diag_count(DiagLevel level) {
-  return g_counts[static_cast<int>(level)].load(std::memory_order_relaxed);
+  const int raw = static_cast<int>(level);
+  if (raw < 0 || raw >= kNumEmissionLevels) return 0;
+  return g_counts[raw].load(std::memory_order_relaxed);
 }
 
 void reset_diag_counts() {

@@ -17,10 +17,13 @@ void set_diag_level(DiagLevel level);
 /// Emits one diagnostic line to stderr if `level` passes the filter.
 /// The per-level counter (diag_count) is bumped regardless of the filter,
 /// so tests can assert "a warning happened" without enabling output.
+/// kOff is a filter setting, not an emission severity: passing it (or any
+/// out-of-range value) here is clamped to kError.
 void diag(DiagLevel level, const std::string& component,
           const std::string& message);
 
 /// Number of diag() calls made at exactly `level` since start / last reset.
+/// Returns 0 for kOff (nothing is ever counted there).
 [[nodiscard]] std::uint64_t diag_count(DiagLevel level);
 
 /// Zeroes all per-level diag counters.

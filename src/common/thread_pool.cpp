@@ -4,9 +4,21 @@
 #include <chrono>
 #include <exception>
 
+#include "obs/metrics.h"
+
 namespace horus {
 
-ThreadPool::ThreadPool(unsigned workers) {
+ThreadPool::ThreadPool(unsigned workers)
+    : tasks_total_(&obs::Registry::global().counter(
+          "horus_pool_tasks_total", "Tasks enqueued onto thread pools")),
+      steals_total_(&obs::Registry::global().counter(
+          "horus_pool_steals_total",
+          "Tasks taken from another worker's deque")),
+      help_hits_total_(&obs::Registry::global().counter(
+          "horus_pool_help_hits_total",
+          "Tasks executed by a waiter via help-while-wait")),
+      queue_depth_(&obs::Registry::global().gauge(
+          "horus_pool_queue_depth", "Tasks currently pending across pools")) {
   if (workers == 0) workers = default_parallelism();
   queues_.reserve(workers);
   for (unsigned i = 0; i < workers; ++i) {
@@ -50,6 +62,8 @@ void ThreadPool::enqueue(std::function<void()> task) {
     queues_[target]->tasks.push_back(std::move(task));
   }
   pending_.fetch_add(1, std::memory_order_release);
+  tasks_total_->inc();
+  queue_depth_->add(1);
   {
     // Pairs with the wait predicate: the notify cannot slip between the
     // predicate check and the wait.
@@ -65,6 +79,7 @@ bool ThreadPool::try_pop(std::size_t self, std::function<void()>& out) {
   out = std::move(q.tasks.back());  // own deque: LIFO, cache-warm
   q.tasks.pop_back();
   pending_.fetch_sub(1, std::memory_order_relaxed);
+  queue_depth_->sub(1);
   return true;
 }
 
@@ -77,6 +92,8 @@ bool ThreadPool::try_steal(std::size_t self, std::function<void()>& out) {
     out = std::move(q.tasks.front());  // victim deque: FIFO (oldest task)
     q.tasks.pop_front();
     pending_.fetch_sub(1, std::memory_order_relaxed);
+    queue_depth_->sub(1);
+    steals_total_->inc();
     return true;
   }
   return false;
@@ -95,6 +112,10 @@ bool ThreadPool::try_run_one() {
     break;
   }
   if (!found) return false;
+  queue_depth_->sub(1);
+  // try_run_one() is only reached from wait loops (parallel_for's wait and
+  // wait_helping), so every successful run here is a help-while-wait hit.
+  help_hits_total_->inc();
   task();
   return true;
 }

@@ -45,6 +45,11 @@
 
 namespace horus {
 
+namespace obs {
+class Counter;
+class Gauge;
+}  // namespace obs
+
 class ThreadPool {
  public:
   /// Contiguous index range handed to one parallel_for() body invocation.
@@ -174,6 +179,12 @@ class ThreadPool {
 
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> workers_;
+  // Registry instruments, resolved once at construction (see obs/metrics.h).
+  // All pools share the same children: process-wide task/steal totals.
+  obs::Counter* tasks_total_;
+  obs::Counter* steals_total_;
+  obs::Counter* help_hits_total_;
+  obs::Gauge* queue_depth_;
   std::mutex wake_mutex_;
   std::condition_variable wake_;
   std::atomic<bool> stopping_{false};

@@ -1,11 +1,57 @@
 #include "core/causal_query.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "graph/traversal.h"
+#include "obs/metrics.h"
 
 namespace horus {
 
+namespace {
+
+using QueryClock = std::chrono::steady_clock;
+
+double seconds_since(QueryClock::time_point start) {
+  return std::chrono::duration<double>(QueryClock::now() - start).count();
+}
+
+/// Registry series shared by both Q2 implementations. Resolved once per
+/// process; each query flushes its locally accumulated stage costs here in
+/// one shot — never per candidate, so the <5% bench budget stays intact.
+struct Q2Metrics {
+  obs::Histogram& plan_seconds;
+  obs::Histogram& prune_seconds;
+  obs::Histogram& traverse_seconds;
+  obs::Counter& queries;
+  obs::Counter& admitted;
+  obs::Counter& rejected;
+
+  static const Q2Metrics& get() {
+    static const Q2Metrics metrics = [] {
+      obs::Registry& r = obs::Registry::global();
+      obs::Family<obs::Histogram>& stages = r.histograms(
+          "horus_query_stage_seconds", "Q2 stage latency (plan/prune/traverse)");
+      return Q2Metrics{
+          stages.with({{"stage", "plan"}}),
+          stages.with({{"stage", "prune"}}),
+          stages.with({{"stage", "traverse"}}),
+          r.counter("horus_query_q2_total", "getCausalGraph queries run"),
+          r.counter("horus_query_prune_admitted_total",
+                    "Candidates surviving the VC prune"),
+          r.counter("horus_query_prune_rejected_total",
+                    "Candidates removed by the VC prune"),
+      };
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
+
+// No profile hook here: these are the fig7 hot primitives (~60ns), and
+// even an untaken branch is measurable. The horus.happensBefore procedure
+// accounts the comparison at the query layer instead.
 bool CausalQueryEngine::happens_before(graph::NodeId a,
                                        graph::NodeId b) const {
   return clocks_.happens_before(a, b);
@@ -93,11 +139,20 @@ CausalGraphResult CausalQueryEngine::get_causal_graph(graph::NodeId a,
   if (lc_a == 0 || lc_b == 0 || lc_a > lc_b) return result;
   if (a != b && !clocks_.happens_before(a, b)) return result;
 
-  // Step 1: LC-bounded over-approximation via the ordered index, addressed
-  // by the pre-resolved key id (no string hashing on the query path).
+  // Stage wall times are taken only under --profile: a steady_clock read
+  // between stages is an optimizer barrier, and four of them cost ~20% on
+  // the smallest fig8 case. The registry counters below stay unconditional.
+  const bool timed = options_.profile != nullptr;
+
+  // Step 1 (plan): LC-bounded over-approximation via the ordered index,
+  // addressed by the pre-resolved key id (no string hashing on the query
+  // path).
+  const auto plan_start = timed ? QueryClock::now() : QueryClock::time_point{};
   const std::vector<graph::NodeId> candidates =
       store.range_scan(graph_.keys().lamport, lc_a, lc_b);
   result.lc_candidates = candidates.size();
+  const double plan_seconds = timed ? seconds_since(plan_start) : 0.0;
+  const auto prune_start = timed ? QueryClock::now() : QueryClock::time_point{};
 
   // Step 2: vector-clock pruning of events concurrent with a or b. The
   // prune is a pure per-candidate predicate, so it partitions into fixed
@@ -137,8 +192,31 @@ CausalGraphResult CausalQueryEngine::get_causal_graph(graph::NodeId a,
       kept.insert(kept.end(), local.begin(), local.end());
     }
   }
+  const double prune_seconds = timed ? seconds_since(prune_start) : 0.0;
+  const std::uint64_t admitted = kept.size();
+  const std::uint64_t rejected = candidates.size() - kept.size();
 
+  const auto traverse_start =
+      timed ? QueryClock::now() : QueryClock::time_point{};
   finalize(std::move(kept), a, b, only_logs, result);
+  const double traverse_seconds = timed ? seconds_since(traverse_start) : 0.0;
+
+  // One flush per query. Counters are unconditional; the stage histograms
+  // only receive observations from profiled queries (the wall times do not
+  // exist otherwise).
+  const Q2Metrics& metrics = Q2Metrics::get();
+  metrics.queries.inc();
+  metrics.admitted.inc(admitted);
+  metrics.rejected.inc(rejected);
+  if (timed) {
+    metrics.plan_seconds.observe(plan_seconds);
+    metrics.prune_seconds.observe(prune_seconds);
+    metrics.traverse_seconds.observe(traverse_seconds);
+    options_.profile->add_plan(plan_seconds, result.lc_candidates);
+    options_.profile->add_prune(prune_seconds, admitted, rejected);
+    options_.profile->add_traverse(traverse_seconds, result.nodes.size(),
+                                   result.edges.size());
+  }
   return result;
 }
 
@@ -158,14 +236,42 @@ CausalGraphResult CausalQueryEngine::get_causal_graph_traversal(
   graph::ParallelOptions traversal_options;
   traversal_options.threads = options_.threads;
   traversal_options.pool = options_.pool;
+
+  // Same gating as get_causal_graph: stage clocks only under --profile.
+  const bool timed = options_.profile != nullptr;
+  const auto prune_start = timed ? QueryClock::now() : QueryClock::time_point{};
   graph::SubgraphResult between = graph::between_subgraph_parallel(
       graph_.store(), a, b, traversal_options, [&](graph::NodeId v) {
         return v == a || v == b ||
                (clocks_.happens_before(a, v) && clocks_.happens_before(v, b));
       });
   result.lc_candidates = between.visited;
+  // The pruned flood fuses planning and pruning: visited nodes stand in for
+  // candidates, non-admitted visits for rejections.
+  const double prune_seconds = timed ? seconds_since(prune_start) : 0.0;
+  const std::uint64_t admitted = between.nodes.size();
+  const std::uint64_t rejected =
+      between.visited >= between.nodes.size()
+          ? between.visited - between.nodes.size()
+          : 0;
 
+  const auto traverse_start =
+      timed ? QueryClock::now() : QueryClock::time_point{};
   finalize(std::move(between.nodes), a, b, only_logs, result);
+  const double traverse_seconds = timed ? seconds_since(traverse_start) : 0.0;
+
+  const Q2Metrics& metrics = Q2Metrics::get();
+  metrics.queries.inc();
+  metrics.admitted.inc(admitted);
+  metrics.rejected.inc(rejected);
+  if (timed) {
+    metrics.prune_seconds.observe(prune_seconds);
+    metrics.traverse_seconds.observe(traverse_seconds);
+    options_.profile->add_plan(0.0, between.visited);
+    options_.profile->add_prune(prune_seconds, admitted, rejected);
+    options_.profile->add_traverse(traverse_seconds, result.nodes.size(),
+                                   result.edges.size());
+  }
   return result;
 }
 

@@ -28,6 +28,7 @@
 #include "common/thread_pool.h"
 #include "core/execution_graph.h"
 #include "core/logical_clocks.h"
+#include "obs/query_profile.h"
 
 namespace horus {
 
@@ -43,6 +44,10 @@ struct QueryOptions {
   /// more than it saves). Tests drop it to 1 to force the parallel paths on
   /// small graphs.
   std::size_t min_parallel_items = 4096;
+  /// When set, engines write a per-stage cost breakdown here (parse, plan,
+  /// prune admit/reject, traversal) — `horus query --profile`. Null keeps
+  /// the hot paths at a single pointer test.
+  obs::QueryProfile* profile = nullptr;
 
   [[nodiscard]] unsigned effective_threads() const {
     return threads == 0 ? ThreadPool::default_parallelism() : threads;

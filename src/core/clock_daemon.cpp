@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "obs/metrics.h"
+
 namespace horus {
 
 ClockDaemon::ClockDaemon(ExecutionGraph& graph, Options options)
@@ -56,19 +58,41 @@ bool ClockDaemon::audit_locked() const {
 }
 
 std::size_t ClockDaemon::tick() {
+  // Function-local statics: resolved once, shared by every daemon in the
+  // process (there is normally one; a second would aggregate into the same
+  // series, which is the semantics we want for process totals).
+  static obs::Histogram& tick_seconds = obs::Registry::global().histogram(
+      "horus_clock_tick_seconds",
+      "Logical-clock assignment pass latency (audit + assign/heal)");
+  static obs::Counter& ticks_total = obs::Registry::global().counter(
+      "horus_clock_ticks_total", "Assignment passes run");
+  static obs::Counter& heals_total = obs::Registry::global().counter(
+      "horus_clock_heals_total",
+      "Passes that found a violated edge invariant and reassigned all");
+  static obs::Gauge& assigned_nodes = obs::Registry::global().gauge(
+      "horus_clock_assigned_nodes", "Nodes with logical clocks assigned");
+  static obs::Gauge& arena_bytes = obs::Registry::global().gauge(
+      "horus_clock_vc_arena_bytes", "Resident size of the flat VC arena");
+
+  const obs::Timer timer(tick_seconds);
   const std::unique_lock lock(mutex_);
   ticks_.fetch_add(1, std::memory_order_relaxed);
+  ticks_total.inc();
   std::size_t assigned = 0;
   if (audit_locked()) {
     // A causal pair landed after its endpoints were assigned: heal by
     // recomputing from scratch.
     heals_.fetch_add(1, std::memory_order_relaxed);
+    heals_total.inc();
     assigned = assigner_.reassign_all();
     assigned_ = assigned;
   } else {
     assigned = assigner_.assign();
     assigned_ += assigned;
   }
+  assigned_nodes.set(static_cast<std::int64_t>(assigned_));
+  arena_bytes.set(static_cast<std::int64_t>(
+      assigner_.clocks().vc_arena_size() * sizeof(std::int32_t)));
   return assigned;
 }
 

@@ -69,6 +69,12 @@ class ClockTable {
   [[nodiscard]] std::size_t timeline_count() const {
     return timeline_names_.size();
   }
+
+  /// Elements in the flat VC arena (times sizeof(int32) = resident bytes);
+  /// the clock daemon exports this as the arena-size gauge.
+  [[nodiscard]] std::size_t vc_arena_size() const noexcept {
+    return vc_arena_.size();
+  }
   [[nodiscard]] const std::string& timeline_name(std::int32_t index) const {
     return timeline_names_[static_cast<std::size_t>(index)];
   }

@@ -77,6 +77,20 @@ std::vector<Event> read_pending_wal(const std::string& path) {
   return events;
 }
 
+/// Tracks one worker's contribution to a shared pending gauge via deltas,
+/// and retracts it on scope exit — so a crashed worker (whose encoder, and
+/// with it the buffered state, is destroyed) does not leave the gauge
+/// permanently inflated.
+struct PendingGuard {
+  obs::Gauge* gauge;
+  std::int64_t seen = 0;
+  void update(std::int64_t now) {
+    gauge->add(now - seen);
+    seen = now;
+  }
+  ~PendingGuard() { gauge->sub(seen); }
+};
+
 }  // namespace
 
 template <typename Fn>
@@ -88,7 +102,7 @@ auto Pipeline::backoff_retry(const char* what, Fn&& op) -> decltype(op()) {
     } catch (const queue::TransientFault& e) {
       // Only transient broker faults are retryable; InjectedCrash and real
       // errors propagate to the worker's recovery loop / the caller.
-      retried_.fetch_add(1, std::memory_order_relaxed);
+      retried_->inc();
       diag(DiagLevel::kDebug, "pipeline",
            std::string(what) + " failed transiently (" + e.what() +
                "), retrying in " + std::to_string(delay_ms) + "ms");
@@ -98,9 +112,64 @@ auto Pipeline::backoff_retry(const char* what, Fn&& op) -> decltype(op()) {
   }
 }
 
+namespace {
+/// Process-unique pipeline id: tests assert exact per-instance counts, so
+/// every Pipeline gets its own registry children under pipeline="<id>".
+std::string next_pipeline_instance() {
+  static std::atomic<std::uint64_t> counter{0};
+  return std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+}
+}  // namespace
+
 Pipeline::Pipeline(queue::Broker& broker, ExecutionGraph& graph,
                    PipelineOptions options)
-    : broker_(broker), graph_(graph), options_(std::move(options)) {
+    : broker_(broker),
+      graph_(graph),
+      options_(std::move(options)),
+      instance_(next_pipeline_instance()) {
+  obs::Registry& registry = obs::Registry::global();
+  obs::Family<obs::Counter>& events = registry.counters(
+      "horus_pipeline_events_total", "Events crossing each pipeline stage");
+  published_ = &events.with({{"pipeline", instance_}, {"stage", "published"}});
+  intra_processed_ =
+      &events.with({{"pipeline", instance_}, {"stage", "intra"}});
+  intra_forwarded_ =
+      &events.with({{"pipeline", instance_}, {"stage", "intra_forwarded"}});
+  inter_processed_ =
+      &events.with({{"pipeline", instance_}, {"stage", "inter"}});
+  inter_edges_ =
+      &events.with({{"pipeline", instance_}, {"stage", "inter_edges"}});
+  retried_ = &registry.counter("horus_pipeline_retries_total",
+                               "Retries against transient broker faults",
+                               {{"pipeline", instance_}});
+  dead_lettered_ = &registry.counter("horus_pipeline_dead_letter_total",
+                                     "Messages diverted to the DLQ",
+                                     {{"pipeline", instance_}});
+  recoveries_ = &registry.counter("horus_pipeline_recoveries_total",
+                                  "Worker crash-recovery cycles",
+                                  {{"pipeline", instance_}});
+  intra_duplicates_ = &registry.counter(
+      "horus_pipeline_duplicates_total",
+      "Replayed/duplicated deliveries dropped by the intra stage",
+      {{"pipeline", instance_}});
+  wal_spills_ = &registry.counter("horus_pipeline_wal_spills_total",
+                                  "Pending-pair WAL rewrites (inter stage)",
+                                  {{"pipeline", instance_}});
+  wal_recovered_ = &registry.counter(
+      "horus_pipeline_wal_recovered_total",
+      "Events re-fed from the pending-pair WAL after a restart",
+      {{"pipeline", instance_}});
+  obs::Family<obs::Gauge>& pending = registry.gauges(
+      "horus_encoder_pending", "Buffered/unmatched state per encoder stage");
+  intra_pending_ =
+      &pending.with({{"pipeline", instance_}, {"stage", "intra"}});
+  inter_pending_ =
+      &pending.with({{"pipeline", instance_}, {"stage", "inter"}});
+  obs::Family<obs::Histogram>& flush = registry.histograms(
+      "horus_encoder_flush_seconds", "Encoder flush latency per stage");
+  intra_flush_seconds_ = &flush.with({{"stage", "intra"}});
+  inter_flush_seconds_ = &flush.with({{"stage", "inter"}});
+
   broker_.create_topic(options_.sources_topic, options_.partitions);
   broker_.create_topic(options_.timeline_topic, options_.partitions);
   broker_.create_topic(options_.dlq_topic, 1);
@@ -109,11 +178,10 @@ Pipeline::Pipeline(queue::Broker& broker, ExecutionGraph& graph,
   }
 }
 
-Pipeline::~Pipeline() {
-  if (running_.load()) stop();
-}
+Pipeline::~Pipeline() { stop(); }
 
 void Pipeline::start() {
+  const std::lock_guard lifecycle_lock(lifecycle_mutex_);
   if (running_.exchange(true)) return;
   stop_requested_.store(false);
 
@@ -146,7 +214,7 @@ void Pipeline::publish(const Event& event) {
         .produce(timeline_key(event, options_.granularity),
                  event.to_json().dump());
   });
-  published_.fetch_add(1, std::memory_order_relaxed);
+  published_->inc();
 }
 
 EventSinkFn Pipeline::sink() {
@@ -170,7 +238,7 @@ void Pipeline::dead_letter(const std::string& stage,
   backoff_retry("dead-letter produce", [&] {
     broker_.topic(options_.dlq_topic).produce(stage, entry.dump());
   });
-  dead_lettered_.fetch_add(1, std::memory_order_relaxed);
+  dead_lettered_->inc();
   diag(DiagLevel::kWarn, "pipeline",
        "dead-lettered " + stage + " message: " + error);
 }
@@ -190,7 +258,7 @@ void Pipeline::intra_worker(int index, std::vector<int> partitions) {
       run_intra(index, partitions);
       return;
     } catch (const queue::InjectedCrash& e) {
-      recoveries_.fetch_add(1, std::memory_order_relaxed);
+      recoveries_->inc();
       diag(DiagLevel::kWarn, "pipeline",
            "intra worker " + std::to_string(index) + " crashed (" + e.what() +
                "), restarting");
@@ -204,7 +272,7 @@ void Pipeline::inter_worker(int index, std::vector<int> partitions) {
       run_inter(index, partitions);
       return;
     } catch (const queue::InjectedCrash& e) {
-      recoveries_.fetch_add(1, std::memory_order_relaxed);
+      recoveries_->inc();
       diag(DiagLevel::kWarn, "pipeline",
            "inter worker " + std::to_string(index) + " crashed (" + e.what() +
                "), restarting");
@@ -225,7 +293,7 @@ void Pipeline::run_intra(int index, const std::vector<int>& partitions) {
         backoff_retry("timeline produce", [&] {
           downstream.produce(key, value);
         });
-        intra_forwarded_.fetch_add(1, std::memory_order_relaxed);
+        intra_forwarded_->inc();
       },
       IntraProcessEncoder::Options{options_.granularity});
 
@@ -233,6 +301,7 @@ void Pipeline::run_intra(int index, const std::vector<int>& partitions) {
   const auto interval =
       std::chrono::milliseconds(options_.event_flush_interval_ms);
   std::uint64_t dup_seen = 0;
+  PendingGuard pending_guard{intra_pending_};
 
   while (true) {
     const auto batch = backoff_retry("intra poll", [&] {
@@ -251,17 +320,22 @@ void Pipeline::run_intra(int index, const std::vector<int>& partitions) {
         continue;
       }
       encoder.on_event(std::move(event));
-      intra_processed_.fetch_add(1, std::memory_order_relaxed);
+      intra_processed_->inc();
     }
     const std::uint64_t dups = encoder.duplicates_dropped();
-    intra_duplicates_.fetch_add(dups - dup_seen, std::memory_order_relaxed);
+    intra_duplicates_->inc(dups - dup_seen);
     dup_seen = dups;
 
     const auto now = Clock::now();
     const bool stopping = stop_requested_.load(std::memory_order_acquire);
     if (now - last_flush >= interval || (stopping && batch.empty())) {
-      encoder.flush();
+      {
+        const obs::Timer timer(*intra_flush_seconds_);
+        encoder.flush();
+      }
       consumer.commit();
+      pending_guard.update(static_cast<std::int64_t>(encoder.pending()));
+      notify_commit_progress();
       last_flush = now;
       if (stopping && batch.empty() && encoder.pending() == 0) break;
     }
@@ -279,19 +353,35 @@ void Pipeline::run_inter(int index, const std::vector<int>& partitions) {
     encoder.set_spill_capture(true);
     // Rehydrate the pending-pair state the previous incarnation spilled at
     // its last commit; the queue window after that commit replays on top.
-    for (Event& event : read_pending_wal(wal)) {
+    std::vector<Event> recovered = read_pending_wal(wal);
+    wal_recovered_->inc(recovered.size());
+    for (Event& event : recovered) {
       encoder.on_event(std::move(event));
     }
   }
+
+  PendingGuard pending_guard{inter_pending_};
+  std::uint64_t edges_seen = encoder.edges_flushed();
 
   // One commit point: everything consumed so far is flushed to the graph,
   // then the surviving pending state is spilled, then offsets commit. A
   // crash between any two steps re-runs from the previous commit; flushes
   // and edges are idempotent, so the replay is absorbed.
   auto commit_cycle = [&] {
-    encoder.flush();
-    if (durable) write_pending_wal(wal, encoder.snapshot_pending());
+    {
+      const obs::Timer timer(*inter_flush_seconds_);
+      encoder.flush();
+    }
+    if (durable) {
+      write_pending_wal(wal, encoder.snapshot_pending());
+      wal_spills_->inc();
+    }
     consumer.commit();
+    const std::uint64_t edges = encoder.edges_flushed();
+    inter_edges_->inc(edges - edges_seen);
+    edges_seen = edges;
+    pending_guard.update(static_cast<std::int64_t>(encoder.pending()));
+    notify_commit_progress();
   };
 
   auto last_flush = Clock::now();
@@ -311,7 +401,7 @@ void Pipeline::run_inter(int index, const std::vector<int>& partitions) {
         continue;
       }
       encoder.on_event(std::move(event));
-      inter_processed_.fetch_add(1, std::memory_order_relaxed);
+      inter_processed_->inc();
     }
     const auto now = Clock::now();
     const bool stopping = stop_requested_.load(std::memory_order_acquire);
@@ -339,6 +429,46 @@ bool Pipeline::committed_through(const std::string& topic,
   return true;
 }
 
+bool Pipeline::all_committed() const {
+  return committed_through(options_.sources_topic, "horus-intra-",
+                           options_.intra_workers) &&
+         committed_through(options_.timeline_topic, "horus-inter-",
+                           options_.inter_workers);
+}
+
+std::string Pipeline::stuck_partition_report() const {
+  std::string out;
+  auto scan = [&](const std::string& topic, const std::string& group_prefix,
+                  int workers) {
+    queue::Topic& t = broker_.topic(topic);
+    for (int w = 0; w < workers; ++w) {
+      const std::string group = group_prefix + std::to_string(w);
+      for (int p = w; p < options_.partitions; p += workers) {
+        const std::uint64_t committed =
+            broker_.committed_offset(group, topic, p);
+        const std::uint64_t end = t.partition(p).end_offset();
+        if (committed < end) {
+          out += " " + topic + "[" + std::to_string(p) + "] group=" + group +
+                 " committed=" + std::to_string(committed) +
+                 " end=" + std::to_string(end);
+        }
+      }
+    }
+  };
+  scan(options_.sources_topic, "horus-intra-", options_.intra_workers);
+  scan(options_.timeline_topic, "horus-inter-", options_.inter_workers);
+  return out.empty() ? " (none)" : out;
+}
+
+void Pipeline::notify_commit_progress() {
+  {
+    // Empty critical section: pairs the notify with drain()'s predicate
+    // check so a signal cannot slip between the check and the wait.
+    const std::lock_guard lock(drain_mutex_);
+  }
+  drain_cv_.notify_all();
+}
+
 bool Pipeline::drain() {
   // Drained == every stage has consumed AND committed everything the broker
   // holds for it: first the sources topic (intra workers), then the
@@ -346,38 +476,48 @@ bool Pipeline::drain() {
   // it once the sources are committed through). Offsets are the ground
   // truth — processed-event counters are inflated by injected duplicates
   // and crash replays, committed offsets are not.
+  //
+  // Workers signal drain_cv_ after every offset commit, so this waits on
+  // the condition variable instead of busy-polling; the 100 ms cap only
+  // backstops progress made outside a commit (e.g. a never-started
+  // pipeline, or commits that raced the predicate check).
   const auto deadline =
       Clock::now() + std::chrono::milliseconds(options_.drain_timeout_ms);
+  std::unique_lock lock(drain_mutex_);
   for (;;) {
-    if (committed_through(options_.sources_topic, "horus-intra-",
-                          options_.intra_workers) &&
-        committed_through(options_.timeline_topic, "horus-inter-",
-                          options_.inter_workers)) {
-      return true;
-    }
-    if (Clock::now() >= deadline) {
+    if (all_committed()) return true;
+    const auto now = Clock::now();
+    if (now >= deadline) {
       diag(DiagLevel::kError, "pipeline",
            "drain timed out after " +
                std::to_string(options_.drain_timeout_ms) +
-               "ms; published=" + std::to_string(published_.load()) +
-               " intra=" + std::to_string(intra_processed_.load()) +
-               " forwarded=" + std::to_string(intra_forwarded_.load()) +
-               " inter=" + std::to_string(inter_processed_.load()) +
-               " retried=" + std::to_string(retried_.load()) +
-               " dead-lettered=" + std::to_string(dead_lettered_.load()) +
-               " recoveries=" + std::to_string(recoveries_.load()));
+               "ms; published=" + std::to_string(published_->value()) +
+               " intra=" + std::to_string(intra_processed_->value()) +
+               " forwarded=" + std::to_string(intra_forwarded_->value()) +
+               " inter=" + std::to_string(inter_processed_->value()) +
+               " retried=" + std::to_string(retried_->value()) +
+               " dead-lettered=" + std::to_string(dead_lettered_->value()) +
+               " recoveries=" + std::to_string(recoveries_->value()) +
+               "; stuck partitions:" + stuck_partition_report());
       return false;
     }
-    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    drain_cv_.wait_for(
+        lock, std::min<Clock::duration>(deadline - now,
+                                        std::chrono::milliseconds(100)));
   }
 }
 
 void Pipeline::stop() {
-  if (!running_.load()) return;
+  // Exactly one caller may claim the shutdown (running_ exchange); the
+  // lifecycle mutex additionally makes later callers — including the
+  // destructor racing a concurrent stop() — wait until the claimant has
+  // joined and cleared workers_, instead of returning while threads are
+  // still being torn down.
+  const std::lock_guard lifecycle_lock(lifecycle_mutex_);
+  if (!running_.exchange(false)) return;
   stop_requested_.store(true, std::memory_order_release);
   for (ThreadPool::ServiceThread& worker : workers_) worker.join();
   workers_.clear();
-  running_.store(false);
 }
 
 }  // namespace horus

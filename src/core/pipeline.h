@@ -44,13 +44,16 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 #include "core/execution_graph.h"
 #include "core/inter_encoder.h"
 #include "core/intra_encoder.h"
@@ -121,38 +124,45 @@ class Pipeline {
   /// Blocks until every published event has fully exited the pipeline
   /// (both stages consumed *and committed* everything the broker holds —
   /// robust against injected duplicates and crash replays) or the drain
-  /// timeout expires. Returns false on timeout, after reporting the stuck
-  /// stage counters via diag(kError).
+  /// timeout expires. Sleeps on a condition variable the workers signal
+  /// after every offset commit (no busy-polling). Returns false on timeout,
+  /// after reporting the stage counters AND the committed-vs-end offsets of
+  /// every stuck partition via diag(kError).
   bool drain();
 
   /// Stops all workers (flushing and committing what they consumed).
+  /// Safe against concurrent stop() calls and the destructor: exactly one
+  /// caller joins the workers; the others wait for it to finish.
   void stop();
 
   // -- statistics ------------------------------------------------------------
+  // Counters live in the process-wide obs::Registry, labeled with this
+  // instance's id (pipeline="<n>"), so per-instance accessors and the
+  // registry exposition read the same memory.
   [[nodiscard]] std::uint64_t events_published() const noexcept {
-    return published_.load();
+    return published_->value();
   }
   [[nodiscard]] std::uint64_t events_processed() const noexcept {
-    return inter_processed_.load();
+    return inter_processed_->value();
   }
   [[nodiscard]] std::uint64_t intra_processed() const noexcept {
-    return intra_processed_.load();
+    return intra_processed_->value();
   }
   /// Retry attempts against transient broker faults (produce and poll).
   [[nodiscard]] std::uint64_t events_retried() const noexcept {
-    return retried_.load();
+    return retried_->value();
   }
   /// Messages diverted to the dead-letter topic.
   [[nodiscard]] std::uint64_t events_dead_lettered() const noexcept {
-    return dead_lettered_.load();
+    return dead_lettered_->value();
   }
   /// Worker crash-recovery cycles (injected crashes survived).
   [[nodiscard]] std::uint64_t recoveries() const noexcept {
-    return recoveries_.load();
+    return recoveries_->value();
   }
   /// Replayed/duplicated deliveries dropped by the intra stage.
   [[nodiscard]] std::uint64_t events_deduplicated() const noexcept {
-    return intra_duplicates_.load();
+    return intra_duplicates_->value();
   }
 
  private:
@@ -165,6 +175,12 @@ class Pipeline {
   [[nodiscard]] bool committed_through(const std::string& topic,
                                        const std::string& group_prefix,
                                        int workers) const;
+  [[nodiscard]] bool all_committed() const;
+  /// "topic[p] group=g committed=x end=y" for every partition whose group
+  /// offset trails the log end (the drain-timeout diagnostic).
+  [[nodiscard]] std::string stuck_partition_report() const;
+  /// Wakes drain() after a worker commits offsets.
+  void notify_commit_progress();
   [[nodiscard]] std::string wal_path(int index) const;
 
   queue::Broker& broker_;
@@ -173,14 +189,29 @@ class Pipeline {
 
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};
-  std::atomic<std::uint64_t> published_{0};
-  std::atomic<std::uint64_t> intra_processed_{0};
-  std::atomic<std::uint64_t> intra_forwarded_{0};
-  std::atomic<std::uint64_t> inter_processed_{0};
-  std::atomic<std::uint64_t> retried_{0};
-  std::atomic<std::uint64_t> dead_lettered_{0};
-  std::atomic<std::uint64_t> recoveries_{0};
-  std::atomic<std::uint64_t> intra_duplicates_{0};
+
+  /// Serializes start()/stop()/destructor so only one caller ever joins and
+  /// clears workers_ (a second concurrent stop() waits, then no-ops).
+  std::mutex lifecycle_mutex_;
+  std::mutex drain_mutex_;
+  std::condition_variable drain_cv_;
+
+  std::string instance_;  ///< process-unique id, the `pipeline` label value
+  obs::Counter* published_;
+  obs::Counter* intra_processed_;
+  obs::Counter* intra_forwarded_;
+  obs::Counter* inter_processed_;
+  obs::Counter* inter_edges_;
+  obs::Counter* retried_;
+  obs::Counter* dead_lettered_;
+  obs::Counter* recoveries_;
+  obs::Counter* intra_duplicates_;
+  obs::Counter* wal_spills_;
+  obs::Counter* wal_recovered_;
+  obs::Gauge* intra_pending_;
+  obs::Gauge* inter_pending_;
+  obs::Histogram* intra_flush_seconds_;
+  obs::Histogram* inter_flush_seconds_;
 
   /// Long-running stage workers, spawned through the shared ThreadPool's
   /// service facility (dedicated threads; centralized join/lifecycle).

@@ -1,0 +1,385 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace horus::obs {
+
+namespace {
+
+// Shortest round-trippable rendering of a double, matching what both the
+// Prometheus text format and JSON accept ("0.001", "1e-06", "42").
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Prefer the shortest precision that round-trips.
+  for (int precision = 1; precision < 17; ++precision) {
+    char shorter[64];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", precision, v);
+    double parsed = 0.0;
+    std::sscanf(shorter, "%lf", &parsed);
+    if (parsed == v) {
+      std::memcpy(buf, shorter, sizeof(shorter));
+      break;
+    }
+  }
+  return buf;
+}
+
+// Escaping for Prometheus label values: backslash, double quote, newline.
+std::string escape_label_value(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+// Minimal JSON string escaping (this library has no JSON dependency).
+std::string escape_json(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// name{k1="v1",k2="v2"} — or just name when unlabeled. `extra` appends one
+// more pair (used for histogram `le`).
+std::string series_name(const std::string& name, const Labels& labels,
+                        const std::string& extra_key = {},
+                        const std::string& extra_value = {}) {
+  std::string out = name;
+  if (labels.empty() && extra_key.empty()) return out;
+  out += '{';
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += key;
+    out += "=\"";
+    out += escape_label_value(value);
+    out += '"';
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ',';
+    out += extra_key;
+    out += "=\"";
+    out += escape_label_value(extra_value);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+std::string labels_json(const Labels& labels) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += escape_json(key);
+    out += "\":\"";
+    out += escape_json(value);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+Labels canonical(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+Histogram::Histogram(const HistogramOptions& options)
+    : bounds_(), buckets_(static_cast<std::size_t>(
+                             std::max(options.bucket_count, 1)) +
+                         1) {
+  const int n = std::max(options.bucket_count, 1);
+  bounds_.reserve(static_cast<std::size_t>(n));
+  double bound = options.first_bound;
+  for (int i = 0; i < n; ++i) {
+    bounds_.push_back(bound);
+    bound *= options.growth;
+  }
+}
+
+void Histogram::observe(double v) noexcept {
+  // First bucket whose (inclusive) upper bound admits v; +Inf otherwise.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t index = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // Accumulate the double sum through a CAS loop on its bit pattern —
+  // atomic<double>::fetch_add is C++20; this stays portable and lock-free.
+  std::uint64_t expected = sum_bits_.load(std::memory_order_relaxed);
+  for (;;) {
+    double current;
+    static_assert(sizeof(current) == sizeof(expected));
+    std::memcpy(&current, &expected, sizeof(current));
+    const double next = current + v;
+    std::uint64_t next_bits;
+    std::memcpy(&next_bits, &next, sizeof(next_bits));
+    if (sum_bits_.compare_exchange_weak(expected, next_bits,
+                                        std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+double Histogram::sum() const noexcept {
+  const std::uint64_t bits = sum_bits_.load(std::memory_order_relaxed);
+  double out;
+  std::memcpy(&out, &bits, sizeof(out));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Family
+
+template <>
+Counter* Family<Counter>::make_child() const {
+  return new Counter();
+}
+
+template <>
+Gauge* Family<Gauge>::make_child() const {
+  return new Gauge();
+}
+
+template <>
+Histogram* Family<Histogram>::make_child() const {
+  return new Histogram(hist_options_);
+}
+
+template <typename T>
+T& Family<T>::with(Labels labels) {
+  Labels key = canonical(std::move(labels));
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<T>& slot = children_[key];
+  if (!slot) slot.reset(make_child());
+  return *slot;
+}
+
+template class Family<Counter>;
+template class Family<Gauge>;
+template class Family<Histogram>;
+
+// ---------------------------------------------------------------------------
+// Registry
+
+Registry& Registry::global() {
+  // Leaked on purpose: service threads (ThreadPool, pipeline workers) may
+  // touch instruments during static destruction; a destroyed registry there
+  // would be use-after-free. One allocation per process is the cheap fix.
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+void Registry::check_name_free(const std::string& name,
+                               const char* kind) const {
+  const bool taken = (std::strcmp(kind, "counter") != 0 &&
+                      counters_.count(name) != 0) ||
+                     (std::strcmp(kind, "gauge") != 0 &&
+                      gauges_.count(name) != 0) ||
+                     (std::strcmp(kind, "histogram") != 0 &&
+                      histograms_.count(name) != 0);
+  if (taken) {
+    throw std::logic_error("metric '" + name +
+                           "' already registered with a different kind");
+  }
+}
+
+Family<Counter>& Registry::counters(const std::string& name,
+                                    const std::string& help) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    check_name_free(name, "counter");
+    it = counters_
+             .emplace(name, std::unique_ptr<Family<Counter>>(new Family<Counter>(
+                                name, help, HistogramOptions{})))
+             .first;
+  }
+  return *it->second;
+}
+
+Family<Gauge>& Registry::gauges(const std::string& name,
+                                const std::string& help) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    check_name_free(name, "gauge");
+    it = gauges_
+             .emplace(name, std::unique_ptr<Family<Gauge>>(new Family<Gauge>(
+                                name, help, HistogramOptions{})))
+             .first;
+  }
+  return *it->second;
+}
+
+Family<Histogram>& Registry::histograms(const std::string& name,
+                                        const std::string& help,
+                                        HistogramOptions options) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    check_name_free(name, "histogram");
+    it = histograms_
+             .emplace(name,
+                      std::unique_ptr<Family<Histogram>>(
+                          new Family<Histogram>(name, help, options)))
+             .first;
+  }
+  return *it->second;
+}
+
+std::string Registry::expose_text() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+
+  for (const auto& [name, family] : counters_) {
+    out += "# HELP " + name + " " + family->help() + "\n";
+    out += "# TYPE " + name + " counter\n";
+    const std::lock_guard<std::mutex> children_lock(family->mutex_);
+    for (const auto& [labels, child] : family->children_) {
+      out += series_name(name, labels) + " " +
+             std::to_string(child->value()) + "\n";
+    }
+  }
+
+  for (const auto& [name, family] : gauges_) {
+    out += "# HELP " + name + " " + family->help() + "\n";
+    out += "# TYPE " + name + " gauge\n";
+    const std::lock_guard<std::mutex> children_lock(family->mutex_);
+    for (const auto& [labels, child] : family->children_) {
+      out += series_name(name, labels) + " " +
+             std::to_string(child->value()) + "\n";
+    }
+  }
+
+  for (const auto& [name, family] : histograms_) {
+    out += "# HELP " + name + " " + family->help() + "\n";
+    out += "# TYPE " + name + " histogram\n";
+    const std::lock_guard<std::mutex> children_lock(family->mutex_);
+    for (const auto& [labels, child] : family->children_) {
+      std::uint64_t cumulative = 0;
+      const std::vector<double>& bounds = child->bounds();
+      for (std::size_t i = 0; i < bounds.size(); ++i) {
+        cumulative += child->bucket(i);
+        out += series_name(name + "_bucket", labels, "le",
+                           format_double(bounds[i])) +
+               " " + std::to_string(cumulative) + "\n";
+      }
+      cumulative += child->bucket(bounds.size());
+      out += series_name(name + "_bucket", labels, "le", "+Inf") + " " +
+             std::to_string(cumulative) + "\n";
+      out += series_name(name + "_sum", labels) + " " +
+             format_double(child->sum()) + "\n";
+      out += series_name(name + "_count", labels) + " " +
+             std::to_string(child->count()) + "\n";
+    }
+  }
+
+  return out;
+}
+
+std::string Registry::expose_json() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\"metrics\":[";
+  bool first_family = true;
+
+  auto open_family = [&](const std::string& name, const std::string& help,
+                         const char* type) {
+    if (!first_family) out += ',';
+    first_family = false;
+    out += "{\"name\":\"" + escape_json(name) + "\",\"type\":\"" + type +
+           "\",\"help\":\"" + escape_json(help) + "\",\"series\":[";
+  };
+
+  for (const auto& [name, family] : counters_) {
+    open_family(name, family->help(), "counter");
+    const std::lock_guard<std::mutex> children_lock(family->mutex_);
+    bool first = true;
+    for (const auto& [labels, child] : family->children_) {
+      if (!first) out += ',';
+      first = false;
+      out += "{\"labels\":" + labels_json(labels) +
+             ",\"value\":" + std::to_string(child->value()) + "}";
+    }
+    out += "]}";
+  }
+
+  for (const auto& [name, family] : gauges_) {
+    open_family(name, family->help(), "gauge");
+    const std::lock_guard<std::mutex> children_lock(family->mutex_);
+    bool first = true;
+    for (const auto& [labels, child] : family->children_) {
+      if (!first) out += ',';
+      first = false;
+      out += "{\"labels\":" + labels_json(labels) +
+             ",\"value\":" + std::to_string(child->value()) + "}";
+    }
+    out += "]}";
+  }
+
+  for (const auto& [name, family] : histograms_) {
+    open_family(name, family->help(), "histogram");
+    const std::lock_guard<std::mutex> children_lock(family->mutex_);
+    bool first = true;
+    for (const auto& [labels, child] : family->children_) {
+      if (!first) out += ',';
+      first = false;
+      out += "{\"labels\":" + labels_json(labels) +
+             ",\"count\":" + std::to_string(child->count()) +
+             ",\"sum\":" + format_double(child->sum()) + ",\"buckets\":[";
+      std::uint64_t cumulative = 0;
+      const std::vector<double>& bounds = child->bounds();
+      for (std::size_t i = 0; i < bounds.size(); ++i) {
+        cumulative += child->bucket(i);
+        if (i != 0) out += ',';
+        out += "{\"le\":" + format_double(bounds[i]) +
+               ",\"count\":" + std::to_string(cumulative) + "}";
+      }
+      cumulative += child->bucket(bounds.size());
+      out += ",{\"le\":\"+Inf\",\"count\":" + std::to_string(cumulative) +
+             "}]}";
+    }
+    out += "]}";
+  }
+
+  out += "]}";
+  return out;
+}
+
+}  // namespace horus::obs

@@ -1,0 +1,239 @@
+// Process-wide metrics registry — the telemetry backbone of Horus itself.
+//
+// The paper's whole evaluation is telemetry (pipeline throughput, logical-
+// time assignment cost, query latency); this module gives the system the
+// same visibility into itself at runtime. Three instrument kinds, mirroring
+// the Prometheus data model:
+//
+//   Counter    monotonically increasing count (events processed, retries)
+//   Gauge      point-in-time level (pending pairs, queue depth)
+//   Histogram  latency/size distribution over exponential buckets
+//
+// Instruments are grouped into *families* (one metric name + help string),
+// and a family fans out into *children* keyed by a label set, e.g.
+// horus_pipeline_events_total{stage="intra"}. Child lookup (`with()`) takes
+// a mutex and should be done once at component construction; the returned
+// reference is stable for the registry's lifetime, and every update on it
+// (inc/set/observe) is a lock-free relaxed atomic — safe to call from any
+// thread, cheap enough for per-message hot paths.
+//
+// Exposition: expose_text() renders the Prometheus text format,
+// expose_json() a JSON document with the same content (both deterministic:
+// families sorted by name, children by label set). This library deliberately
+// depends on nothing but the standard library so that even the lowest layer
+// (common/thread_pool) can be instrumented without a dependency cycle.
+//
+// Label cardinality contract (see DESIGN.md §8): label values must come
+// from small closed sets (stage names, topic names, level names) — never
+// from event payloads, user queries, or unbounded id spaces.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace horus::obs {
+
+/// A label set: key/value pairs. Canonicalized (sorted by key) on child
+/// lookup, so {a=1,b=2} and {b=2,a=1} name the same child.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void sub(std::int64_t n = 1) noexcept {
+    value_.fetch_sub(n, std::memory_order_relaxed);
+  }
+  /// Raises the gauge to `v` if below it (high-water mark tracking).
+  void track_max(std::int64_t v) noexcept {
+    std::int64_t cur = value_.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Bucket layout for histograms: `bucket_count` finite buckets with upper
+/// bounds first_bound * growth^i, plus an implicit +Inf bucket. The default
+/// covers 1 µs .. ~8.4 s in powers of two — the latency range of everything
+/// Horus times (VC comparisons through full drains).
+struct HistogramOptions {
+  double first_bound = 1e-6;
+  double growth = 2.0;
+  int bucket_count = 24;
+};
+
+/// Exponential-bucket histogram. observe() is lock-free: one relaxed
+/// fetch_add on the bucket, the count, and a CAS loop on the (double) sum.
+/// A value lands in the first bucket whose upper bound is >= the value
+/// (Prometheus `le` semantics; bounds are inclusive).
+class Histogram {
+ public:
+  explicit Histogram(const HistogramOptions& options = {});
+
+  void observe(double v) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept;
+  /// Finite upper bounds; bucket i counts observations <= bounds()[i] (and
+  /// > bounds()[i-1]). Index bounds().size() is the +Inf bucket.
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    return bounds_;
+  }
+  [[nodiscard]] std::uint64_t bucket(std::size_t index) const noexcept {
+    return buckets_[index].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<double> bounds_;
+  // bounds_.size() + 1 slots; the last is the +Inf bucket. Never resized
+  // after construction, so concurrent observe()/bucket() need no lock.
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_bits_{0};  ///< bit-cast double accumulator
+};
+
+/// Scoped span timer: records the elapsed wall time (seconds) into a
+/// histogram when destroyed or stop()ped, whichever comes first.
+class Timer {
+ public:
+  explicit Timer(Histogram& histogram) noexcept
+      : histogram_(&histogram), start_(std::chrono::steady_clock::now()) {}
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+  ~Timer() { stop(); }
+
+  /// Records now; returns the elapsed seconds. Idempotent.
+  double stop() noexcept {
+    if (histogram_ == nullptr) return 0.0;
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    histogram_->observe(elapsed);
+    histogram_ = nullptr;
+    return elapsed;
+  }
+
+ private:
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+class Registry;
+
+/// One metric name fanning out into children by label set. Obtain from
+/// Registry::counters()/gauges()/histograms(); call with() once and keep the
+/// reference.
+template <typename T>
+class Family {
+ public:
+  /// The child for `labels` (created on first use; canonicalized by key).
+  T& with(Labels labels);
+  /// The unlabeled child.
+  T& with() { return with(Labels{}); }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::string& help() const noexcept { return help_; }
+
+ private:
+  friend class Registry;
+  Family(std::string name, std::string help, HistogramOptions options)
+      : name_(std::move(name)),
+        help_(std::move(help)),
+        hist_options_(options) {}
+
+  [[nodiscard]] T* make_child() const;
+
+  std::string name_;
+  std::string help_;
+  HistogramOptions hist_options_;  // used by Family<Histogram> only
+  mutable std::mutex mutex_;
+  // std::map keeps children sorted by label set -> deterministic exposition.
+  std::map<Labels, std::unique_ptr<T>> children_;
+};
+
+/// The registry: owns families, exposes them. Instantiable (tests build
+/// private registries); production code uses the process-wide global().
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Process-wide registry. Intentionally never destroyed, so instruments
+  /// resolved into statics stay valid during late shutdown (service threads
+  /// joining after main).
+  [[nodiscard]] static Registry& global();
+
+  /// Family accessors: create on first use, return the existing family on
+  /// subsequent calls. Registering one name as two different kinds throws
+  /// std::logic_error (a programming error, not a runtime condition).
+  Family<Counter>& counters(const std::string& name, const std::string& help);
+  Family<Gauge>& gauges(const std::string& name, const std::string& help);
+  Family<Histogram>& histograms(const std::string& name,
+                                const std::string& help,
+                                HistogramOptions options = {});
+
+  /// Shorthands for family + with() in one call.
+  Counter& counter(const std::string& name, const std::string& help,
+                   Labels labels = {}) {
+    return counters(name, help).with(std::move(labels));
+  }
+  Gauge& gauge(const std::string& name, const std::string& help,
+               Labels labels = {}) {
+    return gauges(name, help).with(std::move(labels));
+  }
+  Histogram& histogram(const std::string& name, const std::string& help,
+                       Labels labels = {}, HistogramOptions options = {}) {
+    return histograms(name, help, options).with(std::move(labels));
+  }
+
+  /// Prometheus text exposition format (families sorted by name).
+  [[nodiscard]] std::string expose_text() const;
+  /// The same content as one JSON document (text, parseable by any JSON
+  /// parser; this library has no JSON dependency by design).
+  [[nodiscard]] std::string expose_json() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Family<Counter>>> counters_;
+  std::map<std::string, std::unique_ptr<Family<Gauge>>> gauges_;
+  std::map<std::string, std::unique_ptr<Family<Histogram>>> histograms_;
+
+  void check_name_free(const std::string& name, const char* kind) const;
+};
+
+}  // namespace horus::obs

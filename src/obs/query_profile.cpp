@@ -1,0 +1,93 @@
+#include "obs/query_profile.h"
+
+#include <cstdio>
+
+namespace horus::obs {
+
+void QueryProfile::add_parse(double seconds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  data_.parse_seconds += seconds;
+}
+
+void QueryProfile::add_plan(double seconds, std::uint64_t candidates) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  data_.plan_seconds += seconds;
+  data_.plan_candidates += candidates;
+}
+
+void QueryProfile::add_prune(double seconds, std::uint64_t admitted,
+                             std::uint64_t rejected) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  data_.prune_seconds += seconds;
+  data_.prune_admitted += admitted;
+  data_.prune_rejected += rejected;
+}
+
+void QueryProfile::add_traverse(double seconds, std::uint64_t nodes,
+                                std::uint64_t edges) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  data_.traverse_seconds += seconds;
+  data_.nodes_visited += nodes;
+  data_.edges_visited += edges;
+}
+
+void QueryProfile::add_vc_comparisons(std::uint64_t n) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  data_.vc_comparisons += n;
+}
+
+void QueryProfile::add_clause(ClauseStats stats) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  data_.clauses.push_back(std::move(stats));
+}
+
+QueryProfile::Snapshot QueryProfile::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return data_;
+}
+
+std::string QueryProfile::to_text() const {
+  const Snapshot s = snapshot();
+  char line[256];
+  std::string out = "query profile\n";
+
+  auto stage = [&](const char* name, double seconds, const char* detail) {
+    std::snprintf(line, sizeof(line), "  %-9s %10.3f ms  %s\n", name,
+                  seconds * 1e3, detail);
+    out += line;
+  };
+
+  char detail[160];
+  stage("parse", s.parse_seconds, "");
+  std::snprintf(detail, sizeof(detail), "candidates=%llu",
+                static_cast<unsigned long long>(s.plan_candidates));
+  stage("plan", s.plan_seconds, detail);
+  std::snprintf(detail, sizeof(detail), "admitted=%llu rejected=%llu",
+                static_cast<unsigned long long>(s.prune_admitted),
+                static_cast<unsigned long long>(s.prune_rejected));
+  stage("prune", s.prune_seconds, detail);
+  std::snprintf(detail, sizeof(detail), "nodes=%llu edges=%llu",
+                static_cast<unsigned long long>(s.nodes_visited),
+                static_cast<unsigned long long>(s.edges_visited));
+  stage("traverse", s.traverse_seconds, detail);
+  if (s.vc_comparisons != 0) {
+    std::snprintf(line, sizeof(line), "  vc comparisons: %llu\n",
+                  static_cast<unsigned long long>(s.vc_comparisons));
+    out += line;
+  }
+
+  if (!s.clauses.empty()) {
+    out += "  clauses:\n";
+    for (const ClauseStats& c : s.clauses) {
+      std::snprintf(line, sizeof(line),
+                    "    %-28s %10.3f ms  rows %llu -> %llu\n",
+                    c.clause.c_str(), c.seconds * 1e3,
+                    static_cast<unsigned long long>(c.rows_in),
+                    static_cast<unsigned long long>(c.rows_out));
+      out += line;
+    }
+  }
+  return out;
+}
+
+}  // namespace horus::obs

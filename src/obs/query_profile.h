@@ -1,0 +1,67 @@
+// Per-query stage profile, surfaced by `horus query --profile`.
+//
+// Where the Registry aggregates across a process lifetime, a QueryProfile
+// captures ONE query's cost breakdown in the stages the paper's evaluation
+// reasons about:
+//
+//   parse     query text -> AST
+//   plan      candidate selection (index/range scans picking starting rows)
+//   prune     vector-clock pruning: candidates admitted vs. rejected
+//   traverse  graph walking + result assembly (nodes/edges visited)
+//
+// plus a per-clause table (rows in/out and time for each MATCH/WHERE/...).
+// The engine layers write into it through the add_*() hooks whenever
+// QueryOptions::profile is non-null; all hooks are mutex-guarded because
+// clause execution can fan out across the thread pool. A null profile costs
+// one pointer test — the hot paths stay untouched.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace horus::obs {
+
+class QueryProfile {
+ public:
+  struct ClauseStats {
+    std::string clause;  ///< e.g. "MATCH", "WHERE", "CALL horus.getCausalGraph"
+    std::uint64_t rows_in = 0;
+    std::uint64_t rows_out = 0;
+    double seconds = 0.0;
+  };
+
+  struct Snapshot {
+    double parse_seconds = 0.0;
+    double plan_seconds = 0.0;
+    double prune_seconds = 0.0;
+    double traverse_seconds = 0.0;
+    std::uint64_t plan_candidates = 0;   ///< rows admitted by plan-stage scans
+    std::uint64_t prune_admitted = 0;
+    std::uint64_t prune_rejected = 0;
+    std::uint64_t nodes_visited = 0;
+    std::uint64_t edges_visited = 0;
+    std::uint64_t vc_comparisons = 0;
+    std::vector<ClauseStats> clauses;
+  };
+
+  void add_parse(double seconds);
+  void add_plan(double seconds, std::uint64_t candidates);
+  void add_prune(double seconds, std::uint64_t admitted,
+                 std::uint64_t rejected);
+  void add_traverse(double seconds, std::uint64_t nodes, std::uint64_t edges);
+  void add_vc_comparisons(std::uint64_t n);
+  void add_clause(ClauseStats stats);
+
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Human-readable breakdown (stage table + clause table).
+  [[nodiscard]] std::string to_text() const;
+
+ private:
+  mutable std::mutex mutex_;
+  Snapshot data_;
+};
+
+}  // namespace horus::obs

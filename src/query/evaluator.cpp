@@ -1,6 +1,7 @@
 #include "query/evaluator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <mutex>
 #include <optional>
@@ -8,6 +9,7 @@
 #include <unordered_map>
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
 #include "query/parser.h"
 
 namespace horus::query {
@@ -93,6 +95,8 @@ class Evaluator {
     RowSet rows;
     rows.rows.push_back({});  // one empty row bootstraps the pipeline
     for (const Clause& clause : query.clauses) {
+      const std::uint64_t rows_in = rows.rows.size();
+      const auto clause_start = std::chrono::steady_clock::now();
       switch (clause.kind) {
         case Clause::Kind::kMatch: rows = eval_match(clause, rows); break;
         case Clause::Kind::kWhere: rows = eval_where(clause, rows); break;
@@ -103,8 +107,30 @@ class Evaluator {
         case Clause::Kind::kUnwind: rows = eval_unwind(clause, rows); break;
         case Clause::Kind::kCall: rows = eval_call(clause, rows); break;
       }
+      if (options_.profile != nullptr) {
+        obs::QueryProfile::ClauseStats stats;
+        stats.clause = clause_display_name(clause);
+        stats.rows_in = rows_in;
+        stats.rows_out = rows.rows.size();
+        stats.seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - clause_start)
+                            .count();
+        options_.profile->add_clause(std::move(stats));
+      }
     }
     return rows;
+  }
+
+  [[nodiscard]] static std::string clause_display_name(const Clause& clause) {
+    switch (clause.kind) {
+      case Clause::Kind::kMatch: return "MATCH";
+      case Clause::Kind::kWhere: return "WHERE";
+      case Clause::Kind::kWith: return "WITH";
+      case Clause::Kind::kReturn: return "RETURN";
+      case Clause::Kind::kUnwind: return "UNWIND";
+      case Clause::Kind::kCall: return "CALL " + clause.call_procedure;
+    }
+    return "?";
   }
 
  private:
@@ -1301,7 +1327,16 @@ void QueryEngine::register_procedure(std::string name, ProcedureDef def) {
 
 QueryResult QueryEngine::run(std::string_view text,
                              const QueryParams& params) const {
-  return run(parse_query(text), params);
+  static obs::Histogram& parse_seconds = obs::Registry::global().histogram(
+      "horus_query_parse_seconds", "Query text -> AST latency");
+  const auto parse_start = std::chrono::steady_clock::now();
+  const Query query = parse_query(text);
+  const double elapsed = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - parse_start)
+                             .count();
+  parse_seconds.observe(elapsed);
+  if (options_.profile != nullptr) options_.profile->add_parse(elapsed);
+  return run(query, params);
 }
 
 QueryResult QueryEngine::run(const Query& query,

@@ -24,6 +24,9 @@ void register_horus_procedures(QueryEngine& engine, const ExecutionGraph& graph,
               throw QueryError("horus.happensBefore expects (a, b)");
             }
             const CausalQueryEngine q(graph, clocks, options);
+            if (options.profile != nullptr) {
+              options.profile->add_vc_comparisons(1);
+            }
             const bool hb = q.happens_before(
                 node_arg(args[0], "horus.happensBefore"),
                 node_arg(args[1], "horus.happensBefore"));

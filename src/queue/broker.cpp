@@ -12,7 +12,11 @@ namespace horus::queue {
 
 namespace fs = std::filesystem;
 
-Topic::Topic(std::string name, int num_partitions) : name_(std::move(name)) {
+Topic::Topic(std::string name, int num_partitions)
+    : name_(std::move(name)),
+      produced_(&obs::Registry::global().counter(
+          "horus_queue_produced_total", "Messages appended per topic",
+          {{"topic", name_}})) {
   if (num_partitions <= 0) {
     throw std::invalid_argument("queue: topic needs >= 1 partition");
   }
@@ -47,10 +51,12 @@ std::pair<int, std::uint64_t> Topic::produce(std::string key,
     // twice. Downstream stages must absorb it (at-least-once delivery).
     const std::uint64_t offset = partition.append(key, value);
     partition.append(std::move(key), std::move(value));
+    produced_->inc(2);
     return {p, offset};
   }
   const std::uint64_t offset =
       partition.append(std::move(key), std::move(value));
+  produced_->inc();
   return {p, offset};
 }
 
@@ -110,11 +116,27 @@ bool Broker::has_topic(const std::string& name) const {
 void Broker::commit_offset(const std::string& group, const std::string& topic,
                            int partition, std::uint64_t offset) {
   const std::lock_guard lock(mutex_);
-  if (!topics_.contains(topic)) {
+  const auto topic_it = topics_.find(topic);
+  if (topic_it == topics_.end()) {
     diag(DiagLevel::kWarn, "queue",
          "offset commit for unknown topic '" + topic + "' (group '" + group +
              "', partition " + std::to_string(partition) + ")");
+  } else {
+    // Commit-time partition depth: end-of-log minus the committed offset is
+    // the backlog this group still has to work through. Commits are per
+    // flush cycle (cold path), so the family lookup here is fine.
+    const std::uint64_t end =
+        topic_it->second->partition(partition).end_offset();
+    obs::Registry::global()
+        .gauge("horus_queue_partition_depth",
+               "Uncommitted backlog (end offset - committed offset)",
+               {{"topic", topic}, {"partition", std::to_string(partition)}})
+        .set(static_cast<std::int64_t>(end >= offset ? end - offset : 0));
   }
+  obs::Registry::global()
+      .counter("horus_queue_commits_total", "Offset commits per topic",
+               {{"topic", topic}})
+      .inc();
   offsets_[std::make_tuple(group, topic, partition)] = offset;
 }
 

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "queue/fault.h"
 #include "queue/partition.h"
 
@@ -61,6 +62,7 @@ class Topic {
   std::string name_;
   std::vector<std::unique_ptr<Partition>> partitions_;
   FaultInjector* fault_ = nullptr;
+  obs::Counter* produced_;  ///< horus_queue_produced_total{topic=...}
 };
 
 /// The broker owns topics and consumer-group committed offsets, and can

@@ -7,7 +7,10 @@ Consumer::Consumer(Broker& broker, std::string group, std::string topic,
     : broker_(broker),
       group_(std::move(group)),
       topic_name_(std::move(topic)),
-      partitions_(std::move(partitions)) {
+      partitions_(std::move(partitions)),
+      polled_(&obs::Registry::global().counter(
+          "horus_queue_polled_total", "Messages returned by poll() per topic",
+          {{"topic", topic_name_}})) {
   positions_.reserve(partitions_.size());
   for (int p : partitions_) {
     positions_.push_back(broker_.committed_offset(group_, topic_name_, p));
@@ -74,6 +77,7 @@ std::vector<ConsumedMessage> Consumer::poll(std::size_t max_messages,
     // the replacement resumes from the committed offsets.
     injector->on_consumed(group_, out.size());
   }
+  polled_->inc(out.size());
   return out;
 }
 

@@ -54,6 +54,7 @@ class Consumer {
   std::string topic_name_;
   std::vector<int> partitions_;
   std::vector<std::uint64_t> positions_;  // parallel to partitions_
+  obs::Counter* polled_;  ///< horus_queue_polled_total{topic=...}
 };
 
 }  // namespace horus::queue

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/diag.h"
 #include "common/ids.h"
 #include "common/rng.h"
 #include "common/sim_clock.h"
@@ -139,6 +140,51 @@ TEST(StringUtilTest, TrimAndLower) {
 
 TEST(StringUtilTest, Format) {
   EXPECT_EQ(str_format("%d-%s", 7, "x"), "7-x");
+}
+
+TEST(DiagTest, CountsEveryLevelRegardlessOfFilter) {
+  const DiagLevel saved = diag_level();
+  set_diag_level(DiagLevel::kOff);  // silent: counters must still move
+  reset_diag_counts();
+
+  diag(DiagLevel::kDebug, "test", "d");
+  diag(DiagLevel::kInfo, "test", "i");
+  diag(DiagLevel::kWarn, "test", "w1");
+  diag(DiagLevel::kWarn, "test", "w2");
+  diag(DiagLevel::kError, "test", "e");
+
+  EXPECT_EQ(diag_count(DiagLevel::kDebug), 1u);
+  EXPECT_EQ(diag_count(DiagLevel::kInfo), 1u);
+  EXPECT_EQ(diag_count(DiagLevel::kWarn), 2u);
+  EXPECT_EQ(diag_count(DiagLevel::kError), 1u);
+
+  reset_diag_counts();
+  EXPECT_EQ(diag_count(DiagLevel::kDebug), 0u);
+  EXPECT_EQ(diag_count(DiagLevel::kInfo), 0u);
+  EXPECT_EQ(diag_count(DiagLevel::kWarn), 0u);
+  EXPECT_EQ(diag_count(DiagLevel::kError), 0u);
+  set_diag_level(saved);
+}
+
+TEST(DiagTest, OffIsNotAnEmissionLevel) {
+  // kOff is a filter setting; emitting *at* kOff (or any out-of-range
+  // value) clamps to kError instead of vanishing with a "?" level name —
+  // the seed bug both skipped the count and printed an unknown level.
+  const DiagLevel saved = diag_level();
+  set_diag_level(DiagLevel::kOff);
+  reset_diag_counts();
+
+  diag(DiagLevel::kOff, "test", "clamped");
+  EXPECT_EQ(diag_count(DiagLevel::kError), 1u);
+  // Nothing is ever tallied under kOff itself.
+  EXPECT_EQ(diag_count(DiagLevel::kOff), 0u);
+
+  diag(static_cast<DiagLevel>(99), "test", "also clamped");
+  EXPECT_EQ(diag_count(DiagLevel::kError), 2u);
+  EXPECT_EQ(diag_count(static_cast<DiagLevel>(99)), 0u);
+
+  reset_diag_counts();
+  set_diag_level(saved);
 }
 
 }  // namespace

@@ -1,0 +1,266 @@
+// Tests for the obs metrics registry: instrument semantics, bucket
+// boundaries, concurrent update/snapshot consistency (run under the
+// sanitize/asan presets via the `obs` label), and a golden exposition test.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "obs/query_profile.h"
+
+namespace horus::obs {
+namespace {
+
+TEST(Counter, IncrementsMonotonically) {
+  Registry registry;
+  Counter& c = registry.counter("t_total", "help");
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, SetAddSubTrackMax) {
+  Registry registry;
+  Gauge& g = registry.gauge("t_depth", "help");
+  g.set(10);
+  g.add(5);
+  g.sub(20);
+  EXPECT_EQ(g.value(), -5);
+  g.track_max(7);
+  EXPECT_EQ(g.value(), 7);
+  g.track_max(3);  // below the high-water mark: no-op
+  EXPECT_EQ(g.value(), 7);
+}
+
+TEST(Family, CanonicalizesLabelOrder) {
+  Registry registry;
+  Family<Counter>& family = registry.counters("t_total", "help");
+  Counter& ab = family.with({{"a", "1"}, {"b", "2"}});
+  Counter& ba = family.with({{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(&ab, &ba);
+  Counter& other = family.with({{"a", "1"}, {"b", "3"}});
+  EXPECT_NE(&ab, &other);
+}
+
+TEST(Registry, SameNameDifferentKindThrows) {
+  Registry registry;
+  registry.counter("t_total", "help");
+  EXPECT_THROW(registry.gauges("t_total", "help"), std::logic_error);
+  EXPECT_THROW(registry.histograms("t_total", "help"), std::logic_error);
+  // Same name, same kind: returns the existing family.
+  EXPECT_EQ(&registry.counters("t_total", "help"),
+            &registry.counters("t_total", "other help"));
+}
+
+TEST(Histogram, BucketBoundariesAreInclusive) {
+  Registry registry;
+  HistogramOptions options;
+  options.first_bound = 1.0;
+  options.growth = 2.0;
+  options.bucket_count = 3;  // bounds 1, 2, 4 (+Inf)
+  Histogram& h = registry.histogram("t_seconds", "help", {}, options);
+  ASSERT_EQ(h.bounds(), (std::vector<double>{1.0, 2.0, 4.0}));
+
+  h.observe(0.5);  // <= 1         -> bucket 0
+  h.observe(1.0);  // == bound, le -> bucket 0
+  h.observe(2.0);  // == bound, le -> bucket 1
+  h.observe(2.5);  // <= 4         -> bucket 2
+  h.observe(4.0);  // == bound, le -> bucket 2
+  h.observe(99.0);  //              -> +Inf bucket
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 2u);
+  EXPECT_EQ(h.bucket(3), 1u);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 2.0 + 2.5 + 4.0 + 99.0);
+}
+
+TEST(Histogram, TimerRecordsExactlyOnce) {
+  Registry registry;
+  Histogram& h = registry.histogram("t_seconds", "help");
+  {
+    Timer timer(h);
+    const double elapsed = timer.stop();
+    EXPECT_GE(elapsed, 0.0);
+    EXPECT_EQ(timer.stop(), 0.0);  // idempotent
+  }  // destructor after stop(): no second observation
+  EXPECT_EQ(h.count(), 1u);
+  { const Timer timer(h); }  // records via destructor
+  EXPECT_EQ(h.count(), 2u);
+}
+
+// Concurrent increments/observations with snapshot readers interleaved.
+// The final totals must be exact (no lost updates), and expositions taken
+// mid-flight must not crash or tear (TSan/ASan verify the memory model).
+TEST(Registry, ConcurrentUpdatesAndSnapshots) {
+  Registry registry;
+  Counter& counter = registry.counter("t_total", "help");
+  Gauge& gauge = registry.gauge("t_depth", "help");
+  Histogram& hist = registry.histogram("t_seconds", "help");
+
+  constexpr int kThreads = 4;
+  constexpr int kIterations = 20000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads + 1);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kIterations; ++i) {
+        counter.inc();
+        gauge.add(1);
+        gauge.sub(1);
+        hist.observe(1e-6 * (i % 64));
+      }
+    });
+  }
+  workers.emplace_back([&registry] {
+    for (int i = 0; i < 50; ++i) {
+      const std::string text = registry.expose_text();
+      EXPECT_NE(text.find("t_total"), std::string::npos);
+      const std::string json = registry.expose_json();
+      EXPECT_NE(json.find("t_seconds"), std::string::npos);
+    }
+  });
+  for (std::thread& w : workers) w.join();
+
+  EXPECT_EQ(counter.value(), static_cast<std::uint64_t>(kThreads) * kIterations);
+  EXPECT_EQ(gauge.value(), 0);
+  EXPECT_EQ(hist.count(), static_cast<std::uint64_t>(kThreads) * kIterations);
+  std::uint64_t bucket_total = 0;
+  for (std::size_t i = 0; i <= hist.bounds().size(); ++i) {
+    bucket_total += hist.bucket(i);
+  }
+  EXPECT_EQ(bucket_total, hist.count());
+}
+
+// Golden test: the text exposition is deterministic (counters, then gauges,
+// then histograms; families sorted by name, children by label set).
+TEST(Registry, TextExpositionGolden) {
+  Registry registry;
+  registry.counter("t_total", "Total things", {{"method", "GET"}}).inc(3);
+  registry.counter("t_total", "Total things", {{"method", "PUT"}}).inc();
+  registry.gauge("t_depth", "Queue depth").set(-2);
+  HistogramOptions options;
+  options.first_bound = 1.0;
+  options.growth = 2.0;
+  options.bucket_count = 3;
+  Histogram& h = registry.histogram("t_seconds", "Latency", {}, options);
+  h.observe(0.5);
+  h.observe(1.0);
+  h.observe(3.0);
+  h.observe(100.0);
+
+  EXPECT_EQ(registry.expose_text(),
+            "# HELP t_total Total things\n"
+            "# TYPE t_total counter\n"
+            "t_total{method=\"GET\"} 3\n"
+            "t_total{method=\"PUT\"} 1\n"
+            "# HELP t_depth Queue depth\n"
+            "# TYPE t_depth gauge\n"
+            "t_depth -2\n"
+            "# HELP t_seconds Latency\n"
+            "# TYPE t_seconds histogram\n"
+            "t_seconds_bucket{le=\"1\"} 2\n"
+            "t_seconds_bucket{le=\"2\"} 2\n"
+            "t_seconds_bucket{le=\"4\"} 3\n"
+            "t_seconds_bucket{le=\"+Inf\"} 4\n"
+            "t_seconds_sum 104.5\n"
+            "t_seconds_count 4\n");
+}
+
+TEST(Registry, TextExpositionEscapesLabelValues) {
+  Registry registry;
+  registry.counter("t_total", "help", {{"path", "a\"b\\c\nd"}}).inc();
+  const std::string text = registry.expose_text();
+  EXPECT_NE(text.find("t_total{path=\"a\\\"b\\\\c\\nd\"} 1"),
+            std::string::npos);
+}
+
+// The JSON exposition must be parseable by the project's own parser and
+// carry the same numbers as the instruments.
+TEST(Registry, JsonExpositionParses) {
+  Registry registry;
+  registry.counter("t_total", "Total", {{"stage", "intra"}}).inc(7);
+  registry.gauge("t_depth", "Depth").set(5);
+  HistogramOptions options;
+  options.first_bound = 1.0;
+  options.growth = 2.0;
+  options.bucket_count = 2;
+  Histogram& h = registry.histogram("t_seconds", "Latency", {}, options);
+  h.observe(1.5);
+
+  const Json doc = Json::parse(registry.expose_json());
+  const Json::Array& metrics = doc.at("metrics").as_array();
+  ASSERT_EQ(metrics.size(), 3u);
+
+  const Json& counter = metrics[0];
+  EXPECT_EQ(counter.at("name").as_string(), "t_total");
+  EXPECT_EQ(counter.at("type").as_string(), "counter");
+  const Json& counter_series = counter.at("series").as_array()[0];
+  EXPECT_EQ(counter_series.at("labels").at("stage").as_string(), "intra");
+  EXPECT_EQ(counter_series.at("value").as_int(), 7);
+
+  const Json& gauge = metrics[1];
+  EXPECT_EQ(gauge.at("type").as_string(), "gauge");
+  EXPECT_EQ(gauge.at("series").as_array()[0].at("value").as_int(), 5);
+
+  const Json& hist = metrics[2];
+  EXPECT_EQ(hist.at("type").as_string(), "histogram");
+  const Json& series = hist.at("series").as_array()[0];
+  EXPECT_EQ(series.at("count").as_int(), 1);
+  EXPECT_DOUBLE_EQ(series.at("sum").as_double(), 1.5);
+  // Buckets are cumulative: le=1 -> 0, le=2 -> 1, +Inf -> 1.
+  const Json::Array& buckets = series.at("buckets").as_array();
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_EQ(buckets[0].at("count").as_int(), 0);
+  EXPECT_EQ(buckets[1].at("count").as_int(), 1);
+  EXPECT_EQ(buckets[2].at("count").as_int(), 1);
+}
+
+TEST(Registry, GlobalIsStable) {
+  Registry& a = Registry::global();
+  Registry& b = Registry::global();
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(QueryProfile, AccumulatesStagesAndClauses) {
+  QueryProfile profile;
+  profile.add_parse(0.001);
+  profile.add_plan(0.002, 100);
+  profile.add_prune(0.003, 60, 40);
+  profile.add_traverse(0.004, 60, 120);
+  profile.add_vc_comparisons(200);
+  profile.add_clause({"MATCH", 1, 60, 0.005});
+  profile.add_clause({"RETURN", 60, 1, 0.0005});
+
+  const QueryProfile::Snapshot snap = profile.snapshot();
+  EXPECT_DOUBLE_EQ(snap.parse_seconds, 0.001);
+  EXPECT_DOUBLE_EQ(snap.plan_seconds, 0.002);
+  EXPECT_DOUBLE_EQ(snap.prune_seconds, 0.003);
+  EXPECT_DOUBLE_EQ(snap.traverse_seconds, 0.004);
+  EXPECT_EQ(snap.plan_candidates, 100u);
+  EXPECT_EQ(snap.prune_admitted, 60u);
+  EXPECT_EQ(snap.prune_rejected, 40u);
+  EXPECT_EQ(snap.nodes_visited, 60u);
+  EXPECT_EQ(snap.edges_visited, 120u);
+  EXPECT_EQ(snap.vc_comparisons, 200u);
+  ASSERT_EQ(snap.clauses.size(), 2u);
+  EXPECT_EQ(snap.clauses[0].clause, "MATCH");
+  EXPECT_EQ(snap.clauses[1].rows_in, 60u);
+
+  const std::string text = profile.to_text();
+  EXPECT_NE(text.find("parse"), std::string::npos);
+  EXPECT_NE(text.find("plan"), std::string::npos);
+  EXPECT_NE(text.find("prune"), std::string::npos);
+  EXPECT_NE(text.find("traverse"), std::string::npos);
+  EXPECT_NE(text.find("admitted=60 rejected=40"), std::string::npos);
+  EXPECT_NE(text.find("MATCH"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace horus::obs

@@ -44,6 +44,8 @@
 #include "queue/fault.h"
 #include "gen/synthetic.h"
 #include "graph/dot_export.h"
+#include "obs/metrics.h"
+#include "obs/query_profile.h"
 #include "query/evaluator.h"
 #include "query/procedures.h"
 #include "shiviz/shiviz_export.h"
@@ -109,10 +111,14 @@ int usage() {
                        [--fault-max-crashes N] [--fault-fail P]
                        [--fault-duplicate P] [--fault-redeliver P]
                        [--fault-stall P]]
-  horus_cli stats     --graph FILE
+  horus_cli stats     --graph FILE [--metrics text|json|both|none]
+                      (dumps the graph summary plus the process metrics
+                       registry; default --metrics both)
   horus_cli validate  --graph FILE
-  horus_cli query     --graph FILE [--threads N] 'MATCH ... RETURN ...'
-                      (query text also accepted on stdin)
+  horus_cli query     --graph FILE [--threads N] [--profile]
+                      'MATCH ... RETURN ...'
+                      (query text also accepted on stdin; --profile prints a
+                       per-stage cost breakdown after the result)
   horus_cli shiviz    --graph FILE [--only-logs] [--out FILE]
   horus_cli dot       --graph FILE --from EVENTID --to EVENTID [--out FILE]
                       [--threads N]
@@ -287,6 +293,25 @@ int cmd_stats(const Args& args) {
   for (const auto& [label, count] : by_label) {
     std::printf("  %-8s %zu\n", label.c_str(), count);
   }
+
+  // Mirror the loaded graph into the registry so the dump always carries
+  // the basics, then expose everything instrumented code recorded while
+  // this process ran (clock assignment, pool activity, ...).
+  obs::Registry& registry = obs::Registry::global();
+  registry.gauge("horus_graph_nodes", "Nodes in the loaded graph")
+      .set(static_cast<std::int64_t>(store.node_count()));
+  registry.gauge("horus_graph_edges", "Edges in the loaded graph")
+      .set(static_cast<std::int64_t>(store.edge_count()));
+  registry.gauge("horus_graph_timelines", "Timelines in the loaded graph")
+      .set(static_cast<std::int64_t>(assigner->clocks().timeline_count()));
+
+  const std::string mode = args.get("metrics", "both");
+  if (mode == "text" || mode == "both") {
+    std::printf("-- metrics (text) --\n%s", registry.expose_text().c_str());
+  }
+  if (mode == "json" || mode == "both") {
+    std::printf("-- metrics (json) --\n%s\n", registry.expose_json().c_str());
+  }
   return 0;
 }
 
@@ -306,7 +331,9 @@ QueryOptions query_options(const Args& args) {
 
 int cmd_query(const Args& args) {
   auto [graph, assigner] = load_graph(args.get("graph"));
-  const QueryOptions options = query_options(args);
+  QueryOptions options = query_options(args);
+  obs::QueryProfile profile;
+  if (args.has("profile")) options.profile = &profile;
   query::QueryEngine engine(*graph, options);
   query::register_horus_procedures(engine, *graph, assigner->clocks(),
                                    options);
@@ -325,6 +352,9 @@ int cmd_query(const Args& args) {
     const auto result = engine.run(text);
     std::printf("%s(%zu rows)\n", result.to_table().c_str(),
                 result.rows.size());
+    if (options.profile != nullptr) {
+      std::printf("%s", profile.to_text().c_str());
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "query failed: %s\n", e.what());
     return 1;
