@@ -1,0 +1,55 @@
+// CRC-32 (IEEE 802.3 polynomial, the zlib/PNG variant) for snapshot
+// integrity trailers. Header-only; the table is built once per process.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace horus {
+
+namespace detail {
+
+inline const std::array<std::uint32_t, 256>& crc32_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace detail
+
+/// Streams `data` into a running CRC. Start from crc32_init(), finish with
+/// crc32_final().
+[[nodiscard]] inline std::uint32_t crc32_update(std::uint32_t crc,
+                                                std::string_view data) {
+  const auto& table = detail::crc32_table();
+  for (const char ch : data) {
+    crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+[[nodiscard]] inline constexpr std::uint32_t crc32_init() noexcept {
+  return 0xFFFFFFFFu;
+}
+
+[[nodiscard]] inline constexpr std::uint32_t crc32_final(
+    std::uint32_t crc) noexcept {
+  return crc ^ 0xFFFFFFFFu;
+}
+
+/// One-shot convenience.
+[[nodiscard]] inline std::uint32_t crc32(std::string_view data) {
+  return crc32_final(crc32_update(crc32_init(), data));
+}
+
+}  // namespace horus

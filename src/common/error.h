@@ -1,0 +1,18 @@
+// HorusError: the base class for errors raised by Horus subsystems against
+// *inputs* — corrupt snapshot files, malformed broker state, invalid
+// configuration. Deriving from std::runtime_error keeps existing catch
+// sites working; having one named type lets front ends (CLI, service mode)
+// distinguish "your data/flags are bad" from programming errors.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace horus {
+
+class HorusError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace horus

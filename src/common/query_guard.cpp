@@ -1,0 +1,77 @@
+#include "common/query_guard.h"
+
+namespace horus {
+
+QueryGuard::QueryGuard(QueryLimits limits) noexcept : limits_(limits) {
+  if (limits_.deadline_ms > 0) {
+    has_deadline_ = true;
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(limits_.deadline_ms);
+  }
+}
+
+void QueryGuard::trip(Limit limit) noexcept {
+  int expected = static_cast<int>(Limit::kNone);
+  hit_.compare_exchange_strong(expected, static_cast<int>(limit),
+                               std::memory_order_relaxed,
+                               std::memory_order_relaxed);
+}
+
+bool QueryGuard::check_deadline() noexcept {
+  if (!has_deadline_) return true;
+  // Reading steady_clock per call would dominate tight loops; a shared
+  // relaxed tick spreads the reads across all participating threads.
+  if (tick_.fetch_add(1, std::memory_order_relaxed) %
+          kDeadlineCheckInterval != 0) {
+    return true;
+  }
+  if (std::chrono::steady_clock::now() >= deadline_) {
+    trip(Limit::kDeadline);
+    return false;
+  }
+  return true;
+}
+
+bool QueryGuard::admit_visited(std::uint64_t n) noexcept {
+  if (stopped()) return false;
+  const std::uint64_t total =
+      visited_.fetch_add(n, std::memory_order_relaxed) + n;
+  if (limits_.max_visited_nodes != 0 && total > limits_.max_visited_nodes) {
+    trip(Limit::kVisited);
+    return false;
+  }
+  return check_deadline() && !stopped();
+}
+
+bool QueryGuard::admit_rows(std::uint64_t n) noexcept {
+  if (stopped()) return false;
+  const std::uint64_t total = rows_.fetch_add(n, std::memory_order_relaxed) + n;
+  if (limits_.max_rows != 0 && total > limits_.max_rows) {
+    trip(Limit::kRows);
+    return false;
+  }
+  return check_deadline() && !stopped();
+}
+
+void QueryGuard::begin_rows_section() noexcept {
+  if (stopped()) return;
+  rows_.store(0, std::memory_order_relaxed);
+}
+
+bool QueryGuard::keep_going() noexcept {
+  if (stopped()) return false;
+  return check_deadline() && !stopped();
+}
+
+const char* QueryGuard::reason() const noexcept {
+  switch (limit_hit()) {
+    case Limit::kNone: return "";
+    case Limit::kDeadline: return "deadline";
+    case Limit::kRows: return "max_rows";
+    case Limit::kVisited: return "max_visited_nodes";
+    case Limit::kCancelled: return "cancelled";
+  }
+  return "";
+}
+
+}  // namespace horus

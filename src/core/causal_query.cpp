@@ -67,6 +67,7 @@ void CausalQueryEngine::finalize(std::vector<graph::NodeId> kept,
                                  bool only_logs,
                                  CausalGraphResult& result) const {
   const graph::GraphStore& store = graph_.store();
+  QueryGuard* guard = options_.guard;
 
   if (only_logs) {
     std::erase_if(kept, [&](graph::NodeId v) {
@@ -94,6 +95,10 @@ void CausalQueryEngine::finalize(std::vector<graph::NodeId> kept,
   const unsigned threads = options_.effective_threads();
   if (threads <= 1 || kept.size() < options_.min_parallel_items) {
     for (const graph::NodeId v : kept) {
+      if (guard != nullptr && !guard->keep_going()) {
+        result.truncated = true;
+        break;
+      }
       for (const graph::Edge& e : store.out_edges(v)) {
         if (e.to < in_set.size() && in_set[e.to]) {
           result.edges.emplace_back(v, e.to);
@@ -110,6 +115,7 @@ void CausalQueryEngine::finalize(std::vector<graph::NodeId> kept,
         chunks);
     pool.parallel_for(kept.size(), grain, threads,
                       [&](ThreadPool::ChunkRange chunk) {
+                        if (guard != nullptr && !guard->keep_going()) return;
                         auto& local = partial[chunk.index];
                         for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
                           const graph::NodeId v = kept[i];
@@ -123,6 +129,7 @@ void CausalQueryEngine::finalize(std::vector<graph::NodeId> kept,
     for (const auto& local : partial) {
       result.edges.insert(result.edges.end(), local.begin(), local.end());
     }
+    if (guard != nullptr && guard->stopped()) result.truncated = true;
   }
 
   result.nodes = std::move(kept);
@@ -148,9 +155,23 @@ CausalGraphResult CausalQueryEngine::get_causal_graph(graph::NodeId a,
   // addressed by the pre-resolved key id (no string hashing on the query
   // path).
   const auto plan_start = timed ? QueryClock::now() : QueryClock::time_point{};
-  const std::vector<graph::NodeId> candidates =
+  std::vector<graph::NodeId> candidates =
       store.range_scan(graph_.keys().lamport, lc_a, lc_b);
   result.lc_candidates = candidates.size();
+
+  // Guardrails: the candidate list *is* the visited set of this engine.
+  // Charging it up front bounds the prune; a tripped budget shrinks the
+  // list to the admitted prefix so the partial result honors the limit.
+  QueryGuard* guard = options_.guard;
+  if (guard != nullptr && !guard->admit_visited(candidates.size())) {
+    result.truncated = true;
+    const std::uint64_t budget = guard->limits().max_visited_nodes;
+    if (budget != 0 && candidates.size() > budget) {
+      candidates.resize(static_cast<std::size_t>(budget));
+    } else if (guard->limit_hit() != QueryGuard::Limit::kVisited) {
+      candidates.clear();  // deadline/cancel: stop doing work outright
+    }
+  }
   const double plan_seconds = timed ? seconds_since(plan_start) : 0.0;
   const auto prune_start = timed ? QueryClock::now() : QueryClock::time_point{};
 
@@ -167,6 +188,10 @@ CausalGraphResult CausalQueryEngine::get_causal_graph(graph::NodeId a,
   if (threads <= 1 || candidates.size() < options_.min_parallel_items) {
     kept.reserve(candidates.size());
     for (const graph::NodeId v : candidates) {
+      if (guard != nullptr && !guard->keep_going()) {
+        result.truncated = true;
+        break;
+      }
       if (keep(v)) kept.push_back(v);
     }
   } else {
@@ -180,11 +205,16 @@ CausalGraphResult CausalQueryEngine::get_causal_graph(graph::NodeId a,
                         std::vector<graph::NodeId>& local =
                             partial[chunk.index];
                         for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+                          if (guard != nullptr && (i - chunk.begin) % 256 == 0 &&
+                              !guard->keep_going()) {
+                            return;
+                          }
                           if (keep(candidates[i])) {
                             local.push_back(candidates[i]);
                           }
                         }
                       });
+    if (guard != nullptr && guard->stopped()) result.truncated = true;
     std::size_t total = 0;
     for (const auto& local : partial) total += local.size();
     kept.reserve(total);
@@ -236,6 +266,7 @@ CausalGraphResult CausalQueryEngine::get_causal_graph_traversal(
   graph::ParallelOptions traversal_options;
   traversal_options.threads = options_.threads;
   traversal_options.pool = options_.pool;
+  traversal_options.guard = options_.guard;
 
   // Same gating as get_causal_graph: stage clocks only under --profile.
   const bool timed = options_.profile != nullptr;
@@ -246,6 +277,7 @@ CausalGraphResult CausalQueryEngine::get_causal_graph_traversal(
                (clocks_.happens_before(a, v) && clocks_.happens_before(v, b));
       });
   result.lc_candidates = between.visited;
+  result.truncated = between.truncated;
   // The pruned flood fuses planning and pruning: visited nodes stand in for
   // candidates, non-admitted visits for rejections.
   const double prune_seconds = timed ? seconds_since(prune_start) : 0.0;

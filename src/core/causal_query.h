@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/query_guard.h"
 #include "common/thread_pool.h"
 #include "core/execution_graph.h"
 #include "core/logical_clocks.h"
@@ -48,6 +49,11 @@ struct QueryOptions {
   /// prune admit/reject, traversal) — `horus query --profile`. Null keeps
   /// the hot paths at a single pointer test.
   obs::QueryProfile* profile = nullptr;
+  /// Optional shared guardrails (deadline / visited-node budget /
+  /// cancellation). When it trips, engines stop cooperatively and return a
+  /// partial result with `truncated` set instead of running away on
+  /// adversarial graphs. Null keeps the hot paths at a single pointer test.
+  QueryGuard* guard = nullptr;
 
   [[nodiscard]] unsigned effective_threads() const {
     return threads == 0 ? ThreadPool::default_parallelism() : threads;
@@ -67,6 +73,9 @@ struct CausalGraphResult {
   /// the VC pruning step removed). For the traversal-based variant this is
   /// the number of nodes the pruned floods expanded instead.
   std::size_t lc_candidates = 0;
+  /// True when QueryOptions::guard tripped mid-query: nodes/edges are a
+  /// well-formed subset of the full answer (consult the guard's reason()).
+  bool truncated = false;
 };
 
 class CausalQueryEngine {

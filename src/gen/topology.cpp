@@ -1,0 +1,174 @@
+#include "gen/topology.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "common/rng.h"
+
+namespace horus::gen {
+
+namespace {
+
+/// Mutable generation state shared across one workload.
+struct Mesh {
+  struct Service {
+    ThreadRef thread;
+    TimeNs clock;
+    std::string name;
+  };
+
+  explicit Mesh(const TopologyOptions& options)
+      : options(options), rng(options.seed), ids(options.id_base) {
+    services.reserve(static_cast<std::size_t>(options.num_services));
+    for (int s = 0; s < options.num_services; ++s) {
+      Service svc;
+      svc.thread = ThreadRef{"svc-host" + std::to_string(s), 100 + s, 1};
+      svc.clock = 1'000'000 + rng.uniform(-options.max_clock_drift_ns,
+                                          options.max_clock_drift_ns);
+      svc.name = "svc" + std::to_string(s);
+      services.push_back(std::move(svc));
+    }
+  }
+
+  const TopologyOptions& options;
+  Rng rng;
+  EventIdAllocator ids;
+  std::vector<Service> services;
+  /// FIFO byte streams, one per directed service pair.
+  std::map<std::pair<int, int>, std::uint64_t> stream_offset;
+  std::vector<Event> out;
+
+  [[nodiscard]] static ChannelId channel_of(int from, int to) {
+    return ChannelId{{"10.1.0." + std::to_string(from + 1),
+                      static_cast<std::uint16_t>(40'000 + from)},
+                     {"10.1.0." + std::to_string(to + 1),
+                      static_cast<std::uint16_t>(9'000 + to)}};
+  }
+
+  Event& emit(int service, EventType type) {
+    Service& svc = services[static_cast<std::size_t>(service)];
+    svc.clock += rng.uniform(5'000, 50'000);
+    Event e;
+    e.id = ids.next();
+    e.type = type;
+    e.thread = svc.thread;
+    e.service = svc.name;
+    e.timestamp = svc.clock;
+    out.push_back(std::move(e));
+    return out.back();
+  }
+
+  /// One message hop from -> to: optional storm of unreceived retry
+  /// attempts, then the delivered SND/RCV pair.
+  void send_hop(int from, int to) {
+    const auto key = std::make_pair(from, to);
+    const ChannelId channel = channel_of(from, to);
+    int attempts = 1;
+    if (options.retry_storm_p > 0 && rng.chance(options.retry_storm_p)) {
+      attempts += static_cast<int>(
+          rng.uniform(1, std::max(1, options.max_retries)));
+    }
+    std::uint64_t offset = 0;
+    for (int a = 0; a < attempts; ++a) {
+      offset = stream_offset[key];
+      stream_offset[key] += options.message_bytes;
+      emit(from, EventType::kSnd).payload =
+          NetPayload{channel, offset, options.message_bytes};
+    }
+    // Only the final attempt is ever received; earlier ones timed out on
+    // the wire and stay unmatched (their bytes are skipped by the stream).
+    emit(to, EventType::kRcv).payload =
+        NetPayload{channel, offset, options.message_bytes};
+  }
+
+  /// Picks a downstream callee for `caller`, honouring the bottleneck pool.
+  [[nodiscard]] int pick_callee(int caller) {
+    const int n = options.num_services;
+    const int pool = std::min(options.contention_services, n - 1);
+    if (pool > 0 && rng.chance(options.contention_p)) {
+      int callee = n - 1 - static_cast<int>(rng.uniform(0, pool - 1));
+      if (callee == caller) callee = (callee + 1) % n;
+      return callee;
+    }
+    int callee = static_cast<int>(rng.uniform(0, n - 1));
+    if (callee == caller) callee = (callee + 1) % n;
+    return callee;
+  }
+
+  /// Issues one RPC from `caller` to a chosen callee: request hop, handler
+  /// log, recursive subtree, reply hop on the reversed direction.
+  void rpc(int caller, int levels_below, std::size_t request) {
+    const int callee = pick_callee(caller);
+    send_hop(caller, callee);
+    emit(callee, EventType::kLog).payload = LogPayload{
+        "req " + std::to_string(request) + " handled by " +
+            services[static_cast<std::size_t>(callee)].name,
+        "chaos"};
+    if (levels_below > 1) {
+      const int width = options.chain_length > 0 ? 1 : options.fanout;
+      for (int k = 0; k < width; ++k) {
+        rpc(callee, levels_below - 1, request);
+      }
+    }
+    send_hop(callee, caller);
+  }
+
+  void request(std::size_t r) {
+    emit(0, EventType::kLog).payload =
+        LogPayload{"req " + std::to_string(r) + " received", "chaos"};
+    const int levels =
+        options.chain_length > 0 ? options.chain_length : options.depth;
+    const int width = options.chain_length > 0 ? 1 : options.fanout;
+    for (int k = 0; k < width; ++k) {
+      rpc(/*caller=*/0, levels, r);
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<Event> microservice_topology(const TopologyOptions& options) {
+  Mesh mesh(options);
+  for (std::size_t r = 0; r < options.requests; ++r) {
+    mesh.request(r);
+  }
+  return std::move(mesh.out);
+}
+
+std::vector<Event> cross_process_shuffle(const std::vector<Event>& events,
+                                         std::uint64_t seed) {
+  // Split into per-timeline FIFO streams (preserving generation order),
+  // then repeatedly pop the front of a uniformly random non-empty stream.
+  std::map<ThreadRef, std::vector<const Event*>> streams;
+  for (const Event& e : events) {
+    streams[e.thread].push_back(&e);
+  }
+  struct Cursor {
+    const std::vector<const Event*>* stream;
+    std::size_t next = 0;
+  };
+  std::vector<Cursor> cursors;
+  cursors.reserve(streams.size());
+  for (const auto& [thread, stream] : streams) {
+    cursors.push_back(Cursor{&stream});
+  }
+
+  Rng rng(seed);
+  std::vector<Event> out;
+  out.reserve(events.size());
+  while (!cursors.empty()) {
+    const auto i = static_cast<std::size_t>(
+        rng.uniform(0, static_cast<std::int64_t>(cursors.size()) - 1));
+    Cursor& c = cursors[i];
+    out.push_back(*(*c.stream)[c.next++]);
+    if (c.next == c.stream->size()) {
+      cursors[i] = cursors.back();
+      cursors.pop_back();
+    }
+  }
+  return out;
+}
+
+}  // namespace horus::gen

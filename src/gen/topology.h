@@ -1,0 +1,74 @@
+// Microservice-topology generator for the chaos scenario factory.
+//
+// Where synthetic.h mimics the paper's two-process micro-benchmark, this
+// generator produces the workloads that break causal-analysis pipelines in
+// practice: a configurable service mesh handling concurrent requests as RPC
+// trees — fan-out, deep dependency chains, retry storms (duplicate sends
+// that never get a matching receive), shared bottleneck services that
+// create cross-request contention, and per-host clock drift far beyond
+// sane NTP bounds.
+//
+// Events are emitted in a causally-valid generation order (every RCV after
+// its SND, per-host clocks monotonic, channels FIFO); the chaos harness
+// (chaos.h) then corrupts the *delivery* order before feeding the pipeline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "event/event.h"
+
+namespace horus::gen {
+
+struct TopologyOptions {
+  /// Services in the mesh. Service 0 is the frontend where requests enter.
+  int num_services = 8;
+  /// Downstream RPCs issued per handled request at each non-leaf service.
+  int fanout = 2;
+  /// Depth of the RPC tree below the frontend (1 = frontend calls leaves).
+  int depth = 3;
+  /// Independent requests pushed through the mesh.
+  std::size_t requests = 24;
+
+  /// Probability that an RPC is a retry storm: the caller emits extra SND
+  /// attempts (distinct stream offsets) of which only the last is ever
+  /// received — timed-out attempts with no matching RCV.
+  double retry_storm_p = 0.0;
+  /// Max extra attempts per storming RPC.
+  int max_retries = 3;
+
+  /// When > 0, the last `contention_services` services form a bottleneck
+  /// pool that callees are preferentially drawn from, so independent
+  /// requests contend on shared timelines (cross-request causal chains).
+  int contention_services = 0;
+  /// Probability a callee is drawn from the bottleneck pool.
+  double contention_p = 0.6;
+
+  /// When > 0, overrides fanout/depth with a single linear call chain of
+  /// this length per request (long-dependency-chain scenario).
+  int chain_length = 0;
+
+  std::uint64_t seed = 42;
+  /// Per-host clock offset magnitude. The paper's evaluation assumes tens
+  /// of milliseconds of skew; chaos scenarios push 10x beyond that.
+  TimeNs max_clock_drift_ns = 50'000'000;
+  std::uint64_t message_bytes = 128;
+  /// First event id to allocate.
+  std::uint64_t id_base = 0;
+};
+
+/// Generates the request workload over the mesh. Each request enters at the
+/// frontend, which logs it and issues its RPC tree; every hop is
+/// SND(caller) -> RCV(callee) -> [LOG, subtree] -> SND(callee) ->
+/// RCV(caller) on the reversed channel. Returns events in generation order.
+[[nodiscard]] std::vector<Event> microservice_topology(
+    const TopologyOptions& options);
+
+/// Adversarial delivery order: interleaves the per-timeline streams of
+/// `events` uniformly at random while preserving each timeline's relative
+/// order — the strongest reordering a real multi-partition queue can
+/// legally produce (receives may now precede their sends in list order).
+[[nodiscard]] std::vector<Event> cross_process_shuffle(
+    const std::vector<Event>& events, std::uint64_t seed);
+
+}  // namespace horus::gen

@@ -5,8 +5,15 @@
 // Version 2 (written by save_graph): header line, then a key-table line
 // {"keys":[...]} listing interned property keys in store-id order, then one
 // line per node with props as [[keyIdx, value], ...] arrays, then one line
-// per edge. Version 1 (legacy: props as {"name": value} objects, no key
-// table) is still loaded transparently.
+// per edge, then an integrity trailer {"checksum":crc32,"nodes":N,"edges":M}
+// covering every preceding byte. Version 1 (legacy: props as {"name": value}
+// objects, no key table) and trailer-less v2 files are still loaded
+// transparently.
+//
+// Loading is hardened against corrupt input: truncation, malformed JSON,
+// out-of-range edge endpoints, count mismatches and checksum failures all
+// raise HorusError (with the offending line number) instead of crashing or
+// silently producing a wrong graph.
 //
 // This gives stored executions a life beyond the process — traces can be
 // captured once and re-analyzed later or shipped elsewhere, the same role
@@ -30,7 +37,8 @@ void save_graph_file(const GraphStore& store, const std::string& path);
 
 /// Loads a snapshot into `store` (which must be empty; throws otherwise).
 /// All writes go through add_node/add_edge, so any indexes created on the
-/// store beforehand are maintained. Both v1 and v2 snapshots are accepted.
+/// store beforehand are maintained. Both v1 and v2 snapshots are accepted;
+/// corrupt or truncated input raises HorusError.
 void load_graph(GraphStore& store, std::istream& in);
 void load_graph_file(GraphStore& store, const std::string& path);
 

@@ -76,6 +76,10 @@ class AllPathsEnumerator {
         out.truncated = true;
         break;
       }
+      if (options_.guard != nullptr && !options_.guard->admit_visited()) {
+        out.truncated = true;
+        break;
+      }
       push(next);
       if (options_.max_paths != 0 && out.paths.size() >= options_.max_paths) {
         out.truncated = true;
@@ -171,6 +175,10 @@ AllPathsResult all_paths_undirected(const GraphStore& g, NodeId from,
       out.truncated = true;
       break;
     }
+    if (options.guard != nullptr && !options.guard->admit_visited()) {
+      out.truncated = true;
+      break;
+    }
     push(next);
   }
   return out;
@@ -179,9 +187,11 @@ AllPathsResult all_paths_undirected(const GraphStore& g, NodeId from,
 namespace {
 
 /// DFS from `start` over out-edges (forward) or in-edges (backward), marking
-/// reached nodes in `seen`; returns number of expansions.
+/// reached nodes in `seen`; returns number of expansions. Sets *truncated
+/// when the guard trips before the flood completes.
 std::size_t flood(const GraphStore& g, NodeId start, bool forward,
-                  std::vector<bool>& seen) {
+                  std::vector<bool>& seen, QueryGuard* guard = nullptr,
+                  bool* truncated = nullptr) {
   std::size_t visited = 0;
   std::vector<NodeId> stack{start};
   seen[start] = true;
@@ -189,6 +199,10 @@ std::size_t flood(const GraphStore& g, NodeId start, bool forward,
     const NodeId cur = stack.back();
     stack.pop_back();
     ++visited;
+    if (guard != nullptr && !guard->admit_visited()) {
+      if (truncated != nullptr) *truncated = true;
+      break;
+    }
     const auto edges = forward ? g.out_edges(cur) : g.in_edges(cur);
     for (const Edge& e : edges) {
       if (!seen[e.to]) {
@@ -230,13 +244,14 @@ ReachResult reachable(const GraphStore& g, NodeId from, NodeId to) {
   return out;
 }
 
-SubgraphResult between_subgraph(const GraphStore& g, NodeId from, NodeId to) {
+SubgraphResult between_subgraph(const GraphStore& g, NodeId from, NodeId to,
+                                QueryGuard* guard) {
   SubgraphResult out;
   const std::size_t n = g.node_count();
   std::vector<bool> fwd(n, false);
   std::vector<bool> bwd(n, false);
-  out.visited += flood(g, from, /*forward=*/true, fwd);
-  out.visited += flood(g, to, /*forward=*/false, bwd);
+  out.visited += flood(g, from, /*forward=*/true, fwd, guard, &out.truncated);
+  out.visited += flood(g, to, /*forward=*/false, bwd, guard, &out.truncated);
   for (NodeId v = 0; v < n; ++v) {
     if (fwd[v] && bwd[v]) out.nodes.push_back(v);
   }
@@ -273,6 +288,14 @@ FloodResult flood_frontier(const GraphStore& g, NodeId start, bool forward,
   std::vector<NodeId> frontier{start};
   std::size_t visited = 0;
   while (!frontier.empty()) {
+    // The guard is consulted once per BFS level (not per node): every node
+    // already in the frontier gets expanded, so a tripped guard leaves a
+    // level-aligned, well-formed partial reachability set.
+    if (options.guard != nullptr &&
+        !options.guard->admit_visited(frontier.size())) {
+      result.truncated = true;
+      break;
+    }
     visited += frontier.size();
     const std::size_t chunks =
         ThreadPool::chunk_count(frontier.size(), options.grain);
@@ -356,6 +379,7 @@ SubgraphResult between_subgraph_parallel(const GraphStore& g, NodeId from,
       threads > 1 ? pool.wait_helping(backward)
                   : flood_frontier(g, to, /*forward=*/false, half, admit);
   out.visited = fwd.visited + bwd.visited;
+  out.truncated = fwd.truncated || bwd.truncated;
 
   // Parallel intersection: per-chunk vectors over ascending id ranges,
   // concatenated in chunk order — same sorted output as the sequential scan.

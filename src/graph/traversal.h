@@ -18,6 +18,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/query_guard.h"
 #include "common/thread_pool.h"
 #include "graph/graph_store.h"
 
@@ -50,6 +51,9 @@ struct AllPathsOptions {
   std::size_t max_paths = 0;
   /// Hard cap on DFS expansions (0 = unlimited).
   std::size_t max_visited = 0;
+  /// Optional shared query guard; expansions are charged to it and the
+  /// enumeration stops (truncated = true) once it trips.
+  QueryGuard* guard = nullptr;
 };
 
 /// Enumerates every simple directed path from `from` to `to` (DFS with an
@@ -83,10 +87,14 @@ struct ReachResult {
 struct SubgraphResult {
   std::vector<NodeId> nodes;  ///< sorted
   std::size_t visited = 0;
+  /// True when a QueryGuard tripped mid-flood; `nodes` is then a partial
+  /// (but well-formed) subset.
+  bool truncated = false;
 };
 
 [[nodiscard]] SubgraphResult between_subgraph(const GraphStore& g, NodeId from,
-                                              NodeId to);
+                                              NodeId to,
+                                              QueryGuard* guard = nullptr);
 
 // ---------------------------------------------------------------------------
 // Frontier-parallel traversals
@@ -108,6 +116,11 @@ struct ParallelOptions {
   ThreadPool* pool = nullptr;
   /// Frontier chunk size (scheduling granularity; does not affect results).
   std::size_t grain = 128;
+  /// Optional shared query guard. Each BFS level's nodes are charged to it
+  /// before expansion; when it trips the flood stops at a level boundary
+  /// (truncated = true), so partial results are still closed under "every
+  /// reported node was genuinely reached".
+  QueryGuard* guard = nullptr;
 
   [[nodiscard]] ThreadPool& effective_pool() const {
     return pool != nullptr ? *pool : ThreadPool::shared();
@@ -124,6 +137,8 @@ struct FloodResult {
   std::vector<char> seen;
   /// Nodes expanded (same count as the sequential flood).
   std::size_t visited = 0;
+  /// True when the flood stopped early because options.guard tripped.
+  bool truncated = false;
 };
 
 /// Parallel counterpart of the internal DFS flood: marks every node

@@ -92,9 +92,18 @@ class Evaluator {
         options_(options) {}
 
   [[nodiscard]] RowSet run(const Query& query) const {
+    QueryGuard* guard = options_.guard;
     RowSet rows;
     rows.rows.push_back({});  // one empty row bootstraps the pipeline
     for (const Clause& clause : query.clauses) {
+      // Tripped guard: stop the pipeline at a clause boundary and hand the
+      // rows accumulated so far back as the partial result.
+      if (guard != nullptr) {
+        if (guard->stopped()) break;
+        // max_rows bounds each clause's materialized working set, not the
+        // sum of all intermediate sets.
+        guard->begin_rows_section();
+      }
       const std::uint64_t rows_in = rows.rows.size();
       const auto clause_start = std::chrono::steady_clock::now();
       switch (clause.kind) {
@@ -715,14 +724,21 @@ class Evaluator {
 
   [[nodiscard]] RowSet eval_match(const Clause& clause,
                                   const RowSet& input) const {
+    QueryGuard* guard = options_.guard;
     RowSet current = input;
     for (const PathPattern& path : clause.patterns) {
+      if (guard != nullptr && guard->stopped()) break;
       RowSet next;
       next.columns = current.columns;
       std::vector<std::string> new_columns;
       if (!fan_out(current.rows.size())) {
         for (const auto& row : current.rows) {
+          const std::size_t before = next.rows.size();
           match_path(path, current, row, new_columns, next.rows);
+          if (guard != nullptr &&
+              !guard->admit_rows(next.rows.size() - before)) {
+            break;
+          }
         }
       } else {
         match_path_parallel(path, current, new_columns, next.rows);
@@ -748,6 +764,7 @@ class Evaluator {
       std::vector<std::string> new_columns;
       std::vector<std::vector<Value>> rows;
     };
+    QueryGuard* guard = options_.guard;
     const std::size_t n = current.rows.size();
     const std::size_t grain = fan_out_grain(n);
     std::vector<ChunkOut> chunks(ThreadPool::chunk_count(n, grain));
@@ -756,8 +773,13 @@ class Evaluator {
         [&](ThreadPool::ChunkRange chunk) {
           ChunkOut& local = chunks[chunk.index];
           for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+            const std::size_t before = local.rows.size();
             match_path(path, current, current.rows[i], local.new_columns,
                        local.rows);
+            if (guard != nullptr &&
+                !guard->admit_rows(local.rows.size() - before)) {
+              return;
+            }
           }
         });
 
@@ -807,10 +829,12 @@ class Evaluator {
 
   [[nodiscard]] RowSet eval_where(const Clause& clause,
                                   const RowSet& input) const {
+    QueryGuard* guard = options_.guard;
     RowSet out;
     out.columns = input.columns;
     if (!fan_out(input.rows.size())) {
       for (const auto& row : input.rows) {
+        if (guard != nullptr && !guard->keep_going()) break;
         if (eval_expr(*clause.predicate, input, row).truthy()) {
           out.rows.push_back(row);
         }
@@ -828,6 +852,7 @@ class Evaluator {
         [&](ThreadPool::ChunkRange chunk) {
           auto& local = chunks[chunk.index];
           for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+            if (guard != nullptr && !guard->keep_going()) return;
             if (eval_expr(*clause.predicate, input, input.rows[i]).truthy()) {
               local.push_back(input.rows[i]);
             }
@@ -1050,8 +1075,10 @@ class Evaluator {
       sort_keys.push_back(std::move(keys));
     };
 
+    QueryGuard* guard = options_.guard;
     if (!any_aggregate) {
       for (const auto& row : input.rows) {
+        if (guard != nullptr && !guard->admit_rows()) break;
         std::vector<Value> projected;
         projected.reserve(clause.projections.size());
         for (const auto& item : clause.projections) {
@@ -1080,6 +1107,7 @@ class Evaluator {
 
       std::map<std::string, Group> groups;  // key-string -> group
       for (const auto& row : input.rows) {
+        if (guard != nullptr && !guard->keep_going()) break;
         std::vector<Value> keys;
         std::string key_str;
         for (const std::size_t i : key_items) {
@@ -1174,19 +1202,23 @@ class Evaluator {
 
   [[nodiscard]] RowSet eval_unwind(const Clause& clause,
                                    const RowSet& input) const {
+    QueryGuard* guard = options_.guard;
     RowSet out;
     out.columns = input.columns;
     out.columns.push_back(clause.unwind_alias);
     for (const auto& row : input.rows) {
+      if (guard != nullptr && guard->stopped()) break;
       const Value v = eval_expr(*clause.unwind_expr, input, row);
       if (v.is_null()) continue;
       if (v.is_list()) {
         for (const Value& item : v.as_list()) {
+          if (guard != nullptr && !guard->admit_rows()) break;
           auto extended = row;
           extended.push_back(item);
           out.rows.push_back(std::move(extended));
         }
       } else {
+        if (guard != nullptr && !guard->admit_rows()) break;
         auto extended = row;
         extended.push_back(v);
         out.rows.push_back(std::move(extended));
@@ -1244,8 +1276,15 @@ class Evaluator {
       }
     };
 
+    QueryGuard* guard = options_.guard;
     if (!fan_out(input.rows.size())) {
-      for (const auto& row : input.rows) call_row(row, out.rows);
+      for (const auto& row : input.rows) {
+        const std::size_t before = out.rows.size();
+        call_row(row, out.rows);
+        if (guard != nullptr && !guard->admit_rows(out.rows.size() - before)) {
+          break;
+        }
+      }
       return out;
     }
     // Independent per-row procedure calls dispatched to the pool; yielded
@@ -1257,8 +1296,14 @@ class Evaluator {
     options_.effective_pool().parallel_for(
         n, grain, options_.effective_threads(),
         [&](ThreadPool::ChunkRange chunk) {
+          auto& local = chunks[chunk.index];
           for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
-            call_row(input.rows[i], chunks[chunk.index]);
+            const std::size_t before = local.size();
+            call_row(input.rows[i], local);
+            if (guard != nullptr &&
+                !guard->admit_rows(local.size() - before)) {
+              return;
+            }
           }
         });
     for (auto& local : chunks) {
@@ -1346,6 +1391,20 @@ QueryResult QueryEngine::run(const Query& query,
   QueryResult result;
   result.columns = rows.columns;
   result.rows = rows.rows;
+  if (options_.guard != nullptr && options_.guard->stopped()) {
+    result.truncated = true;
+    result.truncated_reason = options_.guard->reason();
+    // A guard tripped before the first clause produced anything leaves only
+    // the pipeline's bootstrap row (no columns) — not a real partial row.
+    if (result.columns.empty()) result.rows.clear();
+    // One bump per degraded query, labeled by which guardrail fired —
+    // `horus stats` exposes these as horus_query_limit_hits_total.
+    static obs::Family<obs::Counter>& limit_hits =
+        obs::Registry::global().counters(
+            "horus_query_limit_hits_total",
+            "Queries cut short by a guardrail, by tripped limit");
+    limit_hits.with({{"limit", result.truncated_reason}}).inc();
+  }
   return result;
 }
 

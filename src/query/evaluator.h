@@ -35,6 +35,11 @@ namespace horus::query {
 struct QueryResult {
   std::vector<std::string> columns;
   std::vector<std::vector<Value>> rows;
+  /// True when QueryOptions::guard tripped mid-execution: rows are a
+  /// well-formed partial answer, cut short for `truncated_reason`
+  /// ("deadline", "max_rows", "max_visited_nodes" or "cancelled").
+  bool truncated = false;
+  std::string truncated_reason;
 
   /// Plain-text table rendering for console output.
   [[nodiscard]] std::string to_table() const;

@@ -10,6 +10,12 @@ graph::NodeId node_arg(const Value& v, const char* proc) {
   throw QueryError(std::string(proc) + ": argument must be a node");
 }
 
+/// True once the shared guard has tripped — procedures invoked per input row
+/// then yield nothing instead of running the engine again.
+bool guard_stopped(const QueryOptions& options) {
+  return options.guard != nullptr && options.guard->stopped();
+}
+
 }  // namespace
 
 void register_horus_procedures(QueryEngine& engine, const ExecutionGraph& graph,
@@ -22,6 +28,9 @@ void register_horus_procedures(QueryEngine& engine, const ExecutionGraph& graph,
           [&graph, &clocks, options](const std::vector<Value>& args) {
             if (args.size() != 2) {
               throw QueryError("horus.happensBefore expects (a, b)");
+            }
+            if (guard_stopped(options)) {
+              return std::vector<std::vector<Value>>{};
             }
             const CausalQueryEngine q(graph, clocks, options);
             if (options.profile != nullptr) {
@@ -40,6 +49,9 @@ void register_horus_procedures(QueryEngine& engine, const ExecutionGraph& graph,
           [&graph, &clocks, options](const std::vector<Value>& args) {
             if (args.size() != 2) {
               throw QueryError("horus.getCausalEdges expects (a, b)");
+            }
+            if (guard_stopped(options)) {
+              return std::vector<std::vector<Value>>{};
             }
             const CausalQueryEngine q(graph, clocks, options);
             const CausalGraphResult result = q.get_causal_graph(
@@ -64,6 +76,9 @@ void register_horus_procedures(QueryEngine& engine, const ExecutionGraph& graph,
             }
             const bool only_logs =
                 args.size() == 3 && args[2].is_bool() && args[2].as_bool();
+            if (guard_stopped(options)) {
+              return std::vector<std::vector<Value>>{};
+            }
             const CausalQueryEngine q(graph, clocks, options);
             const CausalGraphResult result = q.get_causal_graph(
                 node_arg(args[0], "horus.getCausalGraph"),

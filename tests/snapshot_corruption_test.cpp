@@ -1,0 +1,179 @@
+// Snapshot robustness (companion to snapshot_compat_test): truncated,
+// bit-flipped and otherwise mangled graph files must raise a clean
+// HorusError naming the offending line — never crash, hang or silently
+// load a wrong graph. Valid snapshots carry a CRC-32 integrity trailer;
+// trailer-less files (v1, pre-trailer v2) still load.
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "graph/graph_io.h"
+#include "graph/graph_store.h"
+
+namespace horus {
+namespace {
+
+std::string fixture_path(const std::string& name) {
+  return std::string(HORUS_TEST_FIXTURE_DIR) + "/" + name;
+}
+
+/// A small graph with labels, typed properties and edges — enough to
+/// exercise every snapshot section.
+void build_sample(graph::GraphStore& store) {
+  const auto a = store.add_node("SND", {});
+  const auto b = store.add_node("RCV", {});
+  const auto c = store.add_node("LOG", {});
+  store.set_property(a, "host", std::string("alpha"));
+  store.set_property(a, "eventId", std::int64_t{1});
+  store.set_property(b, "host", std::string("beta"));
+  store.set_property(c, "message", std::string("payment failed"));
+  store.set_property(c, "ratio", 2.5);
+  store.set_property(c, "flag", true);
+  store.add_edge(a, b, "HB");
+  store.add_edge(b, c, "HB");
+}
+
+std::string sample_snapshot_text() {
+  graph::GraphStore store;
+  build_sample(store);
+  std::ostringstream out;
+  graph::save_graph(store, out);
+  return out.str();
+}
+
+void expect_load_fails(const std::string& text, const std::string& tag) {
+  graph::GraphStore store;
+  std::istringstream in(text);
+  EXPECT_THROW(graph::load_graph(store, in), HorusError) << tag;
+}
+
+TEST(SnapshotCorruptionTest, IntactSnapshotLoads) {
+  graph::GraphStore store;
+  std::istringstream in(sample_snapshot_text());
+  graph::load_graph(store, in);
+  EXPECT_EQ(store.node_count(), 3u);
+  EXPECT_EQ(store.edge_count(), 2u);
+}
+
+TEST(SnapshotCorruptionTest, TruncationAtEveryLineFails) {
+  const std::string text = sample_snapshot_text();
+  // Cut the file after each newline. The last two cuts are excluded: a file
+  // ending exactly after the final edge is byte-identical to a valid
+  // pre-trailer v2 snapshot (which must keep loading), and the final cut is
+  // the intact file.
+  std::vector<std::size_t> cuts;
+  for (std::size_t pos = text.find('\n'); pos != std::string::npos;
+       pos = text.find('\n', pos + 1)) {
+    cuts.push_back(pos + 1);
+  }
+  ASSERT_GT(cuts.size(), 4u);
+  for (std::size_t i = 0; i + 2 < cuts.size(); ++i) {
+    expect_load_fails(text.substr(0, cuts[i]),
+                      "truncated after line " + std::to_string(i + 1));
+  }
+}
+
+TEST(SnapshotCorruptionTest, MidLineTruncationFails) {
+  const std::string text = sample_snapshot_text();
+  expect_load_fails(text.substr(0, text.size() / 2), "mid-line cut");
+}
+
+TEST(SnapshotCorruptionTest, BitFlipFailsTheChecksum) {
+  std::string text = sample_snapshot_text();
+  // Flip one payload character inside a node record (not the header, whose
+  // parse errors are reported separately).
+  const std::size_t pos = text.find("alpha");
+  ASSERT_NE(pos, std::string::npos);
+  text[pos] ^= 0x08;  // 'a' -> 'i': still printable, still valid JSON
+  expect_load_fails(text, "bit flip");
+}
+
+TEST(SnapshotCorruptionTest, GarbageLineFails) {
+  std::string text = sample_snapshot_text();
+  const std::size_t pos = text.find('\n') + 1;
+  text.insert(pos, "!!! not json !!!\n");
+  expect_load_fails(text, "garbage line");
+}
+
+TEST(SnapshotCorruptionTest, OverdeclaredNodeCountFails) {
+  std::string text = sample_snapshot_text();
+  const std::size_t pos = text.find("\"nodes\":3");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 9, "\"nodes\":9");
+  expect_load_fails(text, "header declares more nodes than present");
+}
+
+TEST(SnapshotCorruptionTest, EdgeEndpointOutOfRangeFails) {
+  std::string text = sample_snapshot_text();
+  const std::size_t pos = text.find("\"from\":1");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 8, "\"from\":7");
+  expect_load_fails(text, "edge endpoint out of range");
+}
+
+TEST(SnapshotCorruptionTest, DataAfterTrailerFails) {
+  std::string text = sample_snapshot_text();
+  text += "{\"from\":0,\"to\":1,\"type\":\"HB\"}\n";
+  expect_load_fails(text, "record after integrity trailer");
+}
+
+TEST(SnapshotCorruptionTest, UnsupportedVersionFails) {
+  std::string text = sample_snapshot_text();
+  const std::size_t pos = text.find("\"version\":2");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 11, "\"version\":9");
+  expect_load_fails(text, "unsupported version");
+}
+
+TEST(SnapshotCorruptionTest, TrailerlessSnapshotStillLoads) {
+  // Pre-trailer v2 files end after the edge section; they load without an
+  // integrity check (backwards compatibility).
+  const std::string text = sample_snapshot_text();
+  const std::size_t trailer = text.rfind("{\"checksum\"");
+  ASSERT_NE(trailer, std::string::npos);
+  graph::GraphStore store;
+  std::istringstream in(text.substr(0, trailer));
+  graph::load_graph(store, in);
+  EXPECT_EQ(store.node_count(), 3u);
+  EXPECT_EQ(store.edge_count(), 2u);
+}
+
+TEST(SnapshotCorruptionTest, ErrorsNameTheOffendingLine) {
+  std::string text = sample_snapshot_text();
+  const std::size_t pos = text.find("alpha");
+  ASSERT_NE(pos, std::string::npos);
+  text[pos] ^= 0x08;
+  graph::GraphStore store;
+  std::istringstream in(text);
+  try {
+    graph::load_graph(store, in);
+    FAIL() << "corrupt snapshot loaded";
+  } catch (const HorusError& e) {
+    EXPECT_NE(std::string(e.what()).find("line"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SnapshotCorruptionTest, MissingFileFails) {
+  graph::GraphStore store;
+  EXPECT_THROW(
+      graph::load_graph_file(store, fixture_path("does_not_exist.hgraph")),
+      HorusError);
+}
+
+TEST(SnapshotCorruptionTest, CorruptFixtureFails) {
+  graph::GraphStore store;
+  EXPECT_THROW(
+      graph::load_graph_file(store, fixture_path("corrupt_truncated.hgraph")),
+      HorusError);
+  graph::GraphStore other;
+  EXPECT_THROW(
+      graph::load_graph_file(other, fixture_path("corrupt_checksum.hgraph")),
+      HorusError);
+}
+
+}  // namespace
+}  // namespace horus

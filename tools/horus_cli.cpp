@@ -12,7 +12,8 @@
 //                        [--fault-stall P]]
 //   horus_cli stats     --graph FILE
 //   horus_cli validate  --graph FILE
-//   horus_cli query     --graph FILE QUERY
+//   horus_cli query     --graph FILE [--threads N] [--deadline-ms N]
+//                       [--max-rows N] [--max-visited N] QUERY
 //   horus_cli shiviz    --graph FILE [--only-logs] [--out FILE]
 //   horus_cli dot       --graph FILE --from EVENTID --to EVENTID [--out FILE]
 //   horus_cli dlq       --broker DIR [--topic NAME]
@@ -27,6 +28,12 @@
 // `dlq` prints the dead-letter topic of a persisted broker (--broker-out).
 // The analysis subcommands load a snapshot, re-derive vector clocks and
 // answer causal queries — the offline half of the Horus workflow.
+//
+// Guardrails: --deadline-ms / --max-rows / --max-visited arm a cooperative
+// QueryGuard, so a runaway query on an adversarial graph returns a partial
+// result with the tripped limit named instead of hanging. Every numeric
+// flag is validated (negative, zero, garbage and overflowing values are
+// usage errors, not silent defaults).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -37,6 +44,7 @@
 #include <vector>
 
 #include "baselines/falcon_trace.h"
+#include "common/query_guard.h"
 #include "core/horus.h"
 #include "core/pipeline.h"
 #include "core/validator.h"
@@ -55,6 +63,36 @@ namespace {
 
 using namespace horus;
 
+/// A bad flag value: main() prints the message plus the usage text and
+/// exits 2 (distinct from runtime failures, which exit 1).
+class UsageError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+std::int64_t parse_flag_int(const std::string& key, const std::string& text) {
+  try {
+    std::size_t pos = 0;
+    const std::int64_t value = std::stoll(text, &pos);
+    if (pos != text.size()) throw std::invalid_argument(text);
+    return value;
+  } catch (const std::exception&) {
+    throw UsageError("--" + key + ": expected an integer, got '" + text +
+                     "'");
+  }
+}
+
+double parse_flag_double(const std::string& key, const std::string& text) {
+  try {
+    std::size_t pos = 0;
+    const double value = std::stod(text, &pos);
+    if (pos != text.size()) throw std::invalid_argument(text);
+    return value;
+  } catch (const std::exception&) {
+    throw UsageError("--" + key + ": expected a number, got '" + text + "'");
+  }
+}
+
 struct Args {
   std::string command;
   std::map<std::string, std::string> options;
@@ -68,12 +106,35 @@ struct Args {
   [[nodiscard]] std::int64_t get_int(const std::string& key,
                                      std::int64_t fallback) const {
     auto it = options.find(key);
-    return it == options.end() ? fallback : std::stoll(it->second);
+    return it == options.end() ? fallback : parse_flag_int(key, it->second);
+  }
+  /// get_int with an inclusive validity range; out-of-range values are
+  /// usage errors instead of being silently accepted or defaulted.
+  [[nodiscard]] std::int64_t get_int_in(const std::string& key,
+                                        std::int64_t fallback,
+                                        std::int64_t min,
+                                        std::int64_t max) const {
+    const std::int64_t value = get_int(key, fallback);
+    if (value < min || value > max) {
+      throw UsageError("--" + key + ": " + std::to_string(value) +
+                       " is out of range [" + std::to_string(min) + ", " +
+                       std::to_string(max) + "]");
+    }
+    return value;
   }
   [[nodiscard]] double get_double(const std::string& key,
                                   double fallback) const {
     auto it = options.find(key);
-    return it == options.end() ? fallback : std::stod(it->second);
+    return it == options.end() ? fallback
+                               : parse_flag_double(key, it->second);
+  }
+  /// For the --fault-* flags: a probability in [0, 1].
+  [[nodiscard]] double get_probability(const std::string& key) const {
+    const double p = get_double(key, 0.0);
+    if (p < 0.0 || p > 1.0) {
+      throw UsageError("--" + key + ": probability must be in [0, 1]");
+    }
+    return p;
   }
   [[nodiscard]] bool has(const std::string& key) const {
     return options.contains(key);
@@ -116,16 +177,22 @@ int usage() {
                        registry; default --metrics both)
   horus_cli validate  --graph FILE
   horus_cli query     --graph FILE [--threads N] [--profile]
+                      [--deadline-ms N] [--max-rows N] [--max-visited N]
                       'MATCH ... RETURN ...'
                       (query text also accepted on stdin; --profile prints a
                        per-stage cost breakdown after the result)
   horus_cli shiviz    --graph FILE [--only-logs] [--out FILE]
   horus_cli dot       --graph FILE --from EVENTID --to EVENTID [--out FILE]
-                      [--threads N]
+                      [--threads N] [--deadline-ms N] [--max-visited N]
 
   --threads N   worker threads for query evaluation and causal-graph
                 extraction (default: hardware concurrency; 1 = sequential;
                 results are identical for every N)
+  --deadline-ms N / --max-rows N / --max-visited N
+                query guardrails: stop cooperatively when the wall-clock
+                deadline, per-clause row budget or visited-node budget is
+                exhausted and return the partial result with the tripped
+                limit named (counted in horus_query_limit_hits_total)
   horus_cli dlq       --broker DIR [--topic NAME]
 )");
   return 2;
@@ -155,24 +222,27 @@ int cmd_capture_distributed(const Args& args) {
   queue::FaultPlan plan;
   plan.seed = static_cast<std::uint64_t>(
       args.get_int("fault-seed", static_cast<std::int64_t>(seed)));
-  plan.produce_failure_p = args.get_double("fault-fail", 0.0);
+  plan.produce_failure_p = args.get_probability("fault-fail");
   plan.poll_failure_p = plan.produce_failure_p;
-  plan.duplicate_p = args.get_double("fault-duplicate", 0.0);
-  plan.redeliver_p = args.get_double("fault-redeliver", 0.0);
-  plan.stall_p = args.get_double("fault-stall", 0.0);
-  plan.crash_every =
-      static_cast<std::uint64_t>(args.get_int("fault-crash-every", 0));
+  plan.duplicate_p = args.get_probability("fault-duplicate");
+  plan.redeliver_p = args.get_probability("fault-redeliver");
+  plan.stall_p = args.get_probability("fault-stall");
+  plan.crash_every = static_cast<std::uint64_t>(
+      args.get_int_in("fault-crash-every", 0, 0, 1'000'000'000));
   plan.max_crashes_per_group =
-      static_cast<int>(args.get_int("fault-max-crashes", 3));
+      static_cast<int>(args.get_int_in("fault-max-crashes", 3, 0, 1'000'000));
   if (plan.enabled()) {
     broker.set_fault_injector(std::make_shared<queue::FaultInjector>(plan));
   }
 
   ExecutionGraph graph;
   PipelineOptions options;
-  options.partitions = static_cast<int>(args.get_int("partitions", 4));
-  options.intra_workers = static_cast<int>(args.get_int("intra", 2));
-  options.inter_workers = static_cast<int>(args.get_int("inter", 2));
+  options.partitions =
+      static_cast<int>(args.get_int_in("partitions", 4, 1, 1024));
+  options.intra_workers =
+      static_cast<int>(args.get_int_in("intra", 2, 1, 256));
+  options.inter_workers =
+      static_cast<int>(args.get_int_in("inter", 2, 1, 256));
   options.event_flush_interval_ms = 20;
   options.relationship_flush_interval_ms = 20;
   options.wal_dir = args.get("wal-dir");
@@ -182,7 +252,7 @@ int cmd_capture_distributed(const Args& args) {
   if (workload == "trainticket") {
     tt::TrainTicketOptions tt_options;
     tt_options.seed = seed;
-    tt_options.duration_ns = args.get_int("duration-s", 60) * 1'000'000'000;
+    tt_options.duration_ns = args.get_int_in("duration-s", 60, 1, 1'000'000) * 1'000'000'000;
     const auto report = tt::run_trainticket(tt_options, pipeline.sink());
     std::printf("trainticket: %llu events published\n",
                 static_cast<unsigned long long>(report.total_events));
@@ -190,7 +260,7 @@ int cmd_capture_distributed(const Args& args) {
     gen::ClientServerOptions gen_options;
     gen_options.seed = seed;
     gen_options.num_events =
-        static_cast<std::size_t>(args.get_int("events", 10'000));
+        static_cast<std::size_t>(args.get_int_in("events", 10'000, 1, 1'000'000'000));
     for (Event& e : gen::client_server_events(gen_options)) {
       pipeline.publish(e);
     }
@@ -249,7 +319,7 @@ int cmd_capture(const Args& args) {
   if (workload == "trainticket") {
     tt::TrainTicketOptions options;
     options.seed = seed;
-    options.duration_ns = args.get_int("duration-s", 60) * 1'000'000'000;
+    options.duration_ns = args.get_int_in("duration-s", 60, 1, 1'000'000) * 1'000'000'000;
     const auto report = tt::run_trainticket(options, sink);
     std::printf("trainticket: %llu events captured; F13 manifested: %s\n",
                 static_cast<unsigned long long>(report.total_events),
@@ -258,7 +328,7 @@ int cmd_capture(const Args& args) {
     gen::ClientServerOptions options;
     options.seed = seed;
     options.num_events =
-        static_cast<std::size_t>(args.get_int("events", 10'000));
+        static_cast<std::size_t>(args.get_int_in("events", 10'000, 1, 1'000'000'000));
     for (Event& e : gen::client_server_events(options)) sink(std::move(e));
     std::printf("synthetic: %zu events captured\n", raw_events.size());
   } else {
@@ -304,6 +374,16 @@ int cmd_stats(const Args& args) {
       .set(static_cast<std::int64_t>(store.edge_count()));
   registry.gauge("horus_graph_timelines", "Timelines in the loaded graph")
       .set(static_cast<std::int64_t>(assigner->clocks().timeline_count()));
+  // Pre-register the guardrail counters so operators always see them (at
+  // zero when nothing tripped) instead of wondering whether the family
+  // exists.
+  obs::Family<obs::Counter>& limit_hits = registry.counters(
+      "horus_query_limit_hits_total",
+      "Queries cut short by a guardrail, by tripped limit");
+  for (const char* reason :
+       {"deadline", "max_rows", "max_visited_nodes", "cancelled"}) {
+    limit_hits.with({{"limit", reason}});
+  }
 
   const std::string mode = args.get("metrics", "both");
   if (mode == "text" || mode == "both") {
@@ -324,14 +404,38 @@ int cmd_validate(const Args& args) {
 
 /// The CLI parallelism knob, shared by query and dot.
 QueryOptions query_options(const Args& args) {
-  return QueryOptions{.threads = static_cast<unsigned>(args.get_int(
+  return QueryOptions{.threads = static_cast<unsigned>(args.get_int_in(
       "threads",
-      static_cast<std::int64_t>(ThreadPool::default_parallelism())))};
+      static_cast<std::int64_t>(ThreadPool::default_parallelism()), 1,
+      4096))};
+}
+
+/// The CLI guardrail knobs (absent = unlimited; explicit flags must be
+/// >= 1 — "0 milliseconds" is a usage error, not "no deadline").
+QueryLimits query_limits(const Args& args) {
+  QueryLimits limits;
+  if (args.has("deadline-ms")) {
+    limits.deadline_ms = args.get_int_in("deadline-ms", 1, 1, 86'400'000);
+  }
+  if (args.has("max-rows")) {
+    limits.max_rows = static_cast<std::uint64_t>(
+        args.get_int_in("max-rows", 1, 1, 1'000'000'000'000));
+  }
+  if (args.has("max-visited")) {
+    limits.max_visited_nodes = static_cast<std::uint64_t>(
+        args.get_int_in("max-visited", 1, 1, 1'000'000'000'000));
+  }
+  return limits;
 }
 
 int cmd_query(const Args& args) {
-  auto [graph, assigner] = load_graph(args.get("graph"));
   QueryOptions options = query_options(args);
+  const QueryLimits limits = query_limits(args);
+  auto [graph, assigner] = load_graph(args.get("graph"));
+  // Constructed after the snapshot load so the deadline covers query
+  // execution only.
+  QueryGuard guard(limits);
+  if (limits.any()) options.guard = &guard;
   obs::QueryProfile profile;
   if (args.has("profile")) options.profile = &profile;
   query::QueryEngine engine(*graph, options);
@@ -352,6 +456,16 @@ int cmd_query(const Args& args) {
     const auto result = engine.run(text);
     std::printf("%s(%zu rows)\n", result.to_table().c_str(),
                 result.rows.size());
+    if (result.truncated) {
+      std::fflush(stdout);  // keep the notice after the table when merged
+      std::fprintf(stderr,
+                   "partial result: %s limit hit (visited %llu nodes, "
+                   "produced %llu rows); raise --deadline-ms/--max-rows/"
+                   "--max-visited for the full answer\n",
+                   result.truncated_reason.c_str(),
+                   static_cast<unsigned long long>(guard.visited()),
+                   static_cast<unsigned long long>(guard.rows()));
+    }
     if (options.profile != nullptr) {
       std::printf("%s", profile.to_text().c_str());
     }
@@ -388,8 +502,16 @@ int cmd_dot(const Args& args) {
     std::fprintf(stderr, "unknown --from/--to event id\n");
     return 1;
   }
-  const CausalQueryEngine q(*graph, assigner->clocks(), query_options(args));
+  QueryOptions q_options = query_options(args);
+  const QueryLimits limits = query_limits(args);
+  QueryGuard guard(limits);
+  if (limits.any()) q_options.guard = &guard;
+  const CausalQueryEngine q(*graph, assigner->clocks(), q_options);
   const auto causal = q.get_causal_graph(*from, *to);
+  if (causal.truncated) {
+    std::fprintf(stderr, "partial causal graph: %s limit hit\n",
+                 guard.reason());
+  }
   if (causal.nodes.empty()) {
     std::fprintf(stderr, "events are not causally related\n");
     return 1;
@@ -454,6 +576,9 @@ int main(int argc, char** argv) {
     if (args.command == "shiviz") return cmd_shiviz(args);
     if (args.command == "dot") return cmd_dot(args);
     if (args.command == "dlq") return cmd_dlq(args);
+  } catch (const UsageError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
