@@ -1,0 +1,49 @@
+#include "common/shutdown.h"
+
+#include <atomic>
+#include <csignal>
+
+namespace horus {
+
+namespace {
+
+// volatile sig_atomic_t is the only object a signal handler may write per
+// the C++ standard; the additional relaxed-atomic flag gives non-handler
+// writers (request_shutdown) well-defined cross-thread visibility. Readers
+// check both.
+volatile std::sig_atomic_t g_signal_flag = 0;
+volatile std::sig_atomic_t g_signal_number = 0;
+
+extern "C" void horus_shutdown_handler(int signum) {
+  g_signal_number = signum;
+  g_signal_flag = 1;
+}
+
+std::atomic<bool> g_programmatic_flag{false};
+
+}  // namespace
+
+bool install_shutdown_handlers() {
+  const bool ok_int = std::signal(SIGINT, horus_shutdown_handler) != SIG_ERR;
+  const bool ok_term = std::signal(SIGTERM, horus_shutdown_handler) != SIG_ERR;
+  return ok_int && ok_term;
+}
+
+bool shutdown_requested() noexcept {
+  return g_signal_flag != 0 ||
+         g_programmatic_flag.load(std::memory_order_relaxed);
+}
+
+void request_shutdown() noexcept {
+  g_programmatic_flag.store(true, std::memory_order_relaxed);
+}
+
+void reset_shutdown() noexcept {
+  g_signal_flag = 0;
+  g_signal_number = 0;
+  g_programmatic_flag.store(false, std::memory_order_relaxed);
+}
+
+int shutdown_signal() noexcept { return static_cast<int>(g_signal_number); }
+
+}  // namespace horus

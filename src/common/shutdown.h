@@ -1,0 +1,28 @@
+// Process shutdown signal plumbing: an async-signal-safe stop flag wired to
+// SIGINT/SIGTERM. The handler only sets a sig_atomic_t (nothing else is
+// legal in a handler); long-running loops — the CLI's batch capture, the
+// horusd service loop — poll shutdown_requested() and wind down cleanly
+// (final flush/commit, final checkpoint) instead of dying with abandoned
+// ThreadPool service threads.
+#pragma once
+
+namespace horus {
+
+/// Installs SIGINT/SIGTERM handlers that set the shutdown flag. Idempotent;
+/// call once near the top of main(). Returns false if installation failed
+/// (the flag then only reacts to request_shutdown()).
+bool install_shutdown_handlers();
+
+/// True once a SIGINT/SIGTERM arrived or request_shutdown() was called.
+[[nodiscard]] bool shutdown_requested() noexcept;
+
+/// Programmatic trigger (tests, in-process supervisors).
+void request_shutdown() noexcept;
+
+/// Clears the flag (tests; a CLI dispatching several runs in one process).
+void reset_shutdown() noexcept;
+
+/// The last signal number that set the flag, or 0 (diagnostics only).
+[[nodiscard]] int shutdown_signal() noexcept;
+
+}  // namespace horus

@@ -89,6 +89,16 @@ std::size_t ClockDaemon::tick() {
   } else {
     assigned = assigner_.assign();
     assigned_ += assigned;
+    // The audit above ran before these assignments, so it could not see
+    // edges from a just-assigned node into an earlier-assigned one (a
+    // replayed upstream event, say): the downstream clocks are stale but
+    // nothing would flag them until the next tick — which a final
+    // drain-then-tick caller never issues. Re-audit and heal now.
+    if (assigned > 0 && audit_locked()) {
+      heals_.fetch_add(1, std::memory_order_relaxed);
+      heals_total.inc();
+      assigned_ = assigner_.reassign_all();
+    }
   }
   assigned_nodes.set(static_cast<std::int64_t>(assigned_));
   arena_bytes.set(static_cast<std::int64_t>(
@@ -107,6 +117,26 @@ CausalGraphResult ClockDaemon::get_causal_graph(graph::NodeId a,
   const std::shared_lock lock(mutex_);
   const CausalQueryEngine engine(graph_, assigner_.clocks());
   return engine.get_causal_graph(a, b, only_logs);
+}
+
+CausalGraphResult ClockDaemon::get_causal_graph(graph::NodeId a,
+                                                graph::NodeId b,
+                                                const QueryOptions& options,
+                                                bool only_logs) const {
+  const std::shared_lock lock(mutex_);
+  const CausalQueryEngine engine(graph_, assigner_.clocks(), options);
+  return engine.get_causal_graph(a, b, only_logs);
+}
+
+void ClockDaemon::restore_clocks(ClockTable table) {
+  const std::unique_lock lock(mutex_);
+  std::size_t assigned = 0;
+  const auto n = static_cast<graph::NodeId>(graph_.store().node_count());
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (table.assigned(v)) ++assigned;
+  }
+  assigner_.restore(std::move(table));
+  assigned_ = assigned;
 }
 
 std::size_t ClockDaemon::assigned_nodes() const {

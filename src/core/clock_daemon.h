@@ -65,6 +65,27 @@ class ClockDaemon {
                                                    graph::NodeId b,
                                                    bool only_logs = false) const;
 
+  /// Q2 with explicit engine options (query guard, thread pool) — the
+  /// service front-end routes admitted sessions through this overload so
+  /// per-query limits apply to daemon-served traversals too.
+  [[nodiscard]] CausalGraphResult get_causal_graph(
+      graph::NodeId a, graph::NodeId b, const QueryOptions& options,
+      bool only_logs = false) const;
+
+  /// Runs `fn(const ClockTable&)` under the shared lock — a consistent view
+  /// of the clocks without copying the table. Used by the checkpoint writer
+  /// to serialize clock state atomically with respect to ticks.
+  template <typename Fn>
+  auto with_clocks(Fn&& fn) const {
+    const std::shared_lock lock(mutex_);
+    return fn(assigner_.clocks());
+  }
+
+  /// Replaces the daemon's clock state with a restored table (blocks ticks
+  /// and queries for the duration). The assigned-node count is recomputed
+  /// from the table itself.
+  void restore_clocks(ClockTable table);
+
   [[nodiscard]] std::uint64_t ticks() const noexcept { return ticks_.load(); }
   [[nodiscard]] std::uint64_t heals() const noexcept { return heals_.load(); }
   [[nodiscard]] std::size_t assigned_nodes() const;

@@ -203,11 +203,22 @@ void InterProcessEncoder::on_event(const Event& event) {
 }
 
 void InterProcessEncoder::flush() {
+  // During post-restore replay the relationship stream can run ahead of the
+  // node stream: the dead incarnation's forwarded messages may pair up
+  // before the replaying intra stage has re-flushed their nodes. Such pairs
+  // stay buffered for a later flush (the nodes are guaranteed to arrive —
+  // their events sit above the checkpointed intra offsets) instead of
+  // failing the edge insert.
+  std::vector<CausalPair> deferred;
   for (const CausalPair& pair : complete_) {
+    if (!graph_.node_of(pair.from) || !graph_.node_of(pair.to)) {
+      deferred.push_back(pair);
+      continue;
+    }
     graph_.add_inter_edge(pair.from, pair.to);
+    ++edges_flushed_;
   }
-  edges_flushed_ += complete_.size();
-  complete_.clear();
+  complete_ = std::move(deferred);
 }
 
 std::size_t InterProcessEncoder::pending() const noexcept {
@@ -218,6 +229,15 @@ std::size_t InterProcessEncoder::pending() const noexcept {
 
 std::vector<Event> InterProcessEncoder::snapshot_pending() {
   std::vector<EventId> ids;
+  // Deferred pairs first: their events carry lower byte offsets than any
+  // still-pending range on the same channel (they already matched), so
+  // re-feeding them first preserves the per-channel offset order the
+  // matcher relies on. Rehydration re-runs the match and re-creates the
+  // pair, making deferred-but-uncommitted edges crash-durable.
+  for (const CausalPair& pair : complete_) {
+    ids.push_back(pair.from);
+    ids.push_back(pair.to);
+  }
   for (const auto& rule : rules_) rule->collect_pending(ids);
 
   std::vector<Event> events;

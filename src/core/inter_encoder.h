@@ -140,7 +140,10 @@ class InterProcessEncoder {
   /// Feeds one event (must already be persisted by the intra stage).
   void on_event(const Event& event);
 
-  /// Flushes buffered complete pairs as HB edges into the graph.
+  /// Flushes buffered complete pairs as HB edges into the graph. Pairs
+  /// whose endpoint nodes are not in the graph yet (the relationship
+  /// stream ran ahead of the node stream during a post-restore replay)
+  /// stay buffered for a later flush; see buffered().
   void flush();
 
   /// Enables pending-state capture: on_event() keeps a copy of each event
@@ -155,7 +158,9 @@ class InterProcessEncoder {
   /// Requires spill capture; events fed before it was enabled are absent.
   [[nodiscard]] std::vector<Event> snapshot_pending();
 
-  /// Completed-but-unflushed pairs.
+  /// Completed-but-unflushed pairs (including pairs flush() deferred while
+  /// waiting for their nodes to be replayed). Pipeline::drain() treats a
+  /// nonzero post-flush value as "not yet drained".
   [[nodiscard]] std::size_t buffered() const noexcept {
     return complete_.size();
   }

@@ -1,9 +1,93 @@
 #include "core/logical_clocks.h"
 
 #include <algorithm>
+#include <istream>
+#include <ostream>
 #include <stdexcept>
 
+#include "common/crc32.h"
+#include "common/error.h"
+
 namespace horus {
+
+namespace {
+
+// Little-endian scalar framing for the clock-table record. Everything is
+// serialized into one payload string first so the CRC and the length prefix
+// cover the exact bytes on the wire.
+void put_u32(std::string& buf, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void put_u64(std::string& buf, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void put_i32(std::string& buf, std::int32_t v) {
+  put_u32(buf, static_cast<std::uint32_t>(v));
+}
+
+void put_i64(std::string& buf, std::int64_t v) {
+  put_u64(buf, static_cast<std::uint64_t>(v));
+}
+
+/// Bounds-checked cursor over the loaded payload; short reads surface as
+/// HorusError instead of UB.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view data) : data_(data) {}
+
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    const auto* p = bytes(4);
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]))
+           << (8 * i);
+    }
+    return v;
+  }
+
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    const auto* p = bytes(8);
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i]))
+           << (8 * i);
+    }
+    return v;
+  }
+
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+  std::string str(std::size_t len) {
+    const char* p = bytes(len);
+    return std::string(p, len);
+  }
+
+  [[nodiscard]] bool done() const { return pos_ == data_.size(); }
+
+ private:
+  const char* bytes(std::size_t n) {
+    if (data_.size() - pos_ < n) {
+      throw HorusError("clock table: truncated record (payload short read)");
+    }
+    const char* p = data_.data() + pos_;
+    pos_ += n;
+    return p;
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+constexpr char kClockMagic[8] = {'H', 'O', 'R', 'U', 'S', 'V', 'C', '1'};
+
+}  // namespace
 
 bool ClockTable::happens_before(graph::NodeId a, graph::NodeId b) const {
   if (a == b) return false;
@@ -38,6 +122,125 @@ std::string ClockTable::vc_string(graph::NodeId node) const {
   }
   out += ']';
   return out;
+}
+
+void ClockTable::save(std::ostream& out) const {
+  std::string payload;
+  const std::uint64_t n = lamport_.size();
+  payload.reserve(64 + n * 24 + vc_arena_.size() * 4);
+  put_u64(payload, n);
+  for (const std::int64_t lc : lamport_) put_i64(payload, lc);
+  put_u64(payload, vc_arena_.size());
+  for (const std::int32_t c : vc_arena_) put_i32(payload, c);
+  for (const VcSlot& s : vc_slots_) {
+    put_u32(payload, s.offset);
+    put_u32(payload, s.len);
+  }
+  for (const std::int32_t t : timeline_of_) put_i32(payload, t);
+  for (const std::int32_t p : position_) put_i32(payload, p);
+  put_u64(payload, timeline_names_.size());
+  for (std::size_t i = 0; i < timeline_names_.size(); ++i) {
+    put_u32(payload, static_cast<std::uint32_t>(timeline_names_[i].size()));
+    payload += timeline_names_[i];
+    put_i32(payload, timeline_sizes_[i]);
+  }
+
+  const std::uint32_t crc = crc32(payload);
+  std::string frame;
+  frame.reserve(sizeof(kClockMagic) + 8 + payload.size() + 4);
+  frame.append(kClockMagic, sizeof(kClockMagic));
+  put_u64(frame, payload.size());
+  frame += payload;
+  put_u32(frame, crc);
+  out.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+  if (!out) throw HorusError("clock table: write failed");
+}
+
+ClockTable ClockTable::load(std::istream& in) {
+  char magic[sizeof(kClockMagic)];
+  if (!in.read(magic, sizeof(magic)) ||
+      !std::equal(magic, magic + sizeof(magic), kClockMagic)) {
+    throw HorusError("clock table: bad magic (not a clock-table record)");
+  }
+  char len_bytes[8];
+  if (!in.read(len_bytes, sizeof(len_bytes))) {
+    throw HorusError("clock table: truncated record (missing length)");
+  }
+  std::uint64_t payload_len = 0;
+  for (int i = 0; i < 8; ++i) {
+    payload_len |=
+        static_cast<std::uint64_t>(static_cast<unsigned char>(len_bytes[i]))
+        << (8 * i);
+  }
+  // An absurd length means a corrupt length field; refuse before allocating.
+  if (payload_len > (1ULL << 36)) {
+    throw HorusError("clock table: implausible payload length (corrupt)");
+  }
+  std::string payload(payload_len, '\0');
+  if (!in.read(payload.data(), static_cast<std::streamsize>(payload_len))) {
+    throw HorusError("clock table: truncated record (payload short read)");
+  }
+  char crc_bytes[4];
+  if (!in.read(crc_bytes, sizeof(crc_bytes))) {
+    throw HorusError("clock table: truncated record (missing CRC trailer)");
+  }
+  std::uint32_t stored_crc = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored_crc |=
+        static_cast<std::uint32_t>(static_cast<unsigned char>(crc_bytes[i]))
+        << (8 * i);
+  }
+  if (crc32(payload) != stored_crc) {
+    throw HorusError("clock table: CRC mismatch (corrupt record)");
+  }
+  // A clocks.bin holds exactly one record; bytes after the CRC trailer mean
+  // the file was mangled (e.g. two writes interleaved), not a longer table.
+  if (in.peek() != std::istream::traits_type::eof()) {
+    throw HorusError("clock table: data after the CRC trailer (corrupt)");
+  }
+
+  Cursor cur(payload);
+  ClockTable table;
+  const std::uint64_t n = cur.u64();
+  table.lamport_.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) table.lamport_.push_back(cur.i64());
+  const std::uint64_t arena = cur.u64();
+  table.vc_arena_.reserve(arena);
+  for (std::uint64_t i = 0; i < arena; ++i) {
+    table.vc_arena_.push_back(cur.i32());
+  }
+  table.vc_slots_.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    VcSlot s;
+    s.offset = cur.u32();
+    s.len = cur.u32();
+    if (static_cast<std::uint64_t>(s.offset) + s.len > arena) {
+      throw HorusError("clock table: VC slot outside arena (corrupt record)");
+    }
+    table.vc_slots_.push_back(s);
+  }
+  table.timeline_of_.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) table.timeline_of_.push_back(cur.i32());
+  table.position_.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) table.position_.push_back(cur.i32());
+  const std::uint64_t timelines = cur.u64();
+  for (std::uint64_t i = 0; i < timelines; ++i) {
+    const std::uint32_t name_len = cur.u32();
+    std::string name = cur.str(name_len);
+    table.timeline_ids_.try_emplace(name,
+                                    static_cast<std::int32_t>(i));
+    table.timeline_names_.push_back(std::move(name));
+    table.timeline_sizes_.push_back(cur.i32());
+  }
+  if (!cur.done()) {
+    throw HorusError("clock table: trailing bytes after record (corrupt)");
+  }
+  for (const std::int32_t t : table.timeline_of_) {
+    if (t >= static_cast<std::int32_t>(timelines)) {
+      throw HorusError("clock table: timeline id out of range (corrupt)");
+    }
+  }
+  return table;
 }
 
 LogicalClockAssigner::LogicalClockAssigner(ExecutionGraph& graph,
@@ -169,6 +372,13 @@ std::size_t LogicalClockAssigner::reassign_all() {
   table_ = ClockTable{};
   timeline_of_pool_.clear();  // table timeline ids were dropped with the table
   return assign();
+}
+
+void LogicalClockAssigner::restore(ClockTable table) {
+  table_ = std::move(table);
+  // The restored table's timeline ids were minted against the pre-crash
+  // store; the cache must be rebuilt lazily against the current interning.
+  timeline_of_pool_.clear();
 }
 
 }  // namespace horus

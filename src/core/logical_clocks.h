@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -92,6 +93,18 @@ class ClockTable {
   /// count (display/ShiViz export).
   [[nodiscard]] std::string vc_string(graph::NodeId node) const;
 
+  /// Serializes the full table into a framed binary record (magic, length
+  /// prefix, CRC-32 trailer). The format pairs with load(); the service
+  /// checkpoint writes this next to the graph snapshot so a restarted
+  /// daemon resumes incremental assignment instead of recomputing every
+  /// clock.
+  void save(std::ostream& out) const;
+
+  /// Parses a record written by save(). Throws HorusError on a truncated,
+  /// corrupt, or internally inconsistent record (bad magic, short read, CRC
+  /// mismatch, slot pointing outside the arena).
+  [[nodiscard]] static ClockTable load(std::istream& in);
+
  private:
   friend class LogicalClockAssigner;
 
@@ -135,6 +148,13 @@ class LogicalClockAssigner {
 
   /// Drops all state and recomputes every clock from scratch.
   std::size_t reassign_all();
+
+  /// Replaces all assigner state with a table previously produced by
+  /// ClockTable::save()/load(). The pool-id cache is invalidated (the
+  /// restored table's timeline ids need not match the current store's
+  /// interning order); the next assign() resumes incrementally from the
+  /// restored frontier.
+  void restore(ClockTable table);
 
   [[nodiscard]] const ClockTable& clocks() const noexcept { return table_; }
 

@@ -165,6 +165,8 @@ Pipeline::Pipeline(queue::Broker& broker, ExecutionGraph& graph,
       &pending.with({{"pipeline", instance_}, {"stage", "intra"}});
   inter_pending_ =
       &pending.with({{"pipeline", instance_}, {"stage", "inter"}});
+  inter_deferred_ =
+      &pending.with({{"pipeline", instance_}, {"stage", "inter-deferred"}});
   obs::Family<obs::Histogram>& flush = registry.histograms(
       "horus_encoder_flush_seconds", "Encoder flush latency per stage");
   intra_flush_seconds_ = &flush.with({{"stage", "intra"}});
@@ -184,6 +186,7 @@ void Pipeline::start() {
   const std::lock_guard lifecycle_lock(lifecycle_mutex_);
   if (running_.exchange(true)) return;
   stop_requested_.store(false);
+  kill_requested_.store(false);
 
   // Static round-robin partition assignment per stage.
   auto assignment = [this](int workers, int worker) {
@@ -326,14 +329,20 @@ void Pipeline::run_intra(int index, const std::vector<int>& partitions) {
     intra_duplicates_->inc(dups - dup_seen);
     dup_seen = dups;
 
+    if (kill_requested_.load(std::memory_order_acquire)) return;
     const auto now = Clock::now();
     const bool stopping = stop_requested_.load(std::memory_order_acquire);
     if (now - last_flush >= interval || (stopping && batch.empty())) {
       {
-        const obs::Timer timer(*intra_flush_seconds_);
-        encoder.flush();
+        // Shared hold across flush+commit: the checkpoint's unique hold on
+        // this gate therefore only ever observes flushed == committed.
+        const std::shared_lock gate(flush_gate_);
+        {
+          const obs::Timer timer(*intra_flush_seconds_);
+          encoder.flush();
+        }
+        consumer.commit();
       }
-      consumer.commit();
       pending_guard.update(static_cast<std::int64_t>(encoder.pending()));
       notify_commit_progress();
       last_flush = now;
@@ -361,6 +370,7 @@ void Pipeline::run_inter(int index, const std::vector<int>& partitions) {
   }
 
   PendingGuard pending_guard{inter_pending_};
+  PendingGuard deferred_guard{inter_deferred_};
   std::uint64_t edges_seen = encoder.edges_flushed();
 
   // One commit point: everything consumed so far is flushed to the graph,
@@ -369,18 +379,25 @@ void Pipeline::run_inter(int index, const std::vector<int>& partitions) {
   // and edges are idempotent, so the replay is absorbed.
   auto commit_cycle = [&] {
     {
-      const obs::Timer timer(*inter_flush_seconds_);
-      encoder.flush();
+      // Shared hold across flush+WAL+commit (see run_intra): under the
+      // checkpoint's unique hold, the WAL on disk and the committed offsets
+      // describe exactly the same cut.
+      const std::shared_lock gate(flush_gate_);
+      {
+        const obs::Timer timer(*inter_flush_seconds_);
+        encoder.flush();
+      }
+      if (durable) {
+        write_pending_wal(wal, encoder.snapshot_pending());
+        wal_spills_->inc();
+      }
+      consumer.commit();
     }
-    if (durable) {
-      write_pending_wal(wal, encoder.snapshot_pending());
-      wal_spills_->inc();
-    }
-    consumer.commit();
     const std::uint64_t edges = encoder.edges_flushed();
     inter_edges_->inc(edges - edges_seen);
     edges_seen = edges;
     pending_guard.update(static_cast<std::int64_t>(encoder.pending()));
+    deferred_guard.update(static_cast<std::int64_t>(encoder.buffered()));
     notify_commit_progress();
   };
 
@@ -403,6 +420,7 @@ void Pipeline::run_inter(int index, const std::vector<int>& partitions) {
       encoder.on_event(std::move(event));
       inter_processed_->inc();
     }
+    if (kill_requested_.load(std::memory_order_acquire)) return;
     const auto now = Clock::now();
     const bool stopping = stop_requested_.load(std::memory_order_acquire);
     if (now - last_flush >= interval || (stopping && batch.empty())) {
@@ -430,10 +448,14 @@ bool Pipeline::committed_through(const std::string& topic,
 }
 
 bool Pipeline::all_committed() const {
+  // Offsets alone are not enough after a restore: the inter stage may have
+  // committed past pairs it matched but could not flush yet (nodes still
+  // replaying) — those edges are part of "everything published".
   return committed_through(options_.sources_topic, "horus-intra-",
                            options_.intra_workers) &&
          committed_through(options_.timeline_topic, "horus-inter-",
-                           options_.inter_workers);
+                           options_.inter_workers) &&
+         inter_deferred_->value() == 0;
 }
 
 std::string Pipeline::stuck_partition_report() const {
@@ -518,6 +540,38 @@ void Pipeline::stop() {
   stop_requested_.store(true, std::memory_order_release);
   for (ThreadPool::ServiceThread& worker : workers_) worker.join();
   workers_.clear();
+}
+
+void Pipeline::kill() {
+  const std::lock_guard lifecycle_lock(lifecycle_mutex_);
+  if (!running_.exchange(false)) return;
+  // Order matters: workers check kill first, so setting it before stop
+  // keeps a worker that just read stop_requested_ from running its final
+  // flush+commit.
+  kill_requested_.store(true, std::memory_order_release);
+  stop_requested_.store(true, std::memory_order_release);
+  for (ThreadPool::ServiceThread& worker : workers_) worker.join();
+  workers_.clear();
+}
+
+std::uint64_t Pipeline::backlog() const {
+  std::uint64_t total = 0;
+  auto scan = [&](const std::string& topic, const std::string& group_prefix,
+                  int workers) {
+    queue::Topic& t = broker_.topic(topic);
+    for (int w = 0; w < workers; ++w) {
+      const std::string group = group_prefix + std::to_string(w);
+      for (int p = w; p < options_.partitions; p += workers) {
+        const std::uint64_t end = t.partition(p).end_offset();
+        const std::uint64_t committed =
+            broker_.committed_offset(group, topic, p);
+        if (end > committed) total += end - committed;
+      }
+    }
+  };
+  scan(options_.sources_topic, "horus-intra-", options_.intra_workers);
+  scan(options_.timeline_topic, "horus-inter-", options_.inter_workers);
+  return total;
 }
 
 }  // namespace horus

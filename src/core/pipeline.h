@@ -49,6 +49,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -135,6 +136,28 @@ class Pipeline {
   /// caller joins the workers; the others wait for it to finish.
   void stop();
 
+  /// Hard-drops all workers WITHOUT a final flush or offset commit — the
+  /// in-process equivalent of SIGKILL. Anything consumed since the last
+  /// commit is lost from memory but not from the broker (offsets were never
+  /// advanced), so a restarted pipeline replays it. The service recovery
+  /// tests use this to crash the daemon at arbitrary points.
+  void kill();
+
+  /// Uncommitted broker backlog across both stages: sum over every
+  /// (group, partition) of end-of-log minus committed offset. The service
+  /// overload controller reads this as its ingest-pressure signal.
+  [[nodiscard]] std::uint64_t backlog() const;
+
+  /// Blocks every worker at its flush+commit boundary and returns the lock.
+  /// While held, the graph, the inter-stage WAL files, and the committed
+  /// broker offsets are mutually consistent (workers only mutate all three
+  /// inside the gated section) — the window in which the service checkpoint
+  /// serializes its bundle. Workers keep polling/buffering; they just
+  /// cannot flush or commit until the lock is released.
+  [[nodiscard]] std::unique_lock<std::shared_mutex> quiesce_commits() {
+    return std::unique_lock(flush_gate_);
+  }
+
   // -- statistics ------------------------------------------------------------
   // Counters live in the process-wide obs::Registry, labeled with this
   // instance's id (pipeline="<n>"), so per-instance accessors and the
@@ -189,6 +212,11 @@ class Pipeline {
 
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> kill_requested_{false};
+
+  /// Checkpoint gate: workers hold it shared across each flush+commit
+  /// section; quiesce_commits() holds it unique (see its comment).
+  std::shared_mutex flush_gate_;
 
   /// Serializes start()/stop()/destructor so only one caller ever joins and
   /// clears workers_ (a second concurrent stop() waits, then no-ops).
@@ -210,6 +238,9 @@ class Pipeline {
   obs::Counter* wal_recovered_;
   obs::Gauge* intra_pending_;
   obs::Gauge* inter_pending_;
+  /// Matched pairs the inter stage could not flush yet because their nodes
+  /// are still being replayed (post-restore only); drain() waits on zero.
+  obs::Gauge* inter_deferred_;
   obs::Histogram* intra_flush_seconds_;
   obs::Histogram* inter_flush_seconds_;
 

@@ -16,6 +16,7 @@
 #include "core/pipeline.h"
 #include "gen/synthetic.h"
 #include "queue/broker.h"
+#include "service/service.h"
 
 namespace horus::gen {
 
@@ -108,6 +109,62 @@ void run_pipeline(const ChaosScenario& scenario,
   }
 }
 
+/// Daemon-restart leg: `kill_point` of the stream goes through a first
+/// horusd incarnation that checkpoints and is hard-killed mid-ingest, the
+/// rest through a second incarnation that restores the checkpoint, replays
+/// the queue window and finishes the stream. The restored incarnation's
+/// graph (in `restored`) is what gets verified; `first` is the dead
+/// incarnation's partial graph and is discarded.
+void run_service_restart(const ChaosScenario& scenario,
+                         const std::vector<Event>& events,
+                         queue::Broker& broker, ExecutionGraph& first,
+                         ExecutionGraph& restored, const std::string& data_dir,
+                         DifferentialReport& report) {
+  service::ServiceOptions options;
+  options.data_dir = data_dir;
+  options.pipeline.partitions = scenario.partitions;
+  options.pipeline.intra_workers = scenario.intra_workers_a;
+  options.pipeline.inter_workers = scenario.inter_workers_a;
+  options.pipeline.event_flush_interval_ms = 10;
+  options.pipeline.relationship_flush_interval_ms = 15;
+  // Only the explicit pre-kill checkpoint should exist; a periodic one
+  // would race the kill and blur which cut the restore starts from.
+  options.checkpoint_interval_ms = 3'600'000;
+
+  const auto split = std::min(
+      events.size(), static_cast<std::size_t>(
+                         static_cast<double>(events.size()) *
+                         std::clamp(scenario.kill_point, 0.0, 1.0)));
+  {
+    service::HorusService daemon(broker, first, options);
+    daemon.start();
+    for (std::size_t i = 0; i < split; ++i) daemon.publish(events[i]);
+    daemon.checkpoint_now();
+    daemon.kill();  // in-process SIGKILL: no flush, no commit, no checkpoint
+    report.pipeline_recoveries += daemon.pipeline().recoveries();
+    report.pipeline_retries += daemon.pipeline().events_retried();
+    report.pipeline_deduplicated += daemon.pipeline().events_deduplicated();
+  }
+  {
+    // Restarted incarnation: same broker and data_dir, post-rebalance
+    // worker shape. start() restores the checkpoint, seeks the broker back
+    // to the frozen offsets and replays the queue window.
+    options.pipeline.intra_workers = scenario.intra_workers_b;
+    options.pipeline.inter_workers = scenario.inter_workers_b;
+    service::HorusService daemon(broker, restored, options);
+    daemon.start();
+    for (std::size_t i = split; i < events.size(); ++i) {
+      daemon.publish(events[i]);
+    }
+    report.drained = daemon.pipeline().drain() && report.drained;
+    daemon.stop();
+    report.pipeline_recoveries += daemon.pipeline().recoveries();
+    report.pipeline_retries += daemon.pipeline().events_retried();
+    report.pipeline_deduplicated += daemon.pipeline().events_deduplicated();
+    report.dead_lettered += daemon.pipeline().events_dead_lettered();
+  }
+}
+
 }  // namespace
 
 ChaosRunResult run_chaos_scenario(const ChaosScenario& scenario,
@@ -133,10 +190,19 @@ ChaosRunResult run_chaos_scenario(const ChaosScenario& scenario,
   queue::Broker broker;
   auto injector = std::make_shared<queue::FaultInjector>(scenario.faults);
   if (scenario.faults.enabled()) broker.set_fault_injector(injector);
-  ExecutionGraph graph;
+  // The daemon-restart path needs two graphs: the dead first incarnation's
+  // (discarded) and the restored incarnation's (verified).
+  ExecutionGraph first_graph;
+  ExecutionGraph restored_graph;
+  ExecutionGraph& graph = scenario.daemon_restart ? restored_graph : first_graph;
 
   const auto ingest_start = Clock::now();
-  run_pipeline(scenario, delivered, broker, graph, wal_dir, report);
+  if (scenario.daemon_restart) {
+    run_service_restart(scenario, delivered, broker, first_graph,
+                        restored_graph, wal_dir, report);
+  } else {
+    run_pipeline(scenario, delivered, broker, graph, wal_dir, report);
+  }
   run.ingest_seconds = seconds_since(ingest_start);
   report.injected_crashes = injector->counters().crashes;
   report.edges = graph.store().edge_count();
@@ -338,6 +404,21 @@ std::vector<ChaosScenario> builtin_chaos_scenarios(std::uint64_t seed) {
     s.topology.contention_services = 2;
     s.faults.seed = seed ^ 106;
     s.faults.duplicate_p = 0.02;
+    scenarios.push_back(std::move(s));
+  }
+  {
+    // Daemon kill -9 mid-ingest: half the traffic goes through a first
+    // horusd incarnation that checkpoints and is hard-killed; a second
+    // incarnation restores the checkpoint, replays the queue window
+    // (absorbed by the idempotent add/dedup paths and the frozen pairing
+    // WAL) and must converge to exactly the fault-free reference graph.
+    ChaosScenario s;
+    s.name = "daemon_restart";
+    s.daemon_restart = true;
+    s.topology.seed = seed ^ 7;
+    s.faults.seed = seed ^ 107;
+    s.faults.duplicate_p = 0.02;
+    s.faults.redeliver_p = 0.02;
     scenarios.push_back(std::move(s));
   }
   return scenarios;

@@ -50,6 +50,18 @@ struct ChaosScenario {
   /// consumer-group rebalance. Requests cut by the split rely on the
   /// durable pairing WAL to keep their cross-incarnation edges.
   bool rebalance = false;
+
+  /// When true the scenario runs through HorusService instead of bare
+  /// pipelines: a first daemon incarnation ingests `kill_point` of the
+  /// stream, publishes a checkpoint, and is hard-killed (no final flush,
+  /// commit, or checkpoint — the in-process SIGKILL); a second incarnation
+  /// over the same broker and data_dir restores that checkpoint, replays
+  /// the queue window, ingests the rest, and its graph is what the
+  /// differential matrix verifies. Exercises service/checkpoint.h end to
+  /// end under the same fault plans as every other scenario.
+  bool daemon_restart = false;
+  /// Fraction of the delivery stream ingested before the kill.
+  double kill_point = 0.5;
   int partitions = 4;
   int intra_workers_a = 2;
   int inter_workers_a = 2;
@@ -110,8 +122,9 @@ struct ChaosRunResult {
 
 /// The named adversarial scenarios every chaos build runs: reordering
 /// across a rebalance, 10x clock drift, retry storms, consumer
-/// crash/recovery mid-request, long dependency chains and cross-request
-/// contention. `seed` perturbs every generator and fault plan.
+/// crash/recovery mid-request, long dependency chains, cross-request
+/// contention and a daemon kill-and-restart through checkpoint/restore.
+/// `seed` perturbs every generator and fault plan.
 [[nodiscard]] std::vector<ChaosScenario> builtin_chaos_scenarios(
     std::uint64_t seed);
 

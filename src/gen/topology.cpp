@@ -25,8 +25,9 @@ struct Mesh {
     for (int s = 0; s < options.num_services; ++s) {
       Service svc;
       svc.thread = ThreadRef{"svc-host" + std::to_string(s), 100 + s, 1};
-      svc.clock = 1'000'000 + rng.uniform(-options.max_clock_drift_ns,
-                                          options.max_clock_drift_ns);
+      svc.clock = options.time_base_ns +
+                  rng.uniform(-options.max_clock_drift_ns,
+                              options.max_clock_drift_ns);
       svc.name = "svc" + std::to_string(s);
       services.push_back(std::move(svc));
     }
@@ -72,8 +73,10 @@ struct Mesh {
     }
     std::uint64_t offset = 0;
     for (int a = 0; a < attempts; ++a) {
-      offset = stream_offset[key];
-      stream_offset[key] += options.message_bytes;
+      auto [it, inserted] =
+          stream_offset.try_emplace(key, options.stream_offset_base);
+      offset = it->second;
+      it->second += options.message_bytes;
       emit(from, EventType::kSnd).payload =
           NetPayload{channel, offset, options.message_bytes};
     }
@@ -135,6 +138,33 @@ std::vector<Event> microservice_topology(const TopologyOptions& options) {
     mesh.request(r);
   }
   return std::move(mesh.out);
+}
+
+std::vector<Event> ContinuousTraffic::next_batch() {
+  TopologyOptions o = base_;
+  // Batch-varying seed (splitmix-style odd multiplier) keeps batches
+  // deterministic per index without repeating the same RPC trees forever.
+  o.seed = base_.seed + 0x9E3779B97F4A7C15ULL * (batch_ + 1);
+  o.id_base = next_id_;
+  o.stream_offset_base = next_stream_base_;
+  o.time_base_ns = next_time_base_;
+
+  std::vector<Event> events = microservice_topology(o);
+
+  ++batch_;
+  events_generated_ += events.size();
+  next_id_ += events.size();
+  // Any one directed pair consumes at most (SNDs in batch) * message_bytes
+  // of its stream; bumping the base past the batch's total output is a safe
+  // over-approximation that keeps every pair's ranges disjoint.
+  next_stream_base_ += events.size() * o.message_bytes;
+  // The next batch's lowest possible clock (base - drift) must land after
+  // this batch's highest timestamp, so the concatenated stream never goes
+  // back in time on any host.
+  TimeNs max_ts = o.time_base_ns;
+  for (const Event& e : events) max_ts = std::max(max_ts, e.timestamp);
+  next_time_base_ = max_ts + o.max_clock_drift_ns + 1;
+  return events;
 }
 
 std::vector<Event> cross_process_shuffle(const std::vector<Event>& events,

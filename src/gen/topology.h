@@ -55,6 +55,13 @@ struct TopologyOptions {
   std::uint64_t message_bytes = 128;
   /// First event id to allocate.
   std::uint64_t id_base = 0;
+  /// Base wall-clock the per-host clocks drift around. Continuous traffic
+  /// advances this per batch so later batches carry later timestamps.
+  TimeNs time_base_ns = 1'000'000;
+  /// First byte offset of every per-pair FIFO stream. Continuous traffic
+  /// advances this per batch so a fresh batch's SND/RCV byte ranges can
+  /// never alias an earlier batch's unmatched retry leftovers.
+  std::uint64_t stream_offset_base = 0;
 };
 
 /// Generates the request workload over the mesh. Each request enters at the
@@ -70,5 +77,36 @@ struct TopologyOptions {
 /// legally produce (receives may now precede their sends in list order).
 [[nodiscard]] std::vector<Event> cross_process_shuffle(
     const std::vector<Event>& events, std::uint64_t seed);
+
+/// Endless traffic over one mesh, for the service daemon: each next_batch()
+/// is a microservice_topology() workload whose event ids, per-pair stream
+/// offsets, and time base all advance monotonically past the previous
+/// batch — so concatenated batches form one causally valid, ever-later
+/// stream (no event arrives "before" an already-ingested one, no byte-range
+/// aliasing between batches even with unmatched retry leftovers).
+/// Deterministic: the k-th batch depends only on (base options, k).
+class ContinuousTraffic {
+ public:
+  explicit ContinuousTraffic(TopologyOptions base) : base_(base) {
+    next_id_ = base.id_base;
+    next_stream_base_ = base.stream_offset_base;
+    next_time_base_ = base.time_base_ns;
+  }
+
+  [[nodiscard]] std::vector<Event> next_batch();
+
+  [[nodiscard]] std::uint64_t batches() const noexcept { return batch_; }
+  [[nodiscard]] std::uint64_t events_generated() const noexcept {
+    return events_generated_;
+  }
+
+ private:
+  TopologyOptions base_;
+  std::uint64_t batch_ = 0;
+  std::uint64_t events_generated_ = 0;
+  std::uint64_t next_id_ = 0;
+  std::uint64_t next_stream_base_ = 0;
+  TimeNs next_time_base_ = 0;
+};
 
 }  // namespace horus::gen

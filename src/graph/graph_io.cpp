@@ -156,12 +156,14 @@ void load_v2_nodes(GraphStore& store, LineReader& reader, std::size_t nodes) {
   }
 }
 
-/// Loads the edge section plus the optional integrity trailer. Returns the
-/// number of edges loaded.
-std::size_t load_edges(GraphStore& store, LineReader& reader) {
+/// Loads the edge section plus the integrity trailer (optional for v1/v2;
+/// the caller enforces its presence for v3). Returns the number of edges
+/// loaded and sets `saw_trailer`.
+std::size_t load_edges(GraphStore& store, LineReader& reader,
+                       bool& saw_trailer) {
   const auto node_count = static_cast<std::int64_t>(store.node_count());
   std::size_t edges = 0;
-  bool saw_trailer = false;
+  saw_trailer = false;
   while (reader.next()) {
     if (reader.line().empty()) continue;
     if (saw_trailer) {
@@ -268,8 +270,8 @@ void save_graph(const GraphStore& store, std::ostream& out) {
 
   // Integrity trailer: CRC-32 of every preceding line (newlines included)
   // plus the section counts, so a truncated or bit-flipped snapshot is
-  // rejected at load instead of producing a silently wrong graph. Loaders
-  // still accept files without it (anything written before this existed).
+  // rejected at load instead of producing a silently wrong graph. Required
+  // for version >= 3; loaders still accept v1/v2 files without it.
   Json trailer = Json::object();
   trailer["checksum"] = static_cast<std::int64_t>(crc32_final(crc));
   trailer["nodes"] = static_cast<std::int64_t>(n);
@@ -318,17 +320,24 @@ void load_graph(GraphStore& store, std::istream& in) {
       load_v1_nodes(store, reader, nodes);
       break;
     case 2:
+    case 3:  // same body format as v2; only the trailer contract differs
       load_v2_nodes(store, reader, nodes);
       break;
     default:
       throw HorusError("graph io: unsupported snapshot version " +
                        std::to_string(version));
   }
-  const std::size_t edges = load_edges(store, reader);
+  bool saw_trailer = false;
+  const std::size_t edges = load_edges(store, reader, saw_trailer);
   if (declared_edges >= 0 && edges != static_cast<std::size_t>(declared_edges)) {
     throw HorusError("graph io: truncated edge section: header declares " +
                      std::to_string(declared_edges) + " edges, file has " +
                      std::to_string(edges));
+  }
+  if (version >= 3 && !saw_trailer) {
+    throw HorusError(
+        "graph io: missing integrity trailer: snapshot is truncated or "
+        "partially written");
   }
 }
 

@@ -2,13 +2,15 @@
 // format. Loading replays through the regular write path, so all indexes
 // are rebuilt consistently.
 //
-// Version 2 (written by save_graph): header line, then a key-table line
+// Version 3 (written by save_graph): header line, then a key-table line
 // {"keys":[...]} listing interned property keys in store-id order, then one
 // line per node with props as [[keyIdx, value], ...] arrays, then one line
 // per edge, then an integrity trailer {"checksum":crc32,"nodes":N,"edges":M}
-// covering every preceding byte. Version 1 (legacy: props as {"name": value}
-// objects, no key table) and trailer-less v2 files are still loaded
-// transparently.
+// covering every preceding byte. The trailer is REQUIRED for version >= 3:
+// a file cut before it (a partially written snapshot) is rejected instead
+// of silently loading a short graph. Version 1 (legacy: props as
+// {"name": value} objects, no key table) and version 2 (same body as v3,
+// trailer optional) are still loaded transparently.
 //
 // Loading is hardened against corrupt input: truncation, malformed JSON,
 // out-of-range edge endpoints, count mismatches and checksum failures all
@@ -28,7 +30,7 @@
 namespace horus::graph {
 
 /// Snapshot version written by save_graph. load_graph accepts 1..kSnapshotVersion.
-inline constexpr int kSnapshotVersion = 2;
+inline constexpr int kSnapshotVersion = 3;
 
 /// Serializes the entire store. Deterministic output (node order, sorted
 /// properties) — diffable and golden-testable.
@@ -37,8 +39,9 @@ void save_graph_file(const GraphStore& store, const std::string& path);
 
 /// Loads a snapshot into `store` (which must be empty; throws otherwise).
 /// All writes go through add_node/add_edge, so any indexes created on the
-/// store beforehand are maintained. Both v1 and v2 snapshots are accepted;
-/// corrupt or truncated input raises HorusError.
+/// store beforehand are maintained. v1..v3 snapshots are accepted; corrupt
+/// or truncated input raises HorusError (for v3 this includes a missing
+/// integrity trailer).
 void load_graph(GraphStore& store, std::istream& in);
 void load_graph_file(GraphStore& store, const std::string& path);
 

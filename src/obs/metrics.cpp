@@ -382,4 +382,46 @@ std::string Registry::expose_json() const {
   return out;
 }
 
+HistogramSnapshot snapshot(const Histogram& histogram) {
+  HistogramSnapshot snap;
+  const std::size_t slots = histogram.bounds().size() + 1;
+  snap.buckets.reserve(slots);
+  for (std::size_t i = 0; i < slots; ++i) {
+    snap.buckets.push_back(histogram.bucket(i));
+  }
+  snap.count = histogram.count();
+  return snap;
+}
+
+double histogram_quantile(const Histogram& histogram, double q,
+                          const HistogramSnapshot& since) {
+  const std::vector<double>& bounds = histogram.bounds();
+  const std::size_t slots = bounds.size() + 1;
+  std::uint64_t total = 0;
+  std::vector<std::uint64_t> window(slots, 0);
+  for (std::size_t i = 0; i < slots; ++i) {
+    const std::uint64_t now = histogram.bucket(i);
+    const std::uint64_t then =
+        i < since.buckets.size() ? since.buckets[i] : 0;
+    // Relaxed reads can race an in-flight observe; clamp instead of
+    // underflowing.
+    window[i] = now >= then ? now - then : 0;
+    total += window[i];
+  }
+  if (total == 0) return 0.0;
+  const double rank = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    cumulative += window[i];
+    if (static_cast<double>(cumulative) >= rank) return bounds[i];
+  }
+  // The quantile falls in the +Inf bucket: report the largest finite bound
+  // (the standard Prometheus convention).
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+double histogram_quantile(const Histogram& histogram, double q) {
+  return histogram_quantile(histogram, q, HistogramSnapshot{});
+}
+
 }  // namespace horus::obs

@@ -125,6 +125,28 @@ class Histogram {
   std::atomic<std::uint64_t> sum_bits_{0};  ///< bit-cast double accumulator
 };
 
+/// Point-in-time copy of a histogram's bucket counters, taken with
+/// snapshot(). Two snapshots bracket a *window*: histogram_quantile() over
+/// (histogram, earlier snapshot) estimates a quantile of only the
+/// observations that landed in between — how the service overload
+/// controller derives a recent p99 from a cumulative histogram.
+struct HistogramSnapshot {
+  std::vector<std::uint64_t> buckets;  ///< bounds().size() + 1 slots
+  std::uint64_t count = 0;
+};
+
+[[nodiscard]] HistogramSnapshot snapshot(const Histogram& histogram);
+
+/// Quantile estimate (Prometheus-style: the upper bound of the bucket where
+/// the cumulative window count crosses q * total; the +Inf bucket reports
+/// the largest finite bound). `since` restricts the estimate to
+/// observations after that snapshot; 0.0 when the window is empty.
+[[nodiscard]] double histogram_quantile(const Histogram& histogram, double q,
+                                        const HistogramSnapshot& since);
+
+/// Quantile over the histogram's full lifetime.
+[[nodiscard]] double histogram_quantile(const Histogram& histogram, double q);
+
 /// Scoped span timer: records the elapsed wall time (seconds) into a
 /// histogram when destroyed or stop()ped, whichever comes first.
 class Timer {

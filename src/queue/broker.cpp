@@ -148,6 +148,35 @@ std::uint64_t Broker::committed_offset(const std::string& group,
   return it == offsets_.end() ? 0 : it->second;
 }
 
+std::vector<Broker::CommittedOffset> Broker::offsets_snapshot() const {
+  const std::lock_guard lock(mutex_);
+  std::vector<CommittedOffset> out;
+  out.reserve(offsets_.size());
+  for (const auto& [key, offset] : offsets_) {
+    out.push_back(CommittedOffset{std::get<0>(key), std::get<1>(key),
+                                  std::get<2>(key), offset});
+  }
+  return out;
+}
+
+void Broker::seek_offsets(const std::vector<CommittedOffset>& offsets) {
+  const std::lock_guard lock(mutex_);
+  for (const CommittedOffset& o : offsets) {
+    offsets_[std::make_tuple(o.group, o.topic, o.partition)] = o.offset;
+  }
+}
+
+void Broker::reset_group_offsets(const std::string& prefix) {
+  const std::lock_guard lock(mutex_);
+  for (auto it = offsets_.begin(); it != offsets_.end();) {
+    if (std::get<0>(it->first).rfind(prefix, 0) == 0) {
+      it = offsets_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 void Broker::persist(const std::string& dir) const {
   const std::lock_guard lock(mutex_);
   fs::create_directories(dir);

@@ -94,6 +94,29 @@ class Broker {
                                                const std::string& topic,
                                                int partition) const;
 
+  /// One committed consumer-group offset, as exported/seeked by the service
+  /// checkpoint path.
+  struct CommittedOffset {
+    std::string group;
+    std::string topic;
+    int partition = 0;
+    std::uint64_t offset = 0;
+  };
+
+  /// Every committed offset, atomically (one lock hold). The service
+  /// checkpoint bundles this with the graph snapshot so a restarted daemon
+  /// replays the queue from exactly the state the graph reflects.
+  [[nodiscard]] std::vector<CommittedOffset> offsets_snapshot() const;
+
+  /// Rewinds (or advances) committed offsets to the given records — the
+  /// restore half of offsets_snapshot(). Entries for groups not listed are
+  /// left untouched.
+  void seek_offsets(const std::vector<CommittedOffset>& offsets);
+
+  /// Drops every committed offset whose group name starts with `prefix`
+  /// (restore-without-checkpoint: the consumer groups must replay from 0).
+  void reset_group_offsets(const std::string& prefix);
+
   /// Persists all topics and committed offsets into `dir`.
   void persist(const std::string& dir) const;
 

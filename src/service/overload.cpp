@@ -1,0 +1,66 @@
+#include "service/overload.h"
+
+#include "common/diag.h"
+#include "obs/metrics.h"
+
+namespace horus::service {
+
+const char* to_string(OverloadLevel level) noexcept {
+  switch (level) {
+    case OverloadLevel::kNormal:
+      return "normal";
+    case OverloadLevel::kPauseGenerators:
+      return "pause_generators";
+    case OverloadLevel::kTightenQueries:
+      return "tighten_queries";
+    case OverloadLevel::kRejectSessions:
+      return "reject_sessions";
+  }
+  return "unknown";
+}
+
+OverloadLevel OverloadController::evaluate(const Signals& signals) {
+  static obs::Gauge& level_gauge = obs::Registry::global().gauge(
+      "horus_service_overload_level",
+      "Current degradation level (0 normal .. 3 reject sessions)");
+  static obs::Counter& escalations_total = obs::Registry::global().counter(
+      "horus_service_overload_escalations_total",
+      "Times the controller stepped the degradation level up");
+
+  const bool hot = signals.ingest_backlog >= thresholds_.backlog_high ||
+                   signals.arena_bytes >= thresholds_.arena_bytes_high ||
+                   signals.query_p99_seconds >= thresholds_.p99_high_seconds;
+  const bool calm = signals.ingest_backlog < thresholds_.backlog_low &&
+                    signals.arena_bytes < thresholds_.arena_bytes_low &&
+                    signals.query_p99_seconds < thresholds_.p99_low_seconds;
+
+  if (hot) {
+    calm_streak_ = 0;
+    if (level_ != OverloadLevel::kRejectSessions) {
+      level_ = static_cast<OverloadLevel>(static_cast<int>(level_) + 1);
+      ++escalations_;
+      escalations_total.inc();
+      diag(DiagLevel::kWarn, "service",
+           std::string("overload: escalating to ") + to_string(level_) +
+               " (backlog=" + std::to_string(signals.ingest_backlog) +
+               " arena=" + std::to_string(signals.arena_bytes) +
+               " p99=" + std::to_string(signals.query_p99_seconds) + "s)");
+    }
+  } else if (calm && level_ != OverloadLevel::kNormal) {
+    if (++calm_streak_ >= thresholds_.recover_after) {
+      calm_streak_ = 0;
+      level_ = static_cast<OverloadLevel>(static_cast<int>(level_) - 1);
+      diag(DiagLevel::kInfo, "service",
+           std::string("overload: recovering to ") + to_string(level_));
+    }
+  } else {
+    // In the hysteresis band (neither hot nor fully calm): hold the level
+    // and restart the calm streak.
+    calm_streak_ = 0;
+  }
+
+  level_gauge.set(static_cast<std::int64_t>(level_));
+  return level_;
+}
+
+}  // namespace horus::service

@@ -1,0 +1,84 @@
+// Graceful-degradation state machine for horusd.
+//
+// The controller turns three observability signals — uncommitted ingest
+// backlog, VC clock-arena bytes, and a windowed p99 of query latency — into
+// one of four levels, shedding standing work in priority order:
+//
+//   0 kNormal           everything admitted
+//   1 kPauseGenerators  stop feeding new traffic (cheapest shed: the
+//                       pipeline catches up, queries unaffected)
+//   2 kTightenQueries   additionally clamp per-query limits to the
+//                       degraded profile (queries return partial results
+//                       rather than pile up)
+//   3 kRejectSessions   additionally refuse new query sessions with a
+//                       typed OverloadError (existing sessions finish)
+//
+// Escalation: one level per evaluation while ANY signal sits at or above
+// its high threshold. De-escalation: one level after `recover_after`
+// consecutive evaluations with EVERY signal below its low threshold — the
+// high/low hysteresis gap plus the calm-streak requirement prevents
+// flapping at a boundary. Evaluation cadence is the caller's (the service
+// supervisor loop).
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.h"
+
+namespace horus::service {
+
+/// Typed rejection the admission gate throws; front-ends map it to a
+/// retry-later response instead of a generic failure.
+class OverloadError : public HorusError {
+ public:
+  using HorusError::HorusError;
+};
+
+enum class OverloadLevel : int {
+  kNormal = 0,
+  kPauseGenerators = 1,
+  kTightenQueries = 2,
+  kRejectSessions = 3,
+};
+
+[[nodiscard]] const char* to_string(OverloadLevel level) noexcept;
+
+struct OverloadThresholds {
+  std::uint64_t backlog_high = 8192;
+  std::uint64_t backlog_low = 1024;
+  std::int64_t arena_bytes_high = 256LL << 20;
+  std::int64_t arena_bytes_low = 128LL << 20;
+  double p99_high_seconds = 0.5;
+  double p99_low_seconds = 0.1;
+  /// Consecutive all-calm evaluations required before stepping down.
+  int recover_after = 3;
+};
+
+class OverloadController {
+ public:
+  OverloadController() : OverloadController(OverloadThresholds{}) {}
+  explicit OverloadController(OverloadThresholds thresholds)
+      : thresholds_(thresholds) {}
+
+  struct Signals {
+    std::uint64_t ingest_backlog = 0;
+    std::int64_t arena_bytes = 0;
+    double query_p99_seconds = 0.0;
+  };
+
+  /// One evaluation step (see file comment); returns the new level.
+  OverloadLevel evaluate(const Signals& signals);
+
+  [[nodiscard]] OverloadLevel level() const noexcept { return level_; }
+  [[nodiscard]] std::uint64_t escalations() const noexcept {
+    return escalations_;
+  }
+
+ private:
+  OverloadThresholds thresholds_;
+  OverloadLevel level_ = OverloadLevel::kNormal;
+  int calm_streak_ = 0;
+  std::uint64_t escalations_ = 0;
+};
+
+}  // namespace horus::service

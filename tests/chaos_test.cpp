@@ -140,7 +140,7 @@ TEST(TopologyGeneratorTest, CrossProcessShufflePreservesTimelineOrder) {
 }
 
 // ---------------------------------------------------------------------------
-// The six builtin scenarios, differentially verified
+// The seven builtin scenarios, differentially verified
 // ---------------------------------------------------------------------------
 
 TEST(ChaosScenarioTest, ReorderAcrossRebalance) {
@@ -196,15 +196,27 @@ TEST(ChaosScenarioTest, CrossRequestContention) {
   expect_all_legs_agree(run.report);
 }
 
+TEST(ChaosScenarioTest, DaemonRestart) {
+  // Kill -9 the service mid-ingest after a checkpoint; the restored
+  // incarnation replays the queue window and must still agree with every
+  // differential leg — checkpoint/restore is invisible to correctness.
+  const gen::ChaosScenario scenario = scenario_named("daemon_restart");
+  ASSERT_TRUE(scenario.daemon_restart);
+  const gen::ChaosRunResult run =
+      gen::run_chaos_scenario(scenario, wal_dir_for(scenario.name));
+  expect_all_legs_agree(run.report);
+  EXPECT_GT(run.report.events, 1000u);
+}
+
 TEST(ChaosScenarioTest, BuiltinScenariosCoverTheAdversarialMatrix) {
   const auto scenarios = gen::builtin_chaos_scenarios(kSuiteSeed);
-  ASSERT_GE(scenarios.size(), 6u);
+  ASSERT_GE(scenarios.size(), 7u);
   std::vector<std::string> names;
   names.reserve(scenarios.size());
   for (const auto& s : scenarios) names.push_back(s.name);
   for (const char* required :
        {"reorder_rebalance", "clock_drift_x10", "retry_storm",
-        "crash_recover", "long_chain", "contention"}) {
+        "crash_recover", "long_chain", "contention", "daemon_restart"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), required), names.end())
         << "missing scenario " << required;
   }

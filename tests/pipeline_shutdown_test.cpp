@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "common/diag.h"
+#include "common/shutdown.h"
 #include "core/execution_graph.h"
 #include "gen/synthetic.h"
 #include "queue/broker.h"
@@ -95,6 +96,39 @@ TEST(PipelineShutdownTest, RestartAfterStopProcessesNewEvents) {
   pipeline.stop();
   EXPECT_EQ(pipeline.intra_processed(), 2 * events.size());
   EXPECT_EQ(pipeline.events_deduplicated(), events.size());
+}
+
+TEST(PipelineShutdownTest, SignalFlagWindsDownBatchModeCleanly) {
+  // The CLI's SIGINT/SIGTERM path, exercised via the programmatic trigger:
+  // once the flag is up the capture loop stops feeding, then drains and
+  // stops — every event published before the signal must still be flushed,
+  // committed and present in the graph.
+  reset_shutdown();
+  EXPECT_FALSE(shutdown_requested());
+
+  queue::Broker broker;
+  ExecutionGraph graph;
+  const auto events = small_workload();
+  Pipeline pipeline(broker, graph, fast_options());
+  pipeline.start();
+
+  std::size_t published = 0;
+  for (const Event& e : events) {
+    if (shutdown_requested()) break;  // the CLI capture loop's check
+    pipeline.publish(e);
+    if (++published == events.size() / 2) request_shutdown();
+  }
+  EXPECT_TRUE(shutdown_requested());
+  EXPECT_EQ(published, events.size() / 2);
+
+  // The clean wind-down the signal handler path performs.
+  EXPECT_TRUE(pipeline.drain());
+  pipeline.stop();
+  EXPECT_EQ(pipeline.events_processed(), published);
+  EXPECT_GT(graph.store().node_count(), 0u);
+
+  reset_shutdown();
+  EXPECT_FALSE(shutdown_requested());
 }
 
 TEST(PipelineShutdownTest, DrainTimeoutReportsStuckPartitions) {

@@ -1,8 +1,11 @@
 // Snapshot robustness (companion to snapshot_compat_test): truncated,
 // bit-flipped and otherwise mangled graph files must raise a clean
 // HorusError naming the offending line — never crash, hang or silently
-// load a wrong graph. Valid snapshots carry a CRC-32 integrity trailer;
-// trailer-less files (v1, pre-trailer v2) still load.
+// load a wrong graph. Valid snapshots carry a CRC-32 integrity trailer,
+// and from v3 on the trailer is mandatory: a v3 file cut anywhere —
+// including exactly after the final edge — fails as truncated, so a
+// half-written checkpoint can never load as a plausible smaller graph.
+// Trailer-less legacy files (v1, pre-trailer v2) still load.
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -60,17 +63,17 @@ TEST(SnapshotCorruptionTest, IntactSnapshotLoads) {
 
 TEST(SnapshotCorruptionTest, TruncationAtEveryLineFails) {
   const std::string text = sample_snapshot_text();
-  // Cut the file after each newline. The last two cuts are excluded: a file
-  // ending exactly after the final edge is byte-identical to a valid
-  // pre-trailer v2 snapshot (which must keep loading), and the final cut is
-  // the intact file.
+  // Cut the file after each newline. Every cut except the final (intact)
+  // one must fail: v3 requires the integrity trailer, so even a file
+  // ending exactly after the last edge — which would be byte-identical to
+  // a valid pre-trailer snapshot — is rejected as truncated.
   std::vector<std::size_t> cuts;
   for (std::size_t pos = text.find('\n'); pos != std::string::npos;
        pos = text.find('\n', pos + 1)) {
     cuts.push_back(pos + 1);
   }
   ASSERT_GT(cuts.size(), 4u);
-  for (std::size_t i = 0; i + 2 < cuts.size(); ++i) {
+  for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
     expect_load_fails(text.substr(0, cuts[i]),
                       "truncated after line " + std::to_string(i + 1));
   }
@@ -122,16 +125,29 @@ TEST(SnapshotCorruptionTest, DataAfterTrailerFails) {
 
 TEST(SnapshotCorruptionTest, UnsupportedVersionFails) {
   std::string text = sample_snapshot_text();
-  const std::size_t pos = text.find("\"version\":2");
+  const std::size_t pos = text.find("\"version\":3");
   ASSERT_NE(pos, std::string::npos);
   text.replace(pos, 11, "\"version\":9");
   expect_load_fails(text, "unsupported version");
 }
 
-TEST(SnapshotCorruptionTest, TrailerlessSnapshotStillLoads) {
+TEST(SnapshotCorruptionTest, TrailerlessV3SnapshotFails) {
+  // A v3 file that stops right where the trailer should start is exactly
+  // what a crash mid-checkpoint leaves behind — it must not load as a
+  // plausible smaller graph.
+  const std::string text = sample_snapshot_text();
+  const std::size_t trailer = text.rfind("{\"checksum\"");
+  ASSERT_NE(trailer, std::string::npos);
+  expect_load_fails(text.substr(0, trailer), "v3 without trailer");
+}
+
+TEST(SnapshotCorruptionTest, TrailerlessV2SnapshotStillLoads) {
   // Pre-trailer v2 files end after the edge section; they load without an
   // integrity check (backwards compatibility).
-  const std::string text = sample_snapshot_text();
+  std::string text = sample_snapshot_text();
+  const std::size_t version = text.find("\"version\":3");
+  ASSERT_NE(version, std::string::npos);
+  text.replace(version, 11, "\"version\":2");
   const std::size_t trailer = text.rfind("{\"checksum\"");
   ASSERT_NE(trailer, std::string::npos);
   graph::GraphStore store;

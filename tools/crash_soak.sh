@@ -1,0 +1,90 @@
+#!/usr/bin/env sh
+# Crash soak for horusd: hammers the kill/restore path over and over and
+# fails on any divergence or checkpoint corruption.
+#
+# Each cycle runs two gates built from the service suites:
+#   1. service_recovery_test — 50 seeded kill points; the restored-and-
+#      replayed graph must equal the fault-free reference (nodes, edges,
+#      Lamport, vector clocks, happens-before). Reruns explore different
+#      thread interleavings even on the same seeds.
+#   2. bench_service --quick — a daemon under continuous traffic with
+#      periodic checkpoints, killed and revived; exits non-zero when the
+#      revived instance restores the wrong epoch or fails to drain the
+#      replay window. The seed advances every cycle.
+#
+# Usage: tools/crash_soak.sh [build-dir] [--cycles N] [--start S]
+#   build-dir  defaults to ./build (test + bench binaries must be built)
+#   --cycles N kill/restart cycles to run (default 10)
+#   --start S  first bench_service seed (default 1)
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir="$repo_root/build"
+cycles=10
+start=1
+expect=""
+for arg in "$@"; do
+  if [ -n "$expect" ]; then
+    case "$expect" in
+      cycles) cycles="$arg" ;;
+      start) start="$arg" ;;
+    esac
+    expect=""
+    continue
+  fi
+  case "$arg" in
+    --cycles) expect=cycles ;;
+    --cycles=*) cycles="${arg#--cycles=}" ;;
+    --start) expect=start ;;
+    --start=*) start="${arg#--start=}" ;;
+    *) build_dir="$arg" ;;
+  esac
+done
+if [ -n "$expect" ]; then
+  echo "error: --$expect needs a value" >&2
+  exit 2
+fi
+
+recovery_bin="$build_dir/tests/service_recovery_test"
+bench_bin="$build_dir/bench/bench_service"
+for bin in "$recovery_bin" "$bench_bin"; do
+  if [ ! -x "$bin" ]; then
+    echo "error: $bin not built (cmake --build $build_dir)" >&2
+    exit 2
+  fi
+done
+
+out_dir=$(mktemp -d)
+trap 'rm -rf "$out_dir"' EXIT
+
+failed=""
+cycle=0
+while [ "$cycle" -lt "$cycles" ]; do
+  seed=$((start + cycle))
+  log="$out_dir/cycle_$cycle.log"
+  ok=1
+  if ! "$recovery_bin" >"$log" 2>&1; then
+    echo "cycle $cycle: DIVERGENCE after kill/restart"
+    grep -E 'mismatch|missing|Failure' "$log" | head -5 || tail -5 "$log"
+    ok=0
+  fi
+  if ! "$bench_bin" --seed "$seed" --quick \
+      --json "$out_dir/cycle_$cycle.json" >>"$log" 2>&1; then
+    echo "cycle $cycle: CHECKPOINT/RECOVERY FAILURE (seed $seed)"
+    tail -5 "$log"
+    ok=0
+  fi
+  if [ "$ok" = 1 ]; then
+    echo "cycle $cycle: ok (seed $seed)"
+  else
+    failed="$failed $cycle"
+  fi
+  cycle=$((cycle + 1))
+done
+
+echo
+if [ -n "$failed" ]; then
+  echo "crash soak: $cycles cycles, failures at:$failed"
+  exit 1
+fi
+echo "crash soak: $cycles cycles, every restart converged"

@@ -17,6 +17,16 @@
 //   horus_cli shiviz    --graph FILE [--only-logs] [--out FILE]
 //   horus_cli dot       --graph FILE --from EVENTID --to EVENTID [--out FILE]
 //   horus_cli dlq       --broker DIR [--topic NAME]
+//   horus_cli serve     --data-dir DIR [--seed N] [--duration-s N]
+//                       [--partitions N] [--intra N] [--inter N]
+//                       [--checkpoint-ms N] [--requests N] [--out FILE]
+//
+// `serve` runs horusd: the always-on service (continuous synthetic mesh
+// traffic, incremental clocks, periodic atomic checkpoints, overload
+// degradation). It runs until --duration-s elapses or SIGINT/SIGTERM
+// arrives, then shuts down gracefully (final flush+commit+checkpoint). A
+// restart over the same --data-dir restores the last checkpoint and
+// replays the queue window before ingesting new traffic.
 //
 // `capture` runs a workload through the full adapter/encoder pipeline and
 // writes a reloadable graph snapshot (logical time already assigned). With
@@ -34,23 +44,29 @@
 // result with the tripped limit named instead of hanging. Every numeric
 // flag is validated (negative, zero, garbage and overflowing values are
 // usage errors, not silent defaults).
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "baselines/falcon_trace.h"
 #include "common/query_guard.h"
+#include "common/shutdown.h"
 #include "core/horus.h"
 #include "core/pipeline.h"
 #include "core/validator.h"
 #include "queue/broker.h"
 #include "queue/fault.h"
 #include "gen/synthetic.h"
+#include "gen/topology.h"
+#include "service/service.h"
 #include "graph/dot_export.h"
 #include "obs/metrics.h"
 #include "obs/query_profile.h"
@@ -194,6 +210,13 @@ int usage() {
                 exhausted and return the partial result with the tripped
                 limit named (counted in horus_query_limit_hits_total)
   horus_cli dlq       --broker DIR [--topic NAME]
+  horus_cli serve     --data-dir DIR [--seed N] [--duration-s N]
+                      [--partitions N] [--intra N] [--inter N]
+                      [--checkpoint-ms N] [--requests N] [--out FILE]
+                      (horusd: continuous ingestion with periodic atomic
+                       checkpoints; runs until --duration-s or SIGINT/
+                       SIGTERM, then a graceful final checkpoint; restarting
+                       over the same --data-dir restores and replays)
 )");
   return 2;
 }
@@ -253,7 +276,13 @@ int cmd_capture_distributed(const Args& args) {
     tt::TrainTicketOptions tt_options;
     tt_options.seed = seed;
     tt_options.duration_ns = args.get_int_in("duration-s", 60, 1, 1'000'000) * 1'000'000'000;
-    const auto report = tt::run_trainticket(tt_options, pipeline.sink());
+    // On SIGINT/SIGTERM stop feeding the pipeline; the drain+stop below
+    // then flushes and commits what was already published.
+    EventSinkFn sink = pipeline.sink();
+    const auto report = tt::run_trainticket(tt_options, [&sink](Event e) {
+      if (shutdown_requested()) return;
+      sink(std::move(e));
+    });
     std::printf("trainticket: %llu events published\n",
                 static_cast<unsigned long long>(report.total_events));
   } else if (workload == "synthetic") {
@@ -262,6 +291,7 @@ int cmd_capture_distributed(const Args& args) {
     gen_options.num_events =
         static_cast<std::size_t>(args.get_int_in("events", 10'000, 1, 1'000'000'000));
     for (Event& e : gen::client_server_events(gen_options)) {
+      if (shutdown_requested()) break;  // wind down via drain+stop below
       pipeline.publish(e);
     }
     std::printf("synthetic: %llu events published\n",
@@ -271,6 +301,12 @@ int cmd_capture_distributed(const Args& args) {
     return 2;
   }
 
+  if (shutdown_requested()) {
+    std::fprintf(stderr,
+                 "interrupted by signal %d: flushing and committing the "
+                 "pipeline before exit\n",
+                 shutdown_signal());
+  }
   const bool drained = pipeline.drain();
   if (!drained) {
     std::fprintf(stderr, "warning: pipeline drain timed out\n");
@@ -312,6 +348,7 @@ int cmd_capture(const Args& args) {
   Horus horus;
   std::vector<Event> raw_events;
   EventSinkFn sink = [&horus, &raw_events](Event e) {
+    if (shutdown_requested()) return;  // seal + save what we have
     raw_events.push_back(e);
     horus.ingest(std::move(e));
   };
@@ -537,6 +574,95 @@ int cmd_dot(const Args& args) {
   return 0;
 }
 
+/// horusd: the long-running service over continuous synthetic mesh
+/// traffic. Blocks until the duration elapses or a shutdown signal
+/// arrives, then stops gracefully (final flush+commit+checkpoint).
+int cmd_serve(const Args& args) {
+  const std::string data_dir = args.get("data-dir");
+  if (data_dir.empty()) return usage();
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const std::int64_t duration_s =
+      args.get_int_in("duration-s", 0, 0, 86'400);  // 0 = until a signal
+
+  service::ServiceOptions options;
+  options.data_dir = data_dir;
+  options.pipeline.partitions =
+      static_cast<int>(args.get_int_in("partitions", 4, 1, 1024));
+  options.pipeline.intra_workers =
+      static_cast<int>(args.get_int_in("intra", 2, 1, 256));
+  options.pipeline.inter_workers =
+      static_cast<int>(args.get_int_in("inter", 2, 1, 256));
+  options.pipeline.event_flush_interval_ms = 10;
+  options.pipeline.relationship_flush_interval_ms = 15;
+  options.checkpoint_interval_ms = static_cast<int>(
+      args.get_int_in("checkpoint-ms", 500, 1, 3'600'000));
+
+  queue::Broker broker;
+  ExecutionGraph graph;
+  service::HorusService daemon(broker, graph, options);
+
+  gen::TopologyOptions topo;
+  topo.seed = seed;
+  topo.requests = static_cast<std::size_t>(
+      args.get_int_in("requests", 8, 1, 1'000'000));  // per batch
+
+  // The traffic source is built lazily on the first batch, after start()
+  // has restored any checkpoint: a restarted daemon must allocate fresh
+  // event ids and stream offsets past everything already in the graph, or
+  // the generator would replay colliding ids forever.
+  auto traffic = std::make_shared<std::optional<gen::ContinuousTraffic>>();
+  daemon.start([traffic, topo, &graph]() mutable {
+    if (!traffic->has_value()) {
+      gen::TopologyOptions t = topo;
+      t.id_base = graph.event_count();
+      t.stream_offset_base = graph.event_count() * t.message_bytes;
+      traffic->emplace(t);
+    }
+    return (*traffic)->next_batch();
+  });
+  if (daemon.restored_from_checkpoint()) {
+    std::printf("horusd: restored checkpoint epoch %llu (%zu nodes)\n",
+                static_cast<unsigned long long>(daemon.restored_epoch()),
+                graph.store().node_count());
+  }
+  std::printf("horusd: serving (data-dir %s, checkpoint every %d ms%s)\n",
+              data_dir.c_str(), options.checkpoint_interval_ms,
+              duration_s > 0
+                  ? (", for " + std::to_string(duration_s) + " s").c_str()
+                  : ", until SIGINT/SIGTERM");
+  std::fflush(stdout);
+
+  const auto start = std::chrono::steady_clock::now();
+  while (!shutdown_requested()) {
+    if (duration_s > 0 &&
+        std::chrono::steady_clock::now() - start >=
+            std::chrono::seconds(duration_s)) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  if (shutdown_requested()) {
+    std::fprintf(stderr,
+                 "horusd: signal %d: graceful shutdown (final checkpoint)\n",
+                 shutdown_signal());
+  }
+  daemon.stop();
+
+  std::printf(
+      "horusd: ingested=%llu nodes=%zu edges=%zu overload-level=%s\n",
+      static_cast<unsigned long long>(daemon.events_ingested()),
+      graph.store().node_count(), graph.store().edge_count(),
+      service::to_string(daemon.overload_level()));
+  if (args.has("out")) {
+    LogicalClockAssigner assigner(
+        graph, LogicalClockAssigner::Options{.write_lamport_property = true});
+    assigner.assign();
+    graph.save(args.get("out"));
+    std::printf("graph snapshot -> %s\n", args.get("out").c_str());
+  }
+  return 0;
+}
+
 int cmd_dlq(const Args& args) {
   const std::string dir = args.get("broker");
   if (dir.empty()) return usage();
@@ -568,6 +694,9 @@ int cmd_dlq(const Args& args) {
 
 int main(int argc, char** argv) {
   const Args args = parse_args(argc, argv);
+  // Long-running commands (capture, serve) poll this flag and wind down
+  // with a clean flush/commit (and, for serve, a final checkpoint).
+  horus::install_shutdown_handlers();
   try {
     if (args.command == "capture") return cmd_capture(args);
     if (args.command == "stats") return cmd_stats(args);
@@ -576,6 +705,7 @@ int main(int argc, char** argv) {
     if (args.command == "shiviz") return cmd_shiviz(args);
     if (args.command == "dot") return cmd_dot(args);
     if (args.command == "dlq") return cmd_dlq(args);
+    if (args.command == "serve") return cmd_serve(args);
   } catch (const UsageError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return usage();
