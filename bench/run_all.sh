@@ -34,7 +34,7 @@ if [ "$expect_threads" = 1 ]; then
   exit 2
 fi
 
-benches="fig5_throughput fig6_logical_time fig7_q1 fig8_q2 table1_event_mix ablations encoders chaos service"
+benches="fig5_throughput fig6_logical_time fig7_q1 fig8_q2 table1_event_mix ablations encoders chaos service segments"
 
 status=0
 for name in $benches; do

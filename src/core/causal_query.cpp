@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "graph/segment.h"
 #include "graph/traversal.h"
 #include "obs/metrics.h"
 
@@ -51,9 +52,18 @@ struct Q2Metrics {
 
 // No profile hook here: these are the fig7 hot primitives (~60ns), and
 // even an untaken branch is measurable. The horus.happensBefore procedure
-// accounts the comparison at the query layer instead.
+// accounts the comparison at the query layer instead. On a segmented store
+// the per-segment VC summary gets first refusal: when the summary of b's
+// segment proves no node there is causally after a, the clock table is
+// never consulted (the monolithic path is the original single compare).
 bool CausalQueryEngine::happens_before(graph::NodeId a,
                                        graph::NodeId b) const {
+  if (const graph::SegmentManager* segments = graph_.store().segments()) {
+    if (segments->summary_rules_out_hb(clocks_.timeline_of(a),
+                                       clocks_.position(a), b)) {
+      return false;
+    }
+  }
   return clocks_.happens_before(a, b);
 }
 
@@ -146,6 +156,17 @@ CausalGraphResult CausalQueryEngine::get_causal_graph(graph::NodeId a,
   if (lc_a == 0 || lc_b == 0 || lc_a > lc_b) return result;
   if (a != b && !clocks_.happens_before(a, b)) return result;
 
+  // Segmented store: block eviction for the query's lifetime (spans into
+  // node payloads stay valid) and build the per-segment admissibility memo.
+  graph::SegmentManager* segments = store.segments();
+  graph::SegmentManager::ReadHold hold;
+  graph::SegmentManager::Q2Pruner pruner;
+  if (segments != nullptr) {
+    hold = segments->read_hold();
+    pruner = segments->q2_pruner(a, b, lc_a, lc_b, clocks_.timeline_of(a),
+                                 clocks_.position(a), clocks_.vc(b));
+  }
+
   // Stage wall times are taken only under --profile: a steady_clock read
   // between stages is an optimizer barrier, and four of them cost ~20% on
   // the smallest fig8 case. The registry counters below stay unconditional.
@@ -158,6 +179,15 @@ CausalGraphResult CausalQueryEngine::get_causal_graph(graph::NodeId a,
   std::vector<graph::NodeId> candidates =
       store.range_scan(graph_.keys().lamport, lc_a, lc_b);
   result.lc_candidates = candidates.size();
+
+  // Whole-segment skip before the per-node VC prune: a candidate whose
+  // segment summary proves it cannot lie between a and b never reaches the
+  // clock table. Order is preserved (erase_if is stable), so downstream
+  // output is byte-identical to the unpruned scan.
+  if (pruner.active()) {
+    std::erase_if(candidates,
+                  [&](graph::NodeId v) { return !pruner.admits(v); });
+  }
 
   // Guardrails: the candidate list *is* the visited set of this engine.
   // Charging it up front bounds the prune; a tripped budget shrinks the
@@ -259,6 +289,17 @@ CausalGraphResult CausalQueryEngine::get_causal_graph_traversal(
   if (lc_a == 0 || lc_b == 0 || lc_a > lc_b) return result;
   if (a != b && !clocks_.happens_before(a, b)) return result;
 
+  // Segmented store: same eviction hold + segment memo as get_causal_graph;
+  // the flood's admit predicate consults the memo before the VC compares.
+  graph::SegmentManager* segments = graph_.store().segments();
+  graph::SegmentManager::ReadHold hold;
+  graph::SegmentManager::Q2Pruner pruner;
+  if (segments != nullptr) {
+    hold = segments->read_hold();
+    pruner = segments->q2_pruner(a, b, lc_a, lc_b, clocks_.timeline_of(a),
+                                 clocks_.position(a), clocks_.vc(b));
+  }
+
   // Pruned double flood: every node on a causal path from a to b satisfies
   // the admit predicate, and (prefix/suffix closure of the cut) is reachable
   // from a / reaches b through admitted nodes only, so the floods explore
@@ -273,8 +314,9 @@ CausalGraphResult CausalQueryEngine::get_causal_graph_traversal(
   const auto prune_start = timed ? QueryClock::now() : QueryClock::time_point{};
   graph::SubgraphResult between = graph::between_subgraph_parallel(
       graph_.store(), a, b, traversal_options, [&](graph::NodeId v) {
-        return v == a || v == b ||
-               (clocks_.happens_before(a, v) && clocks_.happens_before(v, b));
+        if (v == a || v == b) return true;
+        if (pruner.active() && !pruner.admits(v)) return false;
+        return clocks_.happens_before(a, v) && clocks_.happens_before(v, b);
       });
   result.lc_candidates = between.visited;
   result.truncated = between.truncated;

@@ -1,7 +1,10 @@
 #include "core/clock_daemon.h"
 
 #include <chrono>
+#include <utility>
+#include <vector>
 
+#include "core/segment_clocks.h"
 #include "obs/metrics.h"
 
 namespace horus {
@@ -37,11 +40,34 @@ void ClockDaemon::stop() {
   tick();  // pick up anything that landed after the last periodic pass
 }
 
-bool ClockDaemon::audit_locked() const {
+std::vector<graph::NodeId> ClockDaemon::audit_locked() const {
   const graph::GraphStore& store = graph_.store();
   const auto& clocks = assigner_.clocks();
   const auto n = static_cast<graph::NodeId>(store.node_count());
+  std::vector<graph::NodeId> stale_heads;
+  // Skip nodes in evicted segments: their adjacency is immutable since the
+  // spill was written (any edge write faults the segment back in first and
+  // dirties the spill), those edges passed this audit while resident, and
+  // assigning a downstream node reads predecessor clocks from the table —
+  // never the evicted payload. Without this, the periodic audit's
+  // out_edges_snapshot() walk reloads every spilled segment each tick and
+  // the resident budget can never hold. Heals still reassign_all(), which
+  // walks everything.
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> evicted;  // [first,end)
+  if (const graph::SegmentManager* segments = store.segments()) {
+    for (const graph::SegmentInfo& info : segments->list()) {
+      if (!info.resident) {
+        evicted.emplace_back(info.first, info.first + info.count);
+      }
+    }
+  }
+  auto gap = evicted.cbegin();  // ranges are contiguous and ascending
   for (graph::NodeId v = 0; v < n; ++v) {
+    while (gap != evicted.cend() && v >= gap->second) ++gap;
+    if (gap != evicted.cend() && v >= gap->first) {
+      v = gap->second - 1;  // resume after the evicted range
+      continue;
+    }
     if (!clocks.assigned(v)) continue;
     const auto lv = clocks.lamport(v);
     for (const graph::Edge& e : store.out_edges_snapshot(v)) {
@@ -50,11 +76,11 @@ bool ClockDaemon::audit_locked() const {
       // every edge; a pred assigned without one of its in-edges fails the
       // VC check even when the Lamport values happen to line up.
       if (lv >= clocks.lamport(e.to) || !clocks.vc_less(v, e.to)) {
-        return true;
+        stale_heads.push_back(e.to);
       }
     }
   }
-  return false;
+  return stale_heads;
 }
 
 std::size_t ClockDaemon::tick() {
@@ -78,27 +104,38 @@ std::size_t ClockDaemon::tick() {
   const std::unique_lock lock(mutex_);
   ticks_.fetch_add(1, std::memory_order_relaxed);
   ticks_total.inc();
-  std::size_t assigned = 0;
-  if (audit_locked()) {
-    // A causal pair landed after its endpoints were assigned: heal by
-    // recomputing from scratch.
+  // Assign first, audit after: the post-assign audit sees both kinds of
+  // staleness in one pass — causal pairs that landed after their endpoints
+  // were assigned, and edges from a just-assigned node into an
+  // earlier-assigned one (a replayed upstream event, say).
+  std::size_t assigned = assigner_.assign();
+  assigned_ += assigned;
+  bool healed = false;
+  // Heal the forward closure of violated edges only: a late edge can only
+  // raise clocks downstream of its head, and the targeted repair — unlike
+  // reassign_all() — does not fault evicted segments back in. Under live
+  // ingest new pairs keep racing in between audit and repair, so retry the
+  // cheap pass a few times; only a persistently failing audit falls back to
+  // recomputing everything from scratch.
+  std::vector<graph::NodeId> stale = audit_locked();
+  for (int attempt = 0; !stale.empty() && attempt < 3; ++attempt) {
     heals_.fetch_add(1, std::memory_order_relaxed);
     heals_total.inc();
-    assigned = assigner_.reassign_all();
-    assigned_ = assigned;
-  } else {
-    assigned = assigner_.assign();
-    assigned_ += assigned;
-    // The audit above ran before these assignments, so it could not see
-    // edges from a just-assigned node into an earlier-assigned one (a
-    // replayed upstream event, say): the downstream clocks are stale but
-    // nothing would flag them until the next tick — which a final
-    // drain-then-tick caller never issues. Re-audit and heal now.
-    if (assigned > 0 && audit_locked()) {
-      heals_.fetch_add(1, std::memory_order_relaxed);
-      heals_total.inc();
-      assigned_ = assigner_.reassign_all();
-    }
+    healed = true;
+    assigner_.repair(stale);
+    stale = audit_locked();
+  }
+  if (!stale.empty()) {
+    heals_.fetch_add(1, std::memory_order_relaxed);
+    heals_total.inc();
+    healed = true;
+    assigned_ = assigner_.reassign_all();
+  }
+  // Segmented store: refresh stale VC summaries from the new clocks. A heal
+  // can change VC components of nodes whose own properties never moved (the
+  // staleness hook only sees store writes), so it forces a full rebuild.
+  if (healed || assigned > 0) {
+    update_segment_summaries(graph_.store(), assigner_.clocks(), healed);
   }
   assigned_nodes.set(static_cast<std::int64_t>(assigned_));
   arena_bytes.set(static_cast<std::int64_t>(

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <mutex>
 #include <shared_mutex>
+#include <vector>
 
 #include "common/thread_pool.h"
 #include "core/causal_query.h"
@@ -91,9 +92,10 @@ class ClockDaemon {
   [[nodiscard]] std::size_t assigned_nodes() const;
 
  private:
-  /// True if some edge between assigned nodes violates Lamport order
-  /// (a stale incremental assignment).
-  [[nodiscard]] bool audit_locked() const;
+  /// Heads of edges between assigned nodes that violate the Lamport or
+  /// vector-clock invariant (stale incremental assignments); empty when the
+  /// clocks are consistent. The heads seed the targeted repair pass.
+  [[nodiscard]] std::vector<graph::NodeId> audit_locked() const;
 
   ExecutionGraph& graph_;
   Options options_;

@@ -182,6 +182,10 @@ void ExecutionGraph::save(const std::string& path) const {
 
 void ExecutionGraph::load(const std::string& path) {
   graph::load_graph_file(store_, path);
+  reindex_loaded_store();
+}
+
+void ExecutionGraph::reindex_loaded_store() {
   const std::lock_guard lock(mutex_);
   for (graph::NodeId v = 0; v < store_.node_count(); ++v) {
     const graph::PropertyValue& id = store_.property(v, keys_.event_id);

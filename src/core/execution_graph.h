@@ -128,6 +128,13 @@ class ExecutionGraph {
   /// snapshot — run a LogicalClockAssigner afterwards.
   void load(const std::string& path);
 
+  /// Rebuilds the EventId -> NodeId map, timeline tails, and edge-dedup
+  /// sets from the store's current contents. For restore paths that
+  /// populate the store directly (the segmented checkpoint loader) instead
+  /// of going through load(); must only be called once, while this
+  /// wrapper's own maps are still empty.
+  void reindex_loaded_store();
+
  private:
   /// Typed property bag for an event (hot write path — no string interning
   /// per event).

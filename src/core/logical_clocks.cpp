@@ -4,6 +4,8 @@
 #include <istream>
 #include <ostream>
 #include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "common/crc32.h"
 #include "common/error.h"
@@ -372,6 +374,112 @@ std::size_t LogicalClockAssigner::reassign_all() {
   table_ = ClockTable{};
   timeline_of_pool_.clear();  // table timeline ids were dropped with the table
   return assign();
+}
+
+std::size_t LogicalClockAssigner::repair(
+    std::span<const graph::NodeId> dirty_roots) {
+  const graph::GraphStore& store = graph_.store();
+  const ExecutionGraphKeys& keys = graph_.keys();
+  const auto n = static_cast<graph::NodeId>(store.node_count());
+
+  // Forward closure of the roots over assigned nodes. Unassigned successors
+  // are left to the next assign() pass, which reads the repaired
+  // predecessors anyway.
+  std::unordered_set<graph::NodeId> dirty;
+  std::vector<graph::NodeId> stack;
+  for (const graph::NodeId r : dirty_roots) {
+    if (r < n && table_.assigned(r) && dirty.insert(r).second) {
+      stack.push_back(r);
+    }
+  }
+  while (!stack.empty()) {
+    const graph::NodeId v = stack.back();
+    stack.pop_back();
+    for (const graph::Edge& e : store.out_edges_snapshot(v)) {
+      if (e.to >= n || !table_.assigned(e.to)) continue;
+      if (dirty.insert(e.to).second) stack.push_back(e.to);
+    }
+  }
+  if (dirty.empty()) return 0;
+
+  // Kahn over the dirty subgraph: in-degrees count dirty predecessors only;
+  // clean predecessors already hold their final clocks.
+  std::unordered_map<graph::NodeId, std::int32_t> indegree;
+  std::vector<graph::NodeId> frontier;
+  for (const graph::NodeId v : dirty) {
+    std::int32_t deg = 0;
+    for (const graph::Edge& e : store.in_edges_snapshot(v)) {
+      if (e.to < n && dirty.contains(e.to)) ++deg;
+    }
+    indegree[v] = deg;
+    if (deg == 0) frontier.push_back(v);
+  }
+
+  std::size_t processed = 0;
+  std::vector<std::int32_t> v_clock;  // scratch, reused across nodes
+  while (!frontier.empty()) {
+    const graph::NodeId v = frontier.back();
+    frontier.pop_back();
+    ++processed;
+
+    // Same recurrences as assign(): the canonical values are unique, so
+    // recomputing them over final predecessor clocks reproduces exactly what
+    // a from-scratch pass would produce (HealsAfterLateEdge asserts this).
+    std::int64_t lc = 1;
+    v_clock.clear();
+    for (const graph::Edge& e : store.in_edges_snapshot(v)) {
+      const graph::NodeId pred = e.to;
+      if (pred >= n || !table_.assigned(pred)) continue;
+      lc = std::max(lc, table_.lamport_[pred] + 1);
+      const auto pv = table_.vc(pred);
+      if (pv.size() > v_clock.size()) v_clock.resize(pv.size(), 0);
+      for (std::size_t i = 0; i < pv.size(); ++i) {
+        v_clock[i] = std::max(v_clock[i], pv[i]);
+      }
+    }
+    const auto t = static_cast<std::size_t>(table_.timeline_of_[v]);
+    if (t >= v_clock.size()) v_clock.resize(t + 1, 0);
+    v_clock[t] = table_.position_[v];
+
+    if (lc != table_.lamport_[v]) {
+      table_.lamport_[v] = lc;
+      if (options_.write_lamport_property) {
+        graph_.store().set_property(v, keys.lamport, lc);
+      }
+    }
+    // Overwrite the arena slot in place when the raised clock fits (clearing
+    // any stale tail — absent components read as zero); otherwise append a
+    // fresh slot and abandon the old one (reclaimed by the next
+    // reassign_all).
+    ClockTable::VcSlot& slot = table_.vc_slots_[v];
+    if (v_clock.size() <= slot.len) {
+      const auto base =
+          table_.vc_arena_.begin() + static_cast<std::ptrdiff_t>(slot.offset);
+      std::copy(v_clock.begin(), v_clock.end(), base);
+      std::fill(base + static_cast<std::ptrdiff_t>(v_clock.size()),
+                base + static_cast<std::ptrdiff_t>(slot.len), 0);
+    } else {
+      slot = {static_cast<std::uint32_t>(table_.vc_arena_.size()),
+              static_cast<std::uint32_t>(v_clock.size())};
+      table_.vc_arena_.insert(table_.vc_arena_.end(), v_clock.begin(),
+                              v_clock.end());
+    }
+
+    for (const graph::Edge& e : store.out_edges_snapshot(v)) {
+      if (e.to >= n) continue;
+      const auto it = indegree.find(e.to);
+      if (it != indegree.end() && --it->second == 0) {
+        frontier.push_back(e.to);
+      }
+    }
+  }
+
+  if (processed != dirty.size()) {
+    throw std::logic_error(
+        "clock assigner: cycle detected in repair region (" +
+        std::to_string(dirty.size() - processed) + " nodes unreachable)");
+  }
+  return processed;
 }
 
 void LogicalClockAssigner::restore(ClockTable table) {

@@ -149,6 +149,20 @@ class LogicalClockAssigner {
   /// Drops all state and recomputes every clock from scratch.
   std::size_t reassign_all();
 
+  /// Targeted heal for edges that landed after both endpoints were assigned
+  /// (`dirty_roots` = the heads of the violated edges, as found by the clock
+  /// daemon's audit). Recomputes Lamport and vector clocks for the forward
+  /// causal closure of the roots only — new constraints can only *raise*
+  /// clocks, and only downstream of the late edge, so every node outside the
+  /// closure keeps its canonical value. Timelines and positions never change
+  /// (they derive from per-timeline log order, which edges cannot alter).
+  /// Returns the number of nodes recomputed.
+  ///
+  /// The closure walks out-edges of already-assigned nodes, which in a
+  /// segmented store are the recently sealed / active segments — unlike
+  /// reassign_all() it does not fault evicted segments back in.
+  std::size_t repair(std::span<const graph::NodeId> dirty_roots);
+
   /// Replaces all assigner state with a table previously produced by
   /// ClockTable::save()/load(). The pool-id cache is invalidated (the
   /// restored table's timeline ids need not match the current store's

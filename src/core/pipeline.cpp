@@ -7,6 +7,7 @@
 #include "common/diag.h"
 #include "common/json.h"
 #include "core/validator.h"
+#include "graph/segment.h"
 #include "queue/fault.h"
 
 namespace horus {
@@ -458,6 +459,15 @@ bool Pipeline::all_committed() const {
          inter_deferred_->value() == 0;
 }
 
+std::string Pipeline::segment_report() const {
+  // When the store is segmented, a stuck drain's diagnostic names each
+  // shard's sealed/evicted/pending state — a worker wedged faulting a
+  // segment back in shows up as its shard, not as a generic stall.
+  const graph::SegmentManager* segments = graph_.store().segments();
+  if (segments == nullptr) return "";
+  return "; segment shards: " + segments->shard_report();
+}
+
 std::string Pipeline::stuck_partition_report() const {
   std::string out;
   auto scan = [&](const std::string& topic, const std::string& group_prefix,
@@ -520,7 +530,8 @@ bool Pipeline::drain() {
                " retried=" + std::to_string(retried_->value()) +
                " dead-lettered=" + std::to_string(dead_lettered_->value()) +
                " recoveries=" + std::to_string(recoveries_->value()) +
-               "; stuck partitions:" + stuck_partition_report());
+               "; stuck partitions:" + stuck_partition_report() +
+               segment_report());
       return false;
     }
     drain_cv_.wait_for(

@@ -202,6 +202,9 @@ class Pipeline {
   /// "topic[p] group=g committed=x end=y" for every partition whose group
   /// offset trails the log end (the drain-timeout diagnostic).
   [[nodiscard]] std::string stuck_partition_report() const;
+  /// Per-shard segment rollup for the same diagnostic; empty when the
+  /// store is monolithic.
+  [[nodiscard]] std::string segment_report() const;
   /// Wakes drain() after a worker commits offsets.
   void notify_commit_progress();
   [[nodiscard]] std::string wal_path(int index) const;

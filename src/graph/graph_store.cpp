@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "graph/segment.h"
+
 namespace horus::graph {
 
 namespace {
@@ -28,6 +30,59 @@ PropertyList::iterator bag_lower_bound(PropertyList& bag, PropKeyId key) {
       [](const auto& entry, PropKeyId k) { return entry.first < k; });
 }
 }  // namespace
+
+// Out of line: SegmentManager is an incomplete type in the header.
+GraphStore::GraphStore() = default;
+GraphStore::~GraphStore() = default;
+
+// ---------------------------------------------------------------------------
+// segmentation
+// ---------------------------------------------------------------------------
+
+SegmentManager& GraphStore::enable_segments(const SegmentOptions& options) {
+  const std::unique_lock lock(mutex_);
+  if (segments_ != nullptr) {
+    throw std::logic_error("graph: segments already enabled on this store");
+  }
+  segments_.reset(new SegmentManager(*this, options));
+  return *segments_;
+}
+
+bool GraphStore::payload_resident_locked(NodeId node) const {
+  return segments_ == nullptr || segments_->resident_for_locked(node);
+}
+
+void GraphStore::ensure_payload_resident(NodeId node) const {
+  if (segments_ == nullptr) return;
+  const std::unique_lock lock(mutex_);
+  if (node >= nodes_.size()) return;
+  segments_->ensure_resident_locked(node);
+}
+
+/// Shared-lock read helper with transparent fault-in: runs `fn` under a
+/// shared lock once `node`'s payload is resident. `column_key` short-circuits
+/// the residency check for reads satisfied by a dense column (columns never
+/// evict) so pruned query paths touching only clock columns do not fault
+/// evicted segments back in.
+template <typename Fn>
+decltype(auto) GraphStore::with_payload_locked(NodeId node,
+                                               PropKeyId column_key,
+                                               Fn&& fn) const {
+  for (;;) {
+    {
+      const std::shared_lock lock(mutex_);
+      if (node >= nodes_.size()) bad_node(node);
+      if (segments_ == nullptr ||
+          (column_key != kNoPropKey && columns_.contains(column_key)) ||
+          payload_resident_locked(node)) {
+        return fn();
+      }
+    }
+    // Evicted: upgrade to a unique lock, fault the segment in, retry (a
+    // concurrent evictor may race the re-acquisition).
+    ensure_payload_resident(node);
+  }
+}
 
 // ---------------------------------------------------------------------------
 // interning
@@ -298,6 +353,9 @@ NodeId GraphStore::add_node_locked(std::string_view label,
   for (auto& [key, value] : properties) {
     set_property_locked(id, key, std::move(value));
   }
+  // After the property loop: sealing (and a possible budget eviction) must
+  // only ever see fully-written nodes.
+  if (segments_ != nullptr) segments_->on_node_added_locked(id);
   return id;
 }
 
@@ -332,17 +390,25 @@ void GraphStore::add_edge(NodeId from, NodeId to, std::string_view type) {
   const std::unique_lock lock(mutex_);
   if (from >= nodes_.size()) bad_node(from);
   if (to >= nodes_.size()) bad_node(to);
+  if (segments_ != nullptr) {
+    // Both adjacency lists must be in memory before appending.
+    segments_->ensure_resident_locked(from);
+    segments_->ensure_resident_locked(to);
+  }
   const EdgeTypeId tid = intern_edge_type(type);
   nodes_[from].out.push_back(Edge{to, tid});
   nodes_[to].in.push_back(Edge{from, tid});
   ++edge_count_;
+  if (segments_ != nullptr) segments_->on_edge_added_locked(from, to);
 }
 
 void GraphStore::set_property(NodeId node, std::string_view key,
                               PropertyValue value) {
   const std::unique_lock lock(mutex_);
   if (node >= nodes_.size()) bad_node(node);
+  if (segments_ != nullptr) segments_->ensure_resident_locked(node);
   set_property_locked(node, intern_prop_key_locked(key), std::move(value));
+  if (segments_ != nullptr) segments_->on_property_write_locked(node);
 }
 
 void GraphStore::set_property(NodeId node, PropKeyId key, PropertyValue value) {
@@ -352,7 +418,9 @@ void GraphStore::set_property(NodeId node, PropKeyId key, PropertyValue value) {
     throw std::out_of_range("graph: unknown property key id " +
                             std::to_string(key));
   }
+  if (segments_ != nullptr) segments_->ensure_resident_locked(node);
   set_property_locked(node, key, std::move(value));
+  if (segments_ != nullptr) segments_->on_property_write_locked(node);
 }
 
 // ---------------------------------------------------------------------------
@@ -364,6 +432,10 @@ void GraphStore::create_index(std::string_view key) {
   const PropKeyId id = intern_prop_key_locked(key);
   auto [it, inserted] = hash_indexes_.try_emplace(id);
   if (!inserted) return;
+  // Backfill scans every bag; evicted segments must come back first.
+  if (segments_ != nullptr && !columns_.contains(id)) {
+    segments_->reload_all_locked();
+  }
   for (NodeId node = 0; node < nodes_.size(); ++node) {
     if (const PropertyValue* v = find_property_locked(node, id)) {
       it->second[*v].push_back(node);
@@ -379,6 +451,9 @@ void GraphStore::create_index(PropKeyId key) {
   }
   auto [it, inserted] = hash_indexes_.try_emplace(key);
   if (!inserted) return;
+  if (segments_ != nullptr && !columns_.contains(key)) {
+    segments_->reload_all_locked();
+  }
   for (NodeId node = 0; node < nodes_.size(); ++node) {
     if (const PropertyValue* v = find_property_locked(node, key)) {
       it->second[*v].push_back(node);
@@ -391,6 +466,9 @@ void GraphStore::create_ordered_index(std::string_view key) {
   const PropKeyId id = intern_prop_key_locked(key);
   auto [it, inserted] = ordered_indexes_.try_emplace(id);
   if (!inserted) return;
+  if (segments_ != nullptr && !columns_.contains(id)) {
+    segments_->reload_all_locked();
+  }
   for (NodeId node = 0; node < nodes_.size(); ++node) {
     if (const PropertyValue* v = find_property_locked(node, id)) {
       if (const auto* i = std::get_if<std::int64_t>(v)) {
@@ -408,6 +486,9 @@ void GraphStore::create_ordered_index(PropKeyId key) {
   }
   auto [it, inserted] = ordered_indexes_.try_emplace(key);
   if (!inserted) return;
+  if (segments_ != nullptr && !columns_.contains(key)) {
+    segments_->reload_all_locked();
+  }
   for (NodeId node = 0; node < nodes_.size(); ++node) {
     if (const PropertyValue* v = find_property_locked(node, key)) {
       if (const auto* i = std::get_if<std::int64_t>(v)) {
@@ -438,44 +519,49 @@ const std::string& GraphStore::node_label(NodeId node) const {
 }
 
 PropertyMap GraphStore::node_properties(NodeId node) const {
-  const std::shared_lock lock(mutex_);
-  if (node >= nodes_.size()) bad_node(node);
-  PropertyMap out;
-  for (auto& [key, value] : collect_properties_locked(node)) {
-    out.emplace(prop_keys_[key], std::move(value));
-  }
-  return out;
+  return with_payload_locked(node, kNoPropKey, [&] {
+    PropertyMap out;
+    for (auto& [key, value] : collect_properties_locked(node)) {
+      out.emplace(prop_keys_[key], std::move(value));
+    }
+    return out;
+  });
 }
 
 PropertyList GraphStore::node_property_list(NodeId node) const {
-  const std::shared_lock lock(mutex_);
-  if (node >= nodes_.size()) bad_node(node);
-  return collect_properties_locked(node);
+  return with_payload_locked(
+      node, kNoPropKey, [&] { return collect_properties_locked(node); });
 }
 
 PropertyValue GraphStore::property(NodeId node, std::string_view key) const {
-  const std::shared_lock lock(mutex_);
-  if (node >= nodes_.size()) bad_node(node);
-  auto it = prop_key_ids_.find(key);
-  if (it == prop_key_ids_.end()) return std::monostate{};
-  if (const PropertyValue* v = find_property_locked(node, it->second)) {
-    return *v;
+  PropKeyId id = kNoPropKey;
+  {
+    const std::shared_lock lock(mutex_);
+    auto it = prop_key_ids_.find(key);
+    if (it == prop_key_ids_.end()) {
+      if (node >= nodes_.size()) bad_node(node);
+      return std::monostate{};
+    }
+    id = it->second;
   }
-  return std::monostate{};
+  return with_payload_locked(node, id, [&]() -> PropertyValue {
+    if (const PropertyValue* v = find_property_locked(node, id)) return *v;
+    return std::monostate{};
+  });
 }
 
 const PropertyValue& GraphStore::property(NodeId node, PropKeyId key) const {
-  const std::shared_lock lock(mutex_);
-  if (node >= nodes_.size()) bad_node(node);
-  if (const PropertyValue* v = find_property_locked(node, key)) return *v;
-  return kNullValue;
+  return with_payload_locked(node, key, [&]() -> const PropertyValue& {
+    if (const PropertyValue* v = find_property_locked(node, key)) return *v;
+    return kNullValue;
+  });
 }
 
 PropertyValue GraphStore::property_snapshot(NodeId node, PropKeyId key) const {
-  const std::shared_lock lock(mutex_);
-  if (node >= nodes_.size()) bad_node(node);
-  if (const PropertyValue* v = find_property_locked(node, key)) return *v;
-  return std::monostate{};
+  return with_payload_locked(node, key, [&]() -> PropertyValue {
+    if (const PropertyValue* v = find_property_locked(node, key)) return *v;
+    return std::monostate{};
+  });
 }
 
 Int64ColumnView GraphStore::int64_column(PropKeyId key) const {
@@ -517,28 +603,32 @@ std::string GraphStore::interned_name(PropKeyId key,
 std::span<const Edge> GraphStore::out_edges(NodeId node) const {
   // Adjacency vectors are append-only and nodes_ never shrinks; the span
   // stays valid as long as no concurrent writer reallocates. Callers running
-  // queries against a quiesced store (the Horus read path) rely on this.
-  const std::shared_lock lock(mutex_);
-  if (node >= nodes_.size()) bad_node(node);
-  return nodes_[node].out;
+  // queries against a quiesced store (the Horus read path) rely on this;
+  // with segments enabled they additionally hold a SegmentManager::ReadHold
+  // so a concurrent evictor cannot free the vector under the span.
+  return with_payload_locked(node, kNoPropKey, [&]() -> std::span<const Edge> {
+    return nodes_[node].out;
+  });
 }
 
 std::span<const Edge> GraphStore::in_edges(NodeId node) const {
-  const std::shared_lock lock(mutex_);
-  if (node >= nodes_.size()) bad_node(node);
-  return nodes_[node].in;
+  return with_payload_locked(node, kNoPropKey, [&]() -> std::span<const Edge> {
+    return nodes_[node].in;
+  });
 }
 
 std::vector<Edge> GraphStore::out_edges_snapshot(NodeId node) const {
-  const std::shared_lock lock(mutex_);
-  if (node >= nodes_.size()) bad_node(node);
-  return nodes_[node].out;
+  return with_payload_locked(node, kNoPropKey,
+                             [&]() -> std::vector<Edge> {
+                               return nodes_[node].out;
+                             });
 }
 
 std::vector<Edge> GraphStore::in_edges_snapshot(NodeId node) const {
-  const std::shared_lock lock(mutex_);
-  if (node >= nodes_.size()) bad_node(node);
-  return nodes_[node].in;
+  return with_payload_locked(node, kNoPropKey,
+                             [&]() -> std::vector<Edge> {
+                               return nodes_[node].in;
+                             });
 }
 
 const std::string& GraphStore::edge_type_name(EdgeTypeId type) const {
@@ -572,16 +662,34 @@ std::vector<NodeId> GraphStore::all_nodes() const {
 
 std::vector<NodeId> GraphStore::find_nodes(std::string_view key,
                                            const PropertyValue& value) const {
-  const std::shared_lock lock(mutex_);
-  auto kit = prop_key_ids_.find(key);
-  if (kit == prop_key_ids_.end()) return {};
-  return find_nodes_locked(kit->second, value);
+  PropKeyId id = kNoPropKey;
+  {
+    const std::shared_lock lock(mutex_);
+    auto kit = prop_key_ids_.find(key);
+    if (kit == prop_key_ids_.end()) return {};
+    id = kit->second;
+  }
+  return find_nodes(id, value);
 }
 
 std::vector<NodeId> GraphStore::find_nodes(PropKeyId key,
                                            const PropertyValue& value) const {
-  const std::shared_lock lock(mutex_);
+  {
+    const std::shared_lock lock(mutex_);
+    if (key >= prop_keys_.size()) return {};
+    // Indexed lookups and column scans never touch evicted payloads.
+    if (segments_ == nullptr || hash_indexes_.contains(key) ||
+        columns_.contains(key)) {
+      return find_nodes_locked(key, value);
+    }
+  }
+  // Unindexed bag scan: every segment's bags must be in memory.
+  const std::unique_lock lock(mutex_);
   if (key >= prop_keys_.size()) return {};
+  if (segments_ != nullptr && !hash_indexes_.contains(key) &&
+      !columns_.contains(key)) {
+    segments_->reload_all_locked();
+  }
   return find_nodes_locked(key, value);
 }
 

@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <mutex>
 #include <shared_mutex>
@@ -36,6 +37,9 @@
 #include "graph/property.h"
 
 namespace horus::graph {
+
+class SegmentManager;
+struct SegmentOptions;
 
 /// Dense node identifier. Nodes are never deleted (an execution trace is
 /// append-only), so ids are stable.
@@ -127,13 +131,31 @@ class InternedColumnView {
 
 class GraphStore {
  public:
-  GraphStore() = default;
+  // Both out of line: SegmentManager is incomplete here and the defaulted
+  // bodies would instantiate its deleter.
+  GraphStore();
+  ~GraphStore();
 
-  // Non-copyable: the store can be large and holds index state.
+  // Non-copyable, non-movable: the store can be large, holds index state,
+  // and is back-referenced by its SegmentManager.
   GraphStore(const GraphStore&) = delete;
   GraphStore& operator=(const GraphStore&) = delete;
-  GraphStore(GraphStore&&) = default;
-  GraphStore& operator=(GraphStore&&) = default;
+  GraphStore(GraphStore&&) = delete;
+  GraphStore& operator=(GraphStore&&) = delete;
+
+  // ---- segmentation --------------------------------------------------------
+
+  /// Turns on segmented storage management (sealing, VC summaries, LRU
+  /// eviction — see graph/segment.h). Idempotent-hostile by design: call at
+  /// most once, before or after loading a snapshot; existing nodes are
+  /// carved into sealed segments plus an active tail.
+  SegmentManager& enable_segments(const SegmentOptions& options);
+
+  /// The manager, or nullptr when enable_segments was never called. Query
+  /// paths treat nullptr as "monolithic store, nothing to prune or evict".
+  [[nodiscard]] SegmentManager* segments() const noexcept {
+    return segments_.get();
+  }
 
   // ---- property-key interning ---------------------------------------------
 
@@ -274,6 +296,8 @@ class GraphStore {
   [[nodiscard]] bool has_ordered_index(PropKeyId key) const;
 
  private:
+  friend class SegmentManager;
+
   struct NodeRecord {
     std::uint32_t label = 0;  // interned label id
     PropertyList properties;  // cold keys only, sorted by PropKeyId
@@ -347,6 +371,25 @@ class GraphStore {
 
   using OrderedIndex = std::map<std::int64_t, std::vector<NodeId>>;
   std::unordered_map<PropKeyId, OrderedIndex> ordered_indexes_;
+
+  /// Present only after enable_segments(). The manager shares mutex_ and
+  /// receives write-path callbacks (node added, property write, edge added)
+  /// with the lock already held; read accessors fault evicted segments back
+  /// in before dereferencing node payloads.
+  std::unique_ptr<SegmentManager> segments_;
+
+  /// Shared-lock read helper: true when `node`'s payload is resident (or
+  /// segmentation is off). Readers seeing false must upgrade to a unique
+  /// lock and fault the segment in.
+  [[nodiscard]] bool payload_resident_locked(NodeId node) const;
+  /// Unique-lock fault-in of the segment owning `node` (no-op when off).
+  void ensure_payload_resident(NodeId node) const;
+  /// Runs `fn` under a shared lock with `node`'s payload guaranteed
+  /// resident, faulting its segment in first when needed. `column_key`
+  /// (when a declared column) bypasses the residency requirement.
+  template <typename Fn>
+  decltype(auto) with_payload_locked(NodeId node, PropKeyId column_key,
+                                     Fn&& fn) const;
 };
 
 }  // namespace horus::graph

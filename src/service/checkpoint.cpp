@@ -41,6 +41,147 @@ void write_file_atomic(const std::string& path, const std::string& content) {
   fs::rename(tmp, path);
 }
 
+/// Writes the per-segment graph bundle (see header): one CRC-trailered
+/// .hseg per segment plus graph_meta.json naming the boundaries. The
+/// caller holds the pipeline commit gate, so the layout cannot shift
+/// between list() and the per-segment writes.
+void write_segmented_graph(graph::SegmentManager& segments,
+                           const ExecutionGraph& graph, const fs::path& dir) {
+  fs::create_directories(dir / "segments");
+  Json seg_list = Json::array();
+  Json tail = Json();
+  for (const graph::SegmentInfo& info : segments.list()) {
+    const std::string file =
+        info.sealed ? "segments/seg-" + std::to_string(info.id) + ".hseg"
+                    : "segments/tail.hseg";
+    segments.write_segment_file(info.id, (dir / file).string());
+    Json entry = Json::object();
+    entry["id"] = static_cast<std::int64_t>(info.id);
+    entry["first"] = static_cast<std::int64_t>(info.first);
+    entry["count"] = static_cast<std::int64_t>(info.count);
+    entry["file"] = file;
+    if (info.sealed) {
+      seg_list.push_back(std::move(entry));
+    } else {
+      tail = std::move(entry);
+    }
+  }
+  Json meta = Json::object();
+  meta["format"] = "horus-segmented-graph";
+  meta["version"] = std::int64_t{1};
+  meta["nodes"] = static_cast<std::int64_t>(graph.store().node_count());
+  meta["edges"] = static_cast<std::int64_t>(graph.store().edge_count());
+  meta["segments"] = std::move(seg_list);
+  meta["tail"] = std::move(tail);
+  std::ofstream out(dir / "graph_meta.json", std::ios::trunc);
+  if (!out) throw HorusError("checkpoint: cannot write graph_meta.json");
+  out << meta.dump_pretty() << '\n';
+  out.flush();
+  if (!out) throw HorusError("checkpoint: write failed for graph_meta.json");
+}
+
+/// Loads a segmented epoch into the (empty) graph. Every file is parsed
+/// and CRC-verified up front; nodes are then added in id order and the
+/// out-edge replay follows — the same normalization the monolithic loader
+/// applies — so a segmented restore and a graph.hgraph restore of the same
+/// instant produce identical stores. Returns the sealed boundaries.
+std::vector<std::pair<graph::NodeId, std::uint32_t>> load_segmented_graph(
+    ExecutionGraph& graph, const fs::path& dir, const Json& meta) {
+  graph::GraphStore& store = graph.store();
+  if (store.node_count() != 0) {
+    throw std::logic_error("checkpoint: segmented restore target must be empty");
+  }
+
+  std::vector<std::pair<graph::NodeId, std::uint32_t>> sealed;
+  std::vector<graph::ParsedSegmentFile> files;
+  std::int64_t meta_nodes = 0;
+  std::int64_t meta_edges = 0;
+  try {
+    if (meta.get_or("format", std::string{}) != "horus-segmented-graph") {
+      throw HorusError("checkpoint: graph_meta.json is not a segmented bundle");
+    }
+    meta_nodes = meta.at("nodes").as_int();
+    meta_edges = meta.at("edges").as_int();
+    const auto load_entry = [&](const Json& entry, bool is_sealed) {
+      graph::ParsedSegmentFile file = graph::read_segment_file(
+          (dir / entry.at("file").as_string()).string());
+      const auto first = static_cast<graph::NodeId>(entry.at("first").as_int());
+      const auto count =
+          static_cast<std::uint32_t>(entry.at("count").as_int());
+      if (file.first != first || file.count != count) {
+        throw HorusError("checkpoint: segment file " +
+                         entry.at("file").as_string() +
+                         " disagrees with graph_meta.json boundaries");
+      }
+      if (is_sealed) sealed.emplace_back(first, count);
+      files.push_back(std::move(file));
+    };
+    for (const Json& entry : meta.at("segments").as_array()) {
+      load_entry(entry, /*is_sealed=*/true);
+    }
+    load_entry(meta.at("tail"), /*is_sealed=*/false);
+  } catch (const HorusError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw HorusError(std::string("checkpoint: malformed graph_meta.json (") +
+                     e.what() + ")");
+  }
+
+  graph::NodeId expect = 0;
+  for (const graph::ParsedSegmentFile& file : files) {
+    if (file.first != expect) {
+      throw HorusError("checkpoint: segment files do not tile the node space");
+    }
+    expect += file.count;
+  }
+  if (static_cast<std::int64_t>(expect) != meta_nodes) {
+    throw HorusError("checkpoint: segment node total disagrees with manifest");
+  }
+
+  // Phase A: nodes, in id order, mapping each file's key table onto the
+  // store's interned ids.
+  for (const graph::ParsedSegmentFile& file : files) {
+    std::vector<graph::PropKeyId> key_map;
+    key_map.reserve(file.keys.size());
+    for (const std::string& name : file.keys) {
+      key_map.push_back(store.intern_prop_key(name));
+    }
+    for (const graph::ParsedSegmentNode& node : file.nodes) {
+      graph::PropertyList props;
+      props.reserve(node.props.size());
+      for (const auto& [idx, value] : node.props) {
+        props.emplace_back(key_map[idx], value);
+      }
+      const graph::NodeId assigned =
+          store.add_node_typed(node.label, std::move(props));
+      if (assigned != node.id) {
+        throw HorusError("checkpoint: segment node ids are not dense");
+      }
+    }
+  }
+
+  // Phase B: out-edge replay (cross-segment edges need every node present).
+  std::size_t edges = 0;
+  const auto n = static_cast<graph::NodeId>(store.node_count());
+  for (const graph::ParsedSegmentFile& file : files) {
+    for (const graph::ParsedSegmentNode& node : file.nodes) {
+      for (const auto& [to, type_idx] : node.out) {
+        if (to >= n) {
+          throw HorusError("checkpoint: segment edge endpoint out of range");
+        }
+        store.add_edge(node.id, to, file.edge_types[type_idx]);
+        ++edges;
+      }
+    }
+  }
+  if (static_cast<std::int64_t>(edges) != meta_edges) {
+    throw HorusError("checkpoint: segment edge total disagrees with manifest");
+  }
+
+  graph.reindex_loaded_store();
+  return sealed;
+}
+
 }  // namespace
 
 CheckpointStore::CheckpointStore(CheckpointOptions options)
@@ -86,7 +227,11 @@ CheckpointInfo CheckpointStore::write(
   fs::remove_all(tmp_dir);
   fs::create_directories(tmp_dir);
 
-  graph.save((tmp_dir / "graph.hgraph").string());
+  if (graph::SegmentManager* segments = graph.store().segments()) {
+    write_segmented_graph(*segments, graph, tmp_dir);
+  } else {
+    graph.save((tmp_dir / "graph.hgraph").string());
+  }
 
   {
     std::ofstream out(tmp_dir / "clocks.bin",
@@ -193,10 +338,21 @@ CheckpointStore::Restored CheckpointStore::restore(
   }
   const fs::path dir(info->path);
 
-  graph.load((dir / "graph.hgraph").string());
-
   Restored restored;
   restored.epoch = info->epoch;
+  const fs::path meta_path = dir / "graph_meta.json";
+  if (fs::exists(meta_path)) {
+    Json meta;
+    try {
+      meta = Json::parse(read_file(meta_path.string()));
+    } catch (const std::exception& e) {
+      throw HorusError(std::string("checkpoint: corrupt graph_meta.json (") +
+                       e.what() + ")");
+    }
+    restored.sealed_segments = load_segmented_graph(graph, dir, meta);
+  } else {
+    graph.load((dir / "graph.hgraph").string());
+  }
   {
     std::ifstream in(dir / "clocks.bin", std::ios::binary);
     if (!in) {

@@ -23,6 +23,16 @@
 // would lose the pair: its first half is before the checkpointed offsets
 // (not replayed) and no longer in the WAL. The copy frozen at gate time is
 // the only WAL consistent with the checkpointed offsets.
+//
+// Segmented graphs: when the graph's store is segmented (graph/segment.h),
+// the graph snapshot is written per segment instead of as one monolithic
+// file — segments/seg-<id>.hseg for every sealed segment (an evicted
+// segment's clean spill file is byte-copied, so cold segments never fault
+// in just to checkpoint), segments/tail.hseg for the active tail, and
+// graph_meta.json naming the boundaries. Restore replays the files in id
+// order (nodes, then out-edges — the same normalization the monolithic
+// loader applies) and reports the sealed boundaries so the service can
+// re-adopt them; only the unsealed tail ever re-runs the write path.
 #pragma once
 
 #include <cstdint>
@@ -32,6 +42,7 @@
 
 #include "core/execution_graph.h"
 #include "core/logical_clocks.h"
+#include "graph/segment.h"
 #include "queue/broker.h"
 
 namespace horus::service {
@@ -67,6 +78,11 @@ class CheckpointStore {
     std::uint64_t epoch = 0;
     ClockTable clocks;
     std::vector<queue::Broker::CommittedOffset> offsets;
+    /// Sealed-segment boundaries (first node id, node count) of a segmented
+    /// checkpoint, in id order; empty when the epoch was monolithic. The
+    /// service hands these to SegmentManager::adopt_sealed so the restored
+    /// incarnation's segment layout matches the checkpointed one exactly.
+    std::vector<std::pair<graph::NodeId, std::uint32_t>> sealed_segments;
   };
 
   /// Loads the published epoch: the graph snapshot into `graph` (must be

@@ -27,12 +27,19 @@ OverloadLevel OverloadController::evaluate(const Signals& signals) {
       "horus_service_overload_escalations_total",
       "Times the controller stepped the degradation level up");
 
-  const bool hot = signals.ingest_backlog >= thresholds_.backlog_high ||
-                   signals.arena_bytes >= thresholds_.arena_bytes_high ||
-                   signals.query_p99_seconds >= thresholds_.p99_high_seconds;
-  const bool calm = signals.ingest_backlog < thresholds_.backlog_low &&
-                    signals.arena_bytes < thresholds_.arena_bytes_low &&
-                    signals.query_p99_seconds < thresholds_.p99_low_seconds;
+  const bool resident_enabled = thresholds_.resident_bytes_high > 0;
+  const bool hot =
+      signals.ingest_backlog >= thresholds_.backlog_high ||
+      signals.arena_bytes >= thresholds_.arena_bytes_high ||
+      signals.query_p99_seconds >= thresholds_.p99_high_seconds ||
+      (resident_enabled &&
+       signals.graph_resident_bytes >= thresholds_.resident_bytes_high);
+  const bool calm =
+      signals.ingest_backlog < thresholds_.backlog_low &&
+      signals.arena_bytes < thresholds_.arena_bytes_low &&
+      signals.query_p99_seconds < thresholds_.p99_low_seconds &&
+      (!resident_enabled ||
+       signals.graph_resident_bytes < thresholds_.resident_bytes_low);
 
   if (hot) {
     calm_streak_ = 0;
@@ -44,7 +51,9 @@ OverloadLevel OverloadController::evaluate(const Signals& signals) {
            std::string("overload: escalating to ") + to_string(level_) +
                " (backlog=" + std::to_string(signals.ingest_backlog) +
                " arena=" + std::to_string(signals.arena_bytes) +
-               " p99=" + std::to_string(signals.query_p99_seconds) + "s)");
+               " p99=" + std::to_string(signals.query_p99_seconds) +
+               "s resident=" + std::to_string(signals.graph_resident_bytes) +
+               ")");
     }
   } else if (calm && level_ != OverloadLevel::kNormal) {
     if (++calm_streak_ >= thresholds_.recover_after) {

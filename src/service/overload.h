@@ -50,6 +50,11 @@ struct OverloadThresholds {
   std::int64_t arena_bytes_low = 128LL << 20;
   double p99_high_seconds = 0.5;
   double p99_low_seconds = 0.1;
+  /// Resident graph-segment payload (fed on segmented stores, after the
+  /// supervisor's budget eviction pass — sustained excess means eviction
+  /// cannot keep up). 0 disables the signal.
+  std::int64_t resident_bytes_high = 0;
+  std::int64_t resident_bytes_low = 0;
   /// Consecutive all-calm evaluations required before stepping down.
   int recover_after = 3;
 };
@@ -64,6 +69,8 @@ class OverloadController {
     std::uint64_t ingest_backlog = 0;
     std::int64_t arena_bytes = 0;
     double query_p99_seconds = 0.0;
+    /// Resident sealed-segment payload bytes (0 on monolithic stores).
+    std::int64_t graph_resident_bytes = 0;
   };
 
   /// One evaluation step (see file comment); returns the new level.

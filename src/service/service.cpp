@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/diag.h"
+#include "core/segment_clocks.h"
 
 namespace horus::service {
 
@@ -20,6 +21,16 @@ ServiceOptions patched(ServiceOptions options) {
   // The daemon owns its durable state layout: WAL under <data_dir>/wal so
   // the checkpoint store can freeze/restore it next to the epochs.
   options.pipeline.wal_dir = options.data_dir + "/wal";
+  // A residency budget implies the overload signal: degrade when eviction
+  // cannot hold residency anywhere near the budget (pins, held reads, or a
+  // tail outgrowing it), recover once it is back within 2x.
+  if (options.segment_budget_bytes > 0 &&
+      options.thresholds.resident_bytes_high <= 0) {
+    options.thresholds.resident_bytes_high =
+        static_cast<std::int64_t>(options.segment_budget_bytes) * 4;
+    options.thresholds.resident_bytes_low =
+        static_cast<std::int64_t>(options.segment_budget_bytes) * 2;
+  }
   return options;
 }
 
@@ -76,6 +87,15 @@ void HorusService::start(TrafficSource source) {
     broker_.reset_group_offsets("horus-");
     broker_.seek_offsets(restored.offsets);
     restored_epoch_ = restored.epoch;
+    setup_segments(restored.sealed_segments);
+    if (graph_.store().segments() != nullptr) {
+      // Adopted segments come back summary-stale; build from the restored
+      // clocks now so pruning is live before the first assignment pass.
+      daemon_.with_clocks([this](const ClockTable& clocks) {
+        return update_segment_summaries(graph_.store(), clocks,
+                                        /*force=*/true);
+      });
+    }
     diag(DiagLevel::kInfo, "service",
          "restored checkpoint epoch " + std::to_string(restored.epoch) +
              " (" + std::to_string(graph_.event_count()) +
@@ -91,6 +111,7 @@ void HorusService::start(TrafficSource source) {
         if (name.rfind("inter-", 0) == 0) fs::remove(entry.path());
       }
     }
+    setup_segments({});
   }
 
   pipeline_.start();
@@ -118,6 +139,12 @@ void HorusService::stop() {
   } catch (const std::exception& e) {
     diag(DiagLevel::kError, "service",
          std::string("final checkpoint failed: ") + e.what());
+  }
+  // Park within the resident budget: the final flush/tick/checkpoint ran
+  // after the supervisor loop joined, so whatever they faulted in would
+  // otherwise stay resident for the life of the stopped daemon.
+  if (graph::SegmentManager* segments = graph_.store().segments()) {
+    segments->evict_to_budget();
   }
 }
 
@@ -213,6 +240,31 @@ QueryLimits HorusService::current_limits() const {
              : options_.default_limits;
 }
 
+graph::SegmentOptions HorusService::segment_options() const {
+  graph::SegmentOptions seg;
+  seg.nodes_per_segment = options_.segment_nodes;
+  seg.shard_count = options_.segment_shards;
+  seg.spill_dir = options_.data_dir + "/segments";
+  seg.resident_budget_bytes = options_.segment_budget_bytes;
+  return seg;
+}
+
+void HorusService::setup_segments(
+    const std::vector<std::pair<graph::NodeId, std::uint32_t>>& sealed) {
+  if (options_.segment_nodes == 0) return;
+  if (graph_.store().segments() != nullptr) return;  // externally enabled
+  graph::SegmentOptions seg = segment_options();
+  if (!sealed.empty()) {
+    // Adopt the restored checkpoint's exact boundaries: epoch-sealed
+    // segments can be shorter than nodes_per_segment, so carving by size
+    // would mislabel them.
+    seg.carve_existing = false;
+    enable_segments(graph_, seg).adopt_sealed(sealed);
+  } else {
+    enable_segments(graph_, seg);
+  }
+}
+
 bool HorusService::happens_before(const Session&, graph::NodeId a,
                                   graph::NodeId b) const {
   const obs::Timer timer(*query_seconds_);
@@ -283,6 +335,14 @@ void HorusService::supervisor_loop() {
     OverloadController::Signals signals;
     signals.ingest_backlog = pipeline_.backlog();
     signals.arena_bytes = arena_bytes.value();
+    if (graph::SegmentManager* segments = graph_.store().segments()) {
+      // Enforce the residency budget first, then report what eviction
+      // could not release (pinned/held/tail payload) — sustained excess is
+      // the signal the controller should degrade on.
+      segments->evict_to_budget();
+      signals.graph_resident_bytes =
+          static_cast<std::int64_t>(segments->resident_bytes());
+    }
     signals.query_p99_seconds =
         obs::histogram_quantile(*query_seconds_, 0.99, window_start);
     window_start = obs::snapshot(*query_seconds_);

@@ -44,6 +44,7 @@
 #include "common/thread_pool.h"
 #include "core/clock_daemon.h"
 #include "core/pipeline.h"
+#include "graph/segment.h"
 #include "event/event.h"
 #include "queue/broker.h"
 #include "service/checkpoint.h"
@@ -79,6 +80,19 @@ struct ServiceOptions {
 
   OverloadThresholds thresholds;
   int checkpoint_keep_epochs = 2;
+
+  /// Segmented graph storage (graph/segment.h): 0 keeps the monolithic
+  /// store. When set, the store seals immutable segments of this many
+  /// nodes, spills evictions under <data_dir>/segments, checkpoints per
+  /// segment, and restore adopts the checkpointed boundaries — only the
+  /// unsealed tail ever replays through the write path.
+  std::uint32_t segment_nodes = 0;
+  std::size_t segment_shards = 4;
+  /// LRU-evict sealed segments once resident payload exceeds this budget
+  /// (0 = never evict). Enforced on seal and by the supervisor loop, whose
+  /// post-eviction residency also feeds the overload controller's
+  /// graph_resident_bytes signal.
+  std::size_t segment_budget_bytes = 0;
 };
 
 class HorusService {
@@ -184,6 +198,12 @@ class HorusService {
   /// Interruptible sleep: returns early (false) when shutdown starts.
   bool sleep_unless_stopping(int ms);
   [[nodiscard]] QueryLimits current_limits() const;
+  [[nodiscard]] graph::SegmentOptions segment_options() const;
+  /// Enables segmentation per ServiceOptions (no-op when segment_nodes is 0
+  /// or the store is already segmented). `sealed` non-empty adopts a
+  /// restored checkpoint's boundaries instead of carving.
+  void setup_segments(
+      const std::vector<std::pair<graph::NodeId, std::uint32_t>>& sealed);
 
   queue::Broker& broker_;
   ExecutionGraph& graph_;

@@ -33,6 +33,8 @@ namespace {
 namespace fs = std::filesystem;
 
 constexpr int kSeeds = 50;
+/// Kill points of the segmented sweep (ISSUE: >= 25 seeded kill points).
+constexpr int kSegmentedSeeds = 30;
 
 struct EdgeTriple {
   std::uint64_t from;
@@ -72,7 +74,15 @@ std::map<std::string, std::int32_t> canonical_vc(const ClockTable& clocks,
   return canonical;
 }
 
-service::ServiceOptions service_options(const std::string& data_dir) {
+/// Segment knobs shared by both daemon incarnations of a seed run.
+/// segment_nodes == 0 keeps the monolithic store (the original sweep).
+struct SegmentKnobs {
+  std::uint32_t segment_nodes = 0;
+  std::size_t budget_bytes = 0;
+};
+
+service::ServiceOptions service_options(const std::string& data_dir,
+                                        const SegmentKnobs& knobs = {}) {
   service::ServiceOptions options;
   options.data_dir = data_dir;
   options.pipeline.partitions = 3;
@@ -84,11 +94,14 @@ service::ServiceOptions service_options(const std::string& data_dir) {
   // The checkpoint under test is the explicit seed-derived one; the
   // periodic loop must not add nondeterministic extra epochs.
   options.checkpoint_interval_ms = 3'600'000;
+  options.segment_nodes = knobs.segment_nodes;
+  options.segment_shards = 3;
+  options.segment_budget_bytes = knobs.budget_bytes;
   return options;
 }
 
 /// One seeded kill/restart cycle; returns through gtest assertions.
-void run_seed(std::uint64_t seed) {
+void run_seed(std::uint64_t seed, const SegmentKnobs& knobs = {}) {
   SCOPED_TRACE("seed " + std::to_string(seed));
 
   gen::TopologyOptions topo;
@@ -126,7 +139,7 @@ void run_seed(std::uint64_t seed) {
   {
     ExecutionGraph first_graph;
     service::HorusService daemon(broker, first_graph,
-                                 service_options(data_dir));
+                                 service_options(data_dir, knobs));
     daemon.start();
     for (std::size_t i = 0; i < kill_at; ++i) {
       if (ckpt_at != 0 && i == ckpt_at) daemon.checkpoint_now();
@@ -136,9 +149,15 @@ void run_seed(std::uint64_t seed) {
   }
 
   ExecutionGraph graph;
-  service::HorusService daemon(broker, graph, service_options(data_dir));
+  service::HorusService daemon(broker, graph,
+                               service_options(data_dir, knobs));
   daemon.start();  // restore (if checkpointed) + replay the queue window
   EXPECT_EQ(daemon.restored_from_checkpoint(), ckpt_at != 0);
+  if (knobs.segment_nodes != 0) {
+    // The restored incarnation runs segmented too — a segmented checkpoint
+    // must have been adopted (or a cold start carved on enable).
+    ASSERT_NE(graph.store().segments(), nullptr);
+  }
   for (std::size_t i = kill_at; i < events.size(); ++i) {
     daemon.publish(events[i]);
   }
@@ -196,6 +215,24 @@ TEST(ServiceRecoveryTest, RestoredGraphConvergesAcrossFiftyKillPoints) {
     run_seed(static_cast<std::uint64_t>(seed));
     if (::testing::Test::HasFatalFailure()) {
       FAIL() << "aborting the sweep at seed " << seed;
+    }
+  }
+}
+
+// The same convergence sweep with segmented storage on in both daemon
+// incarnations: small segments so every run seals several, and a tiny
+// resident budget so the supervisor evicts under ingest — the checkpoint
+// must capture evicted segments off their clean spills and the restore
+// must adopt the checkpointed boundaries, all while staying node-, edge-,
+// VC- and hb-identical to the fault-free reference.
+TEST(ServiceRecoveryTest, SegmentedSweepConvergesAcrossKillPoints) {
+  SegmentKnobs knobs;
+  knobs.segment_nodes = 64;
+  knobs.budget_bytes = 16 << 10;  // forces eviction on every seed
+  for (int seed = 1; seed <= kSegmentedSeeds; ++seed) {
+    run_seed(static_cast<std::uint64_t>(seed), knobs);
+    if (::testing::Test::HasFatalFailure()) {
+      FAIL() << "aborting the segmented sweep at seed " << seed;
     }
   }
 }

@@ -61,6 +61,7 @@
 #include "common/shutdown.h"
 #include "core/horus.h"
 #include "core/pipeline.h"
+#include "core/segment_clocks.h"
 #include "core/validator.h"
 #include "queue/broker.h"
 #include "queue/fault.h"
@@ -189,8 +190,11 @@ int usage() {
                        [--fault-duplicate P] [--fault-redeliver P]
                        [--fault-stall P]]
   horus_cli stats     --graph FILE [--metrics text|json|both|none]
+                      [--segment-nodes N [--shards N]]
                       (dumps the graph summary plus the process metrics
-                       registry; default --metrics both)
+                       registry; default --metrics both. --segment-nodes
+                       carves the graph into sealed segments and prints the
+                       per-segment table and per-shard rollup)
   horus_cli validate  --graph FILE
   horus_cli query     --graph FILE [--threads N] [--profile]
                       [--deadline-ms N] [--max-rows N] [--max-visited N]
@@ -213,10 +217,15 @@ int usage() {
   horus_cli serve     --data-dir DIR [--seed N] [--duration-s N]
                       [--partitions N] [--intra N] [--inter N]
                       [--checkpoint-ms N] [--requests N] [--out FILE]
+                      [--segment-nodes N] [--segment-shards N]
+                      [--segment-budget-mb N]
                       (horusd: continuous ingestion with periodic atomic
                        checkpoints; runs until --duration-s or SIGINT/
                        SIGTERM, then a graceful final checkpoint; restarting
-                       over the same --data-dir restores and replays)
+                       over the same --data-dir restores and replays.
+                       --segment-nodes seals the graph into immutable
+                       segments, checkpointed individually; the budget
+                       LRU-evicts cold segments to bound resident memory)
 )");
   return 2;
 }
@@ -399,6 +408,34 @@ int cmd_stats(const Args& args) {
               assigner->clocks().timeline_count());
   for (const auto& [label, count] : by_label) {
     std::printf("  %-8s %zu\n", label.c_str(), count);
+  }
+
+  // --segment-nodes N carves the loaded graph into sealed segments and
+  // dumps the per-segment table plus the per-shard rollup — the same view
+  // horusd reports from its live store.
+  if (args.has("segment-nodes")) {
+    graph::SegmentOptions seg_options;
+    seg_options.nodes_per_segment = static_cast<std::uint32_t>(
+        args.get_int_in("segment-nodes", 4096, 1, 1 << 24));
+    seg_options.shard_count = static_cast<std::size_t>(
+        args.get_int_in("shards", 4, 1, 1024));
+    graph::SegmentManager& segments = enable_segments(*graph, seg_options);
+    update_segment_summaries(graph->store(), assigner->clocks());
+    std::printf("segments: %zu (%zu sealed, %zu evicted)\n",
+                segments.segment_count(), segments.sealed_count(),
+                segments.evicted_count());
+    std::printf("  %-5s %-10s %-8s %-6s %-9s %-8s %-8s %s\n", "seg", "first",
+                "nodes", "shard", "state", "summary", "pins", "bytes");
+    for (const graph::SegmentInfo& info : segments.list()) {
+      std::printf("  %-5u %-10u %-8u %-6zu %-9s %-8s %-8d %zu\n", info.id,
+                  info.first, info.count, info.shard,
+                  !info.sealed ? "active"
+                  : info.resident ? "sealed"
+                                  : "evicted",
+                  info.summary_fresh ? "fresh" : "stale", info.pins,
+                  info.payload_bytes);
+    }
+    std::printf("%s", segments.shard_report().c_str());
   }
 
   // Mirror the loaded graph into the registry so the dump always carries
@@ -596,6 +633,14 @@ int cmd_serve(const Args& args) {
   options.pipeline.relationship_flush_interval_ms = 15;
   options.checkpoint_interval_ms = static_cast<int>(
       args.get_int_in("checkpoint-ms", 500, 1, 3'600'000));
+  options.segment_nodes = static_cast<std::uint32_t>(
+      args.get_int_in("segment-nodes", 0, 0, 1 << 24));
+  options.segment_shards = static_cast<std::size_t>(
+      args.get_int_in("segment-shards", 4, 1, 1024));
+  options.segment_budget_bytes =
+      static_cast<std::size_t>(
+          args.get_int_in("segment-budget-mb", 0, 0, 1 << 20))
+      << 20;
 
   queue::Broker broker;
   ExecutionGraph graph;
@@ -653,6 +698,24 @@ int cmd_serve(const Args& args) {
       static_cast<unsigned long long>(daemon.events_ingested()),
       graph.store().node_count(), graph.store().edge_count(),
       service::to_string(daemon.overload_level()));
+  if (const graph::SegmentManager* segments = graph.store().segments()) {
+    std::printf("horusd: segments=%zu sealed=%zu evicted=%zu "
+                "resident-bytes=%zu\n%s",
+                segments->segment_count(), segments->sealed_count(),
+                segments->evicted_count(), segments->resident_bytes(),
+                segments->shard_report().c_str());
+    // Churn counters: reloads ~ evictions means the budget is thrashing
+    // (something keeps faulting spilled segments back in); heals fault the
+    // whole graph in by design (reassign_all walks every edge).
+    obs::Registry& metrics = obs::Registry::global();
+    std::printf(
+        "horusd: segment-churn evictions=%llu reloads=%llu clock-heals=%llu\n",
+        static_cast<unsigned long long>(
+            metrics.counter("horus_graph_segment_evictions_total", "").value()),
+        static_cast<unsigned long long>(
+            metrics.counter("horus_graph_segment_reloads_total", "").value()),
+        static_cast<unsigned long long>(daemon.clock_daemon().heals()));
+  }
   if (args.has("out")) {
     LogicalClockAssigner assigner(
         graph, LogicalClockAssigner::Options{.write_lamport_property = true});
