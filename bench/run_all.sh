@@ -34,7 +34,7 @@ if [ "$expect_threads" = 1 ]; then
   exit 2
 fi
 
-benches="fig5_throughput fig6_logical_time fig7_q1 fig8_q2 table1_event_mix ablations encoders chaos service segments"
+benches="fig5_throughput fig6_logical_time fig7_q1 fig8_q2 table1_event_mix ablations encoders chaos service segments query_scan"
 
 status=0
 for name in $benches; do
@@ -56,6 +56,17 @@ for name in $benches; do
   if ! grep -q '"metrics"' "$out"; then
     echo "FAILED: bench_$name produced $out without a \"metrics\" snapshot" >&2
     status=1
+  fi
+  # query_scan is a paired A/B benchmark: a report missing either arm means
+  # the planner toggle silently stopped measuring.
+  if [ "$name" = "query_scan" ]; then
+    for arm in on off; do
+      if ! grep -q "\"planner\": *\"$arm\"" "$out" && \
+         ! grep -q "\"planner\":\"$arm\"" "$out"; then
+        echo "FAILED: bench_query_scan produced $out without planner=$arm rows" >&2
+        status=1
+      fi
+    done
   fi
 done
 exit $status

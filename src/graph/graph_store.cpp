@@ -762,4 +762,70 @@ bool GraphStore::has_ordered_index(PropKeyId key) const {
   return ordered_indexes_.contains(key);
 }
 
+std::optional<std::uint32_t> GraphStore::label_id(
+    std::string_view label) const {
+  const std::shared_lock lock(mutex_);
+  auto lit = label_ids_.find(label);
+  if (lit == label_ids_.end()) return std::nullopt;
+  return lit->second;
+}
+
+std::uint32_t GraphStore::node_label_id(NodeId node) const {
+  const std::shared_lock lock(mutex_);
+  return nodes_.at(node).label;
+}
+
+std::size_t GraphStore::label_count(std::string_view label) const {
+  const std::shared_lock lock(mutex_);
+  auto lit = label_ids_.find(label);
+  if (lit == label_ids_.end()) return 0;
+  auto iit = label_index_.find(lit->second);
+  return iit == label_index_.end() ? 0 : iit->second.size();
+}
+
+bool GraphStore::has_index(PropKeyId key) const {
+  const std::shared_lock lock(mutex_);
+  return hash_indexes_.contains(key);
+}
+
+std::optional<std::size_t> GraphStore::index_count(
+    PropKeyId key, const PropertyValue& value) const {
+  const std::shared_lock lock(mutex_);
+  auto hit = hash_indexes_.find(key);
+  if (hit == hash_indexes_.end()) return std::nullopt;
+  auto vit = hit->second.find(value);
+  return vit == hit->second.end() ? 0 : vit->second.size();
+}
+
+std::optional<GraphStore::OrderedIndexStats> GraphStore::ordered_index_stats(
+    PropKeyId key) const {
+  const std::shared_lock lock(mutex_);
+  auto oit = ordered_indexes_.find(key);
+  if (oit == ordered_indexes_.end() || oit->second.empty()) {
+    return std::nullopt;
+  }
+  OrderedIndexStats stats;
+  stats.min_value = oit->second.begin()->first;
+  stats.max_value = oit->second.rbegin()->first;
+  stats.distinct_keys = oit->second.size();
+  return stats;
+}
+
+std::optional<std::uint32_t> GraphStore::interned_value_id(
+    PropKeyId key, std::string_view value) const {
+  const std::shared_lock lock(mutex_);
+  auto cit = columns_.find(key);
+  if (cit == columns_.end() || !cit->second.interned) return std::nullopt;
+  auto pit = cit->second.pool_ids.find(value);
+  if (pit == cit->second.pool_ids.end()) return std::nullopt;
+  return pit->second;
+}
+
+std::size_t GraphStore::interned_distinct(PropKeyId key) const {
+  const std::shared_lock lock(mutex_);
+  auto cit = columns_.find(key);
+  if (cit == columns_.end() || !cit->second.interned) return 0;
+  return cit->second.pool.size();
+}
+
 }  // namespace horus::graph

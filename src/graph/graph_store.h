@@ -295,6 +295,50 @@ class GraphStore {
   [[nodiscard]] bool has_ordered_index(std::string_view key) const;
   [[nodiscard]] bool has_ordered_index(PropKeyId key) const;
 
+  // ---- column statistics (query planner) -----------------------------------
+
+  /// Interned id of a label name, or nullopt when no node ever carried it.
+  [[nodiscard]] std::optional<std::uint32_t> label_id(
+      std::string_view label) const;
+
+  /// Interned label id of a node (pairs with label_id: checking a batch of
+  /// candidates against one label is an integer compare per node).
+  [[nodiscard]] std::uint32_t node_label_id(NodeId node) const;
+
+  /// Number of nodes carrying `label` (0 when unknown).
+  [[nodiscard]] std::size_t label_count(std::string_view label) const;
+
+  /// True if a hash index exists on `key`.
+  [[nodiscard]] bool has_index(PropKeyId key) const;
+
+  /// Exact size of the hash-index bucket for (key, value) — the planner's
+  /// cardinality estimate for an equality scan. nullopt when `key` has no
+  /// hash index.
+  [[nodiscard]] std::optional<std::size_t> index_count(
+      PropKeyId key, const PropertyValue& value) const;
+
+  /// O(1) summary of an ordered index, for range-selectivity estimation.
+  struct OrderedIndexStats {
+    std::int64_t min_value = 0;
+    std::int64_t max_value = 0;
+    std::size_t distinct_keys = 0;
+  };
+  /// Stats of the ordered index on `key`; nullopt when there is no ordered
+  /// index or it is empty.
+  [[nodiscard]] std::optional<OrderedIndexStats> ordered_index_stats(
+      PropKeyId key) const;
+
+  /// Pool id of `value` in an interned column, or nullopt when `key` is not
+  /// an interned column or the value was never stored under it. Batch
+  /// equality against the constant is then an integer compare per node
+  /// (interned_column), with no string access at all.
+  [[nodiscard]] std::optional<std::uint32_t> interned_value_id(
+      PropKeyId key, std::string_view value) const;
+
+  /// Distinct-value count of an interned column (0 when not interned) —
+  /// the planner's 1/distinct equality selectivity.
+  [[nodiscard]] std::size_t interned_distinct(PropKeyId key) const;
+
  private:
   friend class SegmentManager;
 

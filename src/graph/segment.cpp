@@ -1108,14 +1108,21 @@ SegmentManager::summary_range(SegmentId seg, PropKeyId key) const {
 
 std::vector<std::pair<NodeId, NodeId>> SegmentManager::equality_scan_ranges(
     PropKeyId key, std::int64_t value) const {
+  return scan_ranges(key, value, value);
+}
+
+std::vector<std::pair<NodeId, NodeId>> SegmentManager::scan_ranges(
+    PropKeyId key, std::int64_t lo, std::int64_t hi,
+    std::size_t* skipped_out) const {
   const std::shared_lock lock(store_.mutex_);
   const auto n = static_cast<NodeId>(store_.nodes_.size());
   std::vector<std::pair<NodeId, NodeId>> ranges;
+  if (skipped_out != nullptr) *skipped_out = 0;
   const bool summarised =
       pruning_enabled() && key != kNoPropKey &&
       (key == options_.lamport_key || key == options_.timestamp_key);
-  if (!summarised) {
-    if (n > 0) ranges.emplace_back(0, n);
+  if (!summarised || lo > hi) {
+    if (!summarised && n > 0) ranges.emplace_back(0, n);
     return ranges;
   }
   std::size_t skipped = 0;
@@ -1126,13 +1133,13 @@ std::vector<std::pair<NodeId, NodeId>> SegmentManager::equality_scan_ranges(
     if (s.sealed && s.summary.fresh) {
       const bool has = key == options_.lamport_key ? s.summary.has_lamport
                                                    : s.summary.has_timestamp;
-      const std::int64_t lo = key == options_.lamport_key
-                                  ? s.summary.lamport_min
-                                  : s.summary.ts_min;
-      const std::int64_t hi = key == options_.lamport_key
-                                  ? s.summary.lamport_max
-                                  : s.summary.ts_max;
-      skip = !has || value < lo || value > hi;
+      const std::int64_t seg_lo = key == options_.lamport_key
+                                      ? s.summary.lamport_min
+                                      : s.summary.ts_min;
+      const std::int64_t seg_hi = key == options_.lamport_key
+                                      ? s.summary.lamport_max
+                                      : s.summary.ts_max;
+      skip = !has || hi < seg_lo || lo > seg_hi;
     }
     if (skip) {
       ++skipped;
@@ -1147,6 +1154,7 @@ std::vector<std::pair<NodeId, NodeId>> SegmentManager::equality_scan_ranges(
     }
   }
   if (skipped > 0) scan_skips_->inc(skipped);
+  if (skipped_out != nullptr) *skipped_out = skipped;
   return ranges;
 }
 

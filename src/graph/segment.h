@@ -338,6 +338,18 @@ class SegmentManager {
   [[nodiscard]] std::vector<std::pair<NodeId, NodeId>> equality_scan_ranges(
       PropKeyId key, std::int64_t value) const;
 
+  /// Range generalization of equality_scan_ranges: node-id ranges a scan
+  /// constrained to `lo <= key <= hi` must visit — sealed segments whose
+  /// summarised value range misses [lo, hi] entirely are dropped and the
+  /// survivors merged (ascending id order, so scanning the ranges matches
+  /// a plain full scan's output order). `skipped_out`, when non-null,
+  /// receives the number of segments pruned (the query planner's
+  /// segments-pruned counter). Conservative under staleness: a stale or
+  /// unsealed segment is always visited.
+  [[nodiscard]] std::vector<std::pair<NodeId, NodeId>> scan_ranges(
+      PropKeyId key, std::int64_t lo, std::int64_t hi,
+      std::size_t* skipped_out = nullptr) const;
+
   // ---- checkpoint support --------------------------------------------------
 
   /// Writes one segment (sealed or the active tail) to `path` in the

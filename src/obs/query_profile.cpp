@@ -15,6 +15,11 @@ void QueryProfile::add_plan(double seconds, std::uint64_t candidates) {
   data_.plan_candidates += candidates;
 }
 
+void QueryProfile::add_plan_text(std::string text) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  data_.plan_text = std::move(text);
+}
+
 void QueryProfile::add_prune(double seconds, std::uint64_t admitted,
                              std::uint64_t rejected) {
   const std::lock_guard<std::mutex> lock(mutex_);
@@ -85,6 +90,16 @@ std::string QueryProfile::to_text() const {
                     static_cast<unsigned long long>(c.rows_in),
                     static_cast<unsigned long long>(c.rows_out));
       out += line;
+    }
+  }
+  if (!s.plan_text.empty()) {
+    out += "  ";
+    for (const char ch : s.plan_text) {
+      out += ch;
+      if (ch == '\n') out += "  ";
+    }
+    if (out.size() >= 2 && out.compare(out.size() - 2, 2, "  ") == 0) {
+      out.resize(out.size() - 2);
     }
   }
   return out;

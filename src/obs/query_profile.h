@@ -44,10 +44,14 @@ class QueryProfile {
     std::uint64_t edges_visited = 0;
     std::uint64_t vc_comparisons = 0;
     std::vector<ClauseStats> clauses;
+    /// EXPLAIN-style rendering of the executed plan (empty when the query
+    /// ran through the legacy pipeline).
+    std::string plan_text;
   };
 
   void add_parse(double seconds);
   void add_plan(double seconds, std::uint64_t candidates);
+  void add_plan_text(std::string text);
   void add_prune(double seconds, std::uint64_t admitted,
                  std::uint64_t rejected);
   void add_traverse(double seconds, std::uint64_t nodes, std::uint64_t edges);

@@ -28,6 +28,7 @@
 #include "core/execution_graph.h"
 #include "query/ast.h"
 #include "query/lexer.h"
+#include "query/planner.h"
 #include "query/value.h"
 
 namespace horus::query {
@@ -52,8 +53,18 @@ struct ProcedureDef {
   std::function<std::vector<std::vector<Value>>(const std::vector<Value>&)> fn;
 };
 
-/// Named query parameters ($name in the query text).
-using QueryParams = std::map<std::string, Value, std::less<>>;
+/// EXPLAIN output: the plan report (estimates, and actual per-operator row
+/// counts when the planned path executed) together with the query result.
+struct ExplainResult {
+  PlanReport report;
+  QueryResult result;
+
+  /// The plan rendered as text; `include_timing` adds per-operator wall
+  /// times (timed output is non-deterministic — goldens use the default).
+  [[nodiscard]] std::string plan_text(bool include_timing = false) const {
+    return report.to_text(include_timing);
+  }
+};
 
 class QueryEngine {
  public:
@@ -79,12 +90,23 @@ class QueryEngine {
   [[nodiscard]] QueryResult run(const Query& query,
                                 const QueryParams& params = {}) const;
 
+  /// EXPLAIN: plans the query and runs it, returning the chosen plan (with
+  /// per-operator estimated vs actual rows) alongside the result. When the
+  /// query is unplannable — or options().use_planner is false — the report
+  /// carries the fallback reason and the legacy pipeline produces the rows.
+  [[nodiscard]] ExplainResult explain(std::string_view text,
+                                      const QueryParams& params = {}) const;
+
   [[nodiscard]] const ExecutionGraph& graph() const noexcept { return graph_; }
   [[nodiscard]] const QueryOptions& options() const noexcept {
     return options_;
   }
 
  private:
+  [[nodiscard]] QueryResult run_impl(const Query& query,
+                                     const QueryParams& params,
+                                     PlanReport* report) const;
+
   const ExecutionGraph& graph_;
   QueryOptions options_;
   std::map<std::string, ProcedureDef, std::less<>> procedures_;

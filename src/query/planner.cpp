@@ -1,0 +1,809 @@
+#include "query/planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <utility>
+
+#include "graph/segment.h"
+
+namespace horus::query {
+
+namespace {
+
+constexpr std::int64_t kInt64Min = std::numeric_limits<std::int64_t>::min();
+constexpr std::int64_t kInt64Max = std::numeric_limits<std::int64_t>::max();
+
+[[nodiscard]] std::string clause_name(const Clause& clause) {
+  switch (clause.kind) {
+    case Clause::Kind::kMatch: return "MATCH";
+    case Clause::Kind::kWhere: return "WHERE";
+    case Clause::Kind::kWith: return "WITH";
+    case Clause::Kind::kReturn: return "RETURN";
+    case Clause::Kind::kUnwind: return "UNWIND";
+    case Clause::Kind::kCall: return "CALL " + clause.call_procedure;
+  }
+  return "?";
+}
+
+[[nodiscard]] std::string value_to_text(const Value& v) {
+  if (v.is_string()) return '"' + v.as_string() + '"';
+  return v.to_display_string();
+}
+
+[[nodiscard]] std::string_view binary_op_symbol(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAnd: return "AND";
+    case BinaryOp::kOr: return "OR";
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNeq: return "<>";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kContains: return "CONTAINS";
+    case BinaryOp::kStartsWith: return "STARTS WITH";
+    case BinaryOp::kEndsWith: return "ENDS WITH";
+    case BinaryOp::kIn: return "IN";
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kMod: return "%";
+  }
+  return "?";
+}
+
+[[nodiscard]] bool is_comparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNeq:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// a <op> b written as b <op'> a.
+[[nodiscard]] BinaryOp flip_comparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kLt: return BinaryOp::kGt;
+    case BinaryOp::kLe: return BinaryOp::kGe;
+    case BinaryOp::kGt: return BinaryOp::kLt;
+    case BinaryOp::kGe: return BinaryOp::kLe;
+    default: return op;  // eq/neq are symmetric
+  }
+}
+
+/// Splits a conjunction into its conjuncts, left-to-right — the order the
+/// legacy evaluator would reach them under short-circuit AND.
+void flatten_and(const Expr* e, std::vector<const Expr*>& out) {
+  if (e == nullptr) return;
+  if (e->kind == Expr::Kind::kBinary && e->binary_op == BinaryOp::kAnd) {
+    flatten_and(e->lhs.get(), out);
+    flatten_and(e->rhs.get(), out);
+    return;
+  }
+  out.push_back(e);
+}
+
+/// Row-independent constant: a literal, or a parameter present in `params`.
+[[nodiscard]] std::optional<Value> const_value(const Expr& e,
+                                               const QueryParams& params) {
+  if (e.kind == Expr::Kind::kLiteral) return e.literal;
+  if (e.kind == Expr::Kind::kParameter) {
+    auto it = params.find(e.name);
+    if (it != params.end()) return it->second;
+  }
+  return std::nullopt;
+}
+
+/// True when evaluating `e` over a row binding only `head_var` (to a node)
+/// can neither throw nor depend on anything but that node — the condition
+/// for moving the conjunct ahead of its source position. Arithmetic,
+/// negation, functions and missing parameters all stay pinned: they can
+/// raise errors, and reordering would change *which rows* raise them.
+[[nodiscard]] bool is_safe_expr(const Expr& e, const std::string& head_var,
+                                const QueryParams& params) {
+  switch (e.kind) {
+    case Expr::Kind::kLiteral:
+      return true;
+    case Expr::Kind::kParameter:
+      return params.find(e.name) != params.end();
+    case Expr::Kind::kVariable:
+      return e.name == head_var;
+    case Expr::Kind::kProperty:
+      return e.lhs != nullptr && e.lhs->kind == Expr::Kind::kVariable &&
+             e.lhs->name == head_var;
+    case Expr::Kind::kBinary:
+      switch (e.binary_op) {
+        case BinaryOp::kAnd:
+        case BinaryOp::kOr:
+        case BinaryOp::kEq:
+        case BinaryOp::kNeq:
+        case BinaryOp::kLt:
+        case BinaryOp::kLe:
+        case BinaryOp::kGt:
+        case BinaryOp::kGe:
+        case BinaryOp::kContains:
+        case BinaryOp::kStartsWith:
+        case BinaryOp::kEndsWith:
+        case BinaryOp::kIn:
+          return is_safe_expr(*e.lhs, head_var, params) &&
+                 is_safe_expr(*e.rhs, head_var, params);
+        default:
+          return false;  // arithmetic can throw
+      }
+    case Expr::Kind::kUnary:
+      return e.unary_op == UnaryOp::kNot &&
+             is_safe_expr(*e.lhs, head_var, params);
+    case Expr::Kind::kList:
+      return std::all_of(e.args.begin(), e.args.end(), [&](const ExprPtr& a) {
+        return a != nullptr && is_safe_expr(*a, head_var, params);
+      });
+    default:
+      return false;  // functions, '*'
+  }
+}
+
+/// `head.key <cmp> constant` (either side), normalized so the property is
+/// on the left. `flipped` records that the source had the constant first;
+/// `op` is already flipped to match the normalized orientation.
+struct CmpShape {
+  const Expr* prop = nullptr;  // the property access
+  graph::PropKeyId key = graph::kNoPropKey;
+  std::string key_name;
+  BinaryOp op = BinaryOp::kEq;
+  Value constant;
+  bool flipped = false;
+};
+
+[[nodiscard]] std::optional<CmpShape> comparison_shape(
+    const Expr& e, const std::string& head_var, const QueryParams& params,
+    const graph::GraphStore& store) {
+  if (e.kind != Expr::Kind::kBinary || !is_comparison(e.binary_op)) {
+    return std::nullopt;
+  }
+  auto head_prop = [&](const Expr& x) -> const Expr* {
+    if (x.kind == Expr::Kind::kProperty && x.lhs != nullptr &&
+        x.lhs->kind == Expr::Kind::kVariable && x.lhs->name == head_var) {
+      return &x;
+    }
+    return nullptr;
+  };
+  CmpShape shape;
+  if (const Expr* p = head_prop(*e.lhs)) {
+    const auto c = const_value(*e.rhs, params);
+    if (!c) return std::nullopt;
+    shape.prop = p;
+    shape.op = e.binary_op;
+    shape.constant = *c;
+  } else if (const Expr* q = head_prop(*e.rhs)) {
+    const auto c = const_value(*e.lhs, params);
+    if (!c) return std::nullopt;
+    shape.prop = q;
+    shape.op = flip_comparison(e.binary_op);
+    shape.constant = *c;
+    shape.flipped = true;
+  } else {
+    return std::nullopt;
+  }
+  shape.key_name = shape.prop->name;
+  shape.key = store.prop_key_id(shape.key_name);
+  return shape;
+}
+
+/// Integer window accumulated from range conjuncts on one key.
+struct Bounds {
+  std::int64_t lo = kInt64Min;
+  std::int64_t hi = kInt64Max;
+  bool constrained = false;  // at least one conjunct tightened a bound
+  bool empty = false;
+
+  void tighten_lo(std::int64_t v) {
+    lo = std::max(lo, v);
+    constrained = true;
+    if (lo > hi) empty = true;
+  }
+  void tighten_hi(std::int64_t v) {
+    hi = std::min(hi, v);
+    constrained = true;
+    if (lo > hi) empty = true;
+  }
+};
+
+[[nodiscard]] std::int64_t clamp_to_int64(double v) {
+  if (v <= static_cast<double>(kInt64Min)) return kInt64Min;
+  if (v >= static_cast<double>(kInt64Max)) return kInt64Max;
+  return static_cast<std::int64_t>(v);
+}
+
+/// Folds one numeric comparison into the window. Exact for int64 stored
+/// values: fractional bounds round inward, fractional equality empties.
+/// Returns false when the constant is not numeric (bounds untouched).
+[[nodiscard]] bool apply_bound(Bounds& b, BinaryOp op, const Value& constant) {
+  if (!constant.is_number()) return false;
+  if (constant.is_int()) {
+    const std::int64_t k = constant.as_int();
+    switch (op) {
+      case BinaryOp::kEq: b.tighten_lo(k); b.tighten_hi(k); return true;
+      case BinaryOp::kGe: b.tighten_lo(k); return true;
+      case BinaryOp::kGt:
+        if (k == kInt64Max) { b.tighten_lo(k); b.empty = true; }
+        else b.tighten_lo(k + 1);
+        return true;
+      case BinaryOp::kLe: b.tighten_hi(k); return true;
+      case BinaryOp::kLt:
+        if (k == kInt64Min) { b.tighten_hi(k); b.empty = true; }
+        else b.tighten_hi(k - 1);
+        return true;
+      default: return false;  // <> does not bound a window
+    }
+  }
+  const double c = constant.as_number();
+  const bool integral = std::floor(c) == c;
+  switch (op) {
+    case BinaryOp::kEq:
+      if (!integral) { b.constrained = true; b.empty = true; return true; }
+      b.tighten_lo(clamp_to_int64(c));
+      b.tighten_hi(clamp_to_int64(c));
+      return true;
+    case BinaryOp::kGe: b.tighten_lo(clamp_to_int64(std::ceil(c))); return true;
+    case BinaryOp::kGt:
+      b.tighten_lo(clamp_to_int64(std::floor(c) + 1.0));
+      return true;
+    case BinaryOp::kLe: b.tighten_hi(clamp_to_int64(std::floor(c))); return true;
+    case BinaryOp::kLt:
+      b.tighten_hi(clamp_to_int64(std::ceil(c) - 1.0));
+      return true;
+    default: return false;
+  }
+}
+
+[[nodiscard]] std::string bounds_to_text(std::int64_t lo, std::int64_t hi) {
+  std::string out = "[";
+  out += lo == kInt64Min ? std::string("-inf") : std::to_string(lo);
+  out += ", ";
+  out += hi == kInt64Max ? std::string("+inf") : std::to_string(hi);
+  out += ']';
+  return out;
+}
+
+[[nodiscard]] std::string format_rows(double v) {
+  if (v < 0) return "?";
+  if (v == std::floor(v) && v < 1e15) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string_view scan_kind_name(ScanKind kind) noexcept {
+  switch (kind) {
+    case ScanKind::kAllNodes: return "all-nodes";
+    case ScanKind::kLabel: return "label";
+    case ScanKind::kIndexEq: return "index-eq";
+    case ScanKind::kRange: return "range";
+    case ScanKind::kSegmentSkip: return "segment-skip";
+    case ScanKind::kPatternProps: return "pattern-props";
+  }
+  return "?";
+}
+
+std::string expr_to_string(const Expr& e) {
+  switch (e.kind) {
+    case Expr::Kind::kLiteral:
+      return value_to_text(e.literal);
+    case Expr::Kind::kVariable:
+      return e.name;
+    case Expr::Kind::kProperty:
+      return expr_to_string(*e.lhs) + "." + e.name;
+    case Expr::Kind::kBinary:
+      return "(" + expr_to_string(*e.lhs) + " " +
+             std::string(binary_op_symbol(e.binary_op)) + " " +
+             expr_to_string(*e.rhs) + ")";
+    case Expr::Kind::kUnary:
+      if (e.unary_op == UnaryOp::kNot) return "NOT " + expr_to_string(*e.lhs);
+      return "-" + expr_to_string(*e.lhs);
+    case Expr::Kind::kFunction: {
+      std::string out = e.name + "(";
+      if (e.distinct) out += "DISTINCT ";
+      for (std::size_t i = 0; i < e.args.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += e.args[i] ? expr_to_string(*e.args[i]) : "?";
+      }
+      out += ')';
+      return out;
+    }
+    case Expr::Kind::kList: {
+      std::string out = "[";
+      for (std::size_t i = 0; i < e.args.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += e.args[i] ? expr_to_string(*e.args[i]) : "?";
+      }
+      out += ']';
+      return out;
+    }
+    case Expr::Kind::kStar:
+      return "*";
+    case Expr::Kind::kParameter:
+      return "$" + e.name;
+  }
+  return "?";
+}
+
+Plan Planner::plan(const Query& query) const {
+  const graph::GraphStore& store = graph_.store();
+  Plan p;
+  p.query = &query;
+
+  auto fallback = [&](std::string reason) {
+    p.planned = false;
+    p.fallback_reason = std::move(reason);
+    return p;
+  };
+
+  if (query.clauses.empty()) return fallback("empty query");
+  const Clause& first = query.clauses.front();
+  if (first.kind != Clause::Kind::kMatch) {
+    return fallback("first clause is not MATCH");
+  }
+  if (first.patterns.size() != 1) {
+    return fallback("multiple MATCH patterns");
+  }
+  const PathPattern& path = first.patterns.front();
+  if (!path.steps.empty()) {
+    return fallback("relationship pattern (path steps)");
+  }
+  if (path.head.variable.empty()) {
+    return fallback("anonymous pattern head");
+  }
+  p.variable = path.head.variable;
+  p.label = path.head.label;
+  p.head = &path;
+
+  // Inline pattern properties must be row-independent constants — the first
+  // clause's input is the bootstrap row, so anything else (a function call,
+  // a missing parameter) must keep legacy evaluation order.
+  for (const auto& [key, expr] : path.head.properties) {
+    if (expr == nullptr || !const_value(*expr, params_)) {
+      return fallback("non-constant inline property '" + key + "'");
+    }
+  }
+  const bool has_props = !path.head.properties.empty();
+
+  // Gather the WHERE prefix as one conjunct list, in evaluation order.
+  std::size_t ci = 1;
+  std::vector<const Expr*> conjuncts;
+  while (ci < query.clauses.size() &&
+         query.clauses[ci].kind == Clause::Kind::kWhere) {
+    flatten_and(query.clauses[ci].predicate.get(), conjuncts);
+    ++ci;
+  }
+  p.tail_begin = ci;
+
+  // Conjuncts up to the first unsafe one may be reordered and pushed into
+  // the scan; the unsafe conjunct and everything after it keep their source
+  // order so the same rows reach them as under the legacy engine (error
+  // parity: a throwing conjunct must see exactly the legacy survivor set).
+  std::size_t first_unsafe = conjuncts.size();
+  for (std::size_t i = 0; i < conjuncts.size(); ++i) {
+    if (!is_safe_expr(*conjuncts[i], p.variable, params_)) {
+      first_unsafe = i;
+      break;
+    }
+  }
+
+  std::vector<std::optional<CmpShape>> shapes(conjuncts.size());
+  for (std::size_t i = 0; i < conjuncts.size(); ++i) {
+    shapes[i] = comparison_shape(*conjuncts[i], p.variable, params_, store);
+  }
+
+  const auto node_count = static_cast<double>(store.node_count());
+  const bool real_label = !p.label.empty() && p.label != "EVENT";
+
+  // ---- scan selection -------------------------------------------------------
+
+  struct ScanChoice {
+    ScanKind kind = ScanKind::kAllNodes;
+    int precedence = 5;  // tie-break: lower wins at equal estimate
+    graph::PropKeyId key = graph::kNoPropKey;
+    std::string key_name;
+    Value eq;
+    std::int64_t lo = kInt64Min;
+    std::int64_t hi = kInt64Max;
+    double estimate = 0.0;
+    std::optional<std::size_t> consumed;  // conjunct folded into the scan
+    std::size_t pushed = 0;               // conjuncts that shaped the scan
+  };
+  std::vector<ScanChoice> choices;
+
+  if (has_props) {
+    // Legacy candidates() already narrows via inline props (hash index,
+    // label, segment pruning, in its own precedence and output order) —
+    // reproduce it verbatim instead of competing with it.
+    ScanChoice c;
+    c.kind = ScanKind::kPatternProps;
+    c.precedence = 0;
+    c.estimate = node_count;
+    for (const auto& [key_name, expr] : path.head.properties) {
+      const graph::PropKeyId key = store.prop_key_id(key_name);
+      const Value want = *const_value(*expr, params_);
+      graph::PropertyValue pv;
+      if (want.is_bool()) pv = want.as_bool();
+      else if (want.is_int()) pv = want.as_int();
+      else if (want.is_double()) pv = want.as_number();
+      else if (want.is_string()) pv = want.as_string();
+      else continue;
+      if (const auto bucket = store.index_count(key, pv)) {
+        c.estimate = static_cast<double>(*bucket);
+        break;
+      }
+    }
+    if (c.estimate == node_count && real_label) {
+      c.estimate = static_cast<double>(store.label_count(p.label));
+    }
+    choices.push_back(std::move(c));
+  } else {
+    // Hash-index equality: one conjunct becomes the whole scan. The
+    // executor probes both the exact-typed bucket and the cross-typed
+    // numeric bucket (int64 5 vs double 5.0 compare equal in WHERE but
+    // hash separately), so consuming the conjunct is exact.
+    for (std::size_t i = 0; i < first_unsafe; ++i) {
+      if (!shapes[i] || shapes[i]->op != BinaryOp::kEq) continue;
+      const CmpShape& s = *shapes[i];
+      if (s.key == graph::kNoPropKey || !store.has_index(s.key)) continue;
+      const Value& v = s.constant;
+      double estimate = 0.0;
+      if (v.is_bool()) {
+        estimate = static_cast<double>(
+            store.index_count(s.key, graph::PropertyValue(v.as_bool()))
+                .value_or(0));
+      } else if (v.is_string()) {
+        estimate = static_cast<double>(
+            store.index_count(s.key, graph::PropertyValue(v.as_string()))
+                .value_or(0));
+      } else if (v.is_number()) {
+        const double d = v.as_number();
+        estimate = static_cast<double>(
+            store.index_count(s.key, graph::PropertyValue(d)).value_or(0));
+        if (std::floor(d) == d) {
+          estimate += static_cast<double>(
+              store.index_count(s.key, graph::PropertyValue(clamp_to_int64(d)))
+                  .value_or(0));
+        }
+      } else {
+        continue;  // null / node / list equality never uses the index
+      }
+      ScanChoice c;
+      c.kind = ScanKind::kIndexEq;
+      c.precedence = 1;
+      c.key = s.key;
+      c.key_name = s.key_name;
+      c.eq = s.constant;
+      c.estimate = estimate;
+      c.consumed = i;
+      c.pushed = 1;
+      choices.push_back(std::move(c));
+    }
+
+    // Ordered-index range scan: intersect every range conjunct on the key
+    // into one [lo, hi] window. The conjuncts stay in the residual filter —
+    // the index is the candidate source, the filter remains the authority
+    // (see DESIGN.md §12 for the int64-typed-key assumption).
+    std::map<graph::PropKeyId, std::pair<Bounds, std::size_t>> windows;
+    std::map<graph::PropKeyId, std::string> window_names;
+    for (std::size_t i = 0; i < first_unsafe; ++i) {
+      if (!shapes[i]) continue;
+      const CmpShape& s = *shapes[i];
+      if (s.key == graph::kNoPropKey || !s.constant.is_number()) continue;
+      auto& [bounds, contributors] = windows[s.key];
+      if (apply_bound(bounds, s.op, s.constant)) {
+        ++contributors;
+        window_names[s.key] = s.key_name;
+      }
+    }
+    for (const auto& [key, window] : windows) {
+      const auto& [bounds, contributors] = window;
+      if (!bounds.constrained) continue;
+      if (store.has_ordered_index(key)) {
+        ScanChoice c;
+        c.kind = ScanKind::kRange;
+        c.precedence = 2;
+        c.key = key;
+        c.key_name = window_names[key];
+        c.lo = bounds.empty ? std::int64_t{1} : bounds.lo;
+        c.hi = bounds.empty ? std::int64_t{0} : bounds.hi;
+        c.pushed = contributors;
+        if (bounds.empty) {
+          c.estimate = 0.0;
+        } else if (const auto stats = store.ordered_index_stats(key)) {
+          const double span_lo =
+              std::max(static_cast<double>(c.lo),
+                       static_cast<double>(stats->min_value));
+          const double span_hi =
+              std::min(static_cast<double>(c.hi),
+                       static_cast<double>(stats->max_value));
+          if (span_lo > span_hi) {
+            c.estimate = 0.0;
+          } else {
+            const double index_span =
+                static_cast<double>(stats->max_value) -
+                static_cast<double>(stats->min_value) + 1.0;
+            c.estimate = std::min(
+                node_count,
+                node_count * ((span_hi - span_lo + 1.0) / index_span));
+          }
+        } else {
+          c.estimate = 0.0;  // index exists but is empty
+        }
+        choices.push_back(std::move(c));
+      }
+      if (graph::SegmentManager* segments = store.segments()) {
+        const auto& opts = segments->options();
+        if (key == opts.lamport_key || key == opts.timestamp_key) {
+          ScanChoice c;
+          c.kind = ScanKind::kSegmentSkip;
+          c.precedence = 3;
+          c.key = key;
+          c.key_name = window_names[key];
+          c.lo = bounds.empty ? std::int64_t{1} : bounds.lo;
+          c.hi = bounds.empty ? std::int64_t{0} : bounds.hi;
+          c.pushed = contributors;
+          double kept = 0.0;
+          for (const auto& [begin, end] : segments->scan_ranges(key, c.lo, c.hi)) {
+            kept += static_cast<double>(end - begin);
+          }
+          c.estimate = kept;
+          choices.push_back(std::move(c));
+        }
+      }
+    }
+
+    if (real_label) {
+      ScanChoice c;
+      c.kind = ScanKind::kLabel;
+      c.precedence = 4;
+      c.estimate = static_cast<double>(store.label_count(p.label));
+      choices.push_back(std::move(c));
+    }
+    {
+      ScanChoice c;
+      c.kind = ScanKind::kAllNodes;
+      c.precedence = 5;
+      c.estimate = node_count;
+      choices.push_back(std::move(c));
+    }
+  }
+
+  const ScanChoice* best = &choices.front();
+  for (const ScanChoice& c : choices) {
+    if (c.estimate < best->estimate ||
+        (c.estimate == best->estimate && c.precedence < best->precedence)) {
+      best = &c;
+    }
+  }
+  p.scan = best->kind;
+  p.scan_key = best->key;
+  p.scan_key_name = best->key_name;
+  p.scan_eq = best->eq;
+  p.range_lo = best->lo;
+  p.range_hi = best->hi;
+  p.scan_estimate = best->estimate;
+  p.predicates_pushed = best->pushed;
+  p.check_label = real_label && p.scan != ScanKind::kLabel &&
+                  p.scan != ScanKind::kPatternProps;
+
+  // ---- residual filter ------------------------------------------------------
+
+  std::vector<PlannedPredicate> reorderable;
+  std::vector<PlannedPredicate> pinned;
+  for (std::size_t i = 0; i < conjuncts.size(); ++i) {
+    if (best->consumed && *best->consumed == i) continue;
+    PlannedPredicate pp;
+    pp.expr = conjuncts[i];
+    pp.source_order = i;
+    pp.reorderable = i < first_unsafe;
+    if (shapes[i]) {
+      const CmpShape& s = *shapes[i];
+      const bool interned_eq =
+          (s.op == BinaryOp::kEq || s.op == BinaryOp::kNeq) &&
+          s.constant.is_string() && s.key != graph::kNoPropKey &&
+          store.interned_distinct(s.key) > 0;
+      pp.key = s.key;
+      pp.key_name = s.key_name;
+      pp.op = s.op;
+      pp.constant = s.constant;
+      pp.flipped = s.flipped;
+      if (interned_eq) {
+        pp.kind = PlannedPredicate::Kind::kInternedEq;
+        const double eq_frac =
+            1.0 / static_cast<double>(
+                      std::max<std::size_t>(1, store.interned_distinct(s.key)));
+        pp.selectivity = s.op == BinaryOp::kEq ? eq_frac : 1.0 - eq_frac;
+      } else {
+        pp.kind = PlannedPredicate::Kind::kPropCompare;
+        switch (s.op) {
+          case BinaryOp::kEq: {
+            pp.selectivity = 0.10;
+            if (s.key != graph::kNoPropKey && node_count > 0 &&
+                s.constant.is_string()) {
+              if (const auto bucket = store.index_count(
+                      s.key, graph::PropertyValue(s.constant.as_string()))) {
+                pp.selectivity = static_cast<double>(*bucket) / node_count;
+              }
+            }
+            break;
+          }
+          case BinaryOp::kNeq: pp.selectivity = 0.90; break;
+          default: pp.selectivity = 0.33; break;
+        }
+      }
+    } else {
+      pp.kind = PlannedPredicate::Kind::kGeneric;
+      pp.selectivity = pp.reorderable ? 0.60 : 1.0;
+    }
+    (pp.reorderable ? reorderable : pinned).push_back(std::move(pp));
+  }
+  std::stable_sort(reorderable.begin(), reorderable.end(),
+                   [](const PlannedPredicate& a, const PlannedPredicate& b) {
+                     if (a.selectivity != b.selectivity) {
+                       return a.selectivity < b.selectivity;
+                     }
+                     return a.source_order < b.source_order;
+                   });
+  p.predicates = std::move(reorderable);
+  for (auto& pp : pinned) p.predicates.push_back(std::move(pp));
+
+  p.estimated_rows = p.scan_estimate;
+  for (const PlannedPredicate& pp : p.predicates) {
+    p.estimated_rows *= pp.selectivity;
+  }
+
+  // ---- projection / limit pushdown ------------------------------------------
+
+  if (p.tail_begin + 1 == query.clauses.size()) {
+    const Clause& tail = query.clauses[p.tail_begin];
+    bool simple = tail.kind == Clause::Kind::kReturn && !tail.distinct &&
+                  tail.order_by.empty();
+    for (const auto& item : tail.projections) {
+      if (!simple) break;
+      simple = item.expr != nullptr &&
+               item.expr->kind != Expr::Kind::kStar &&
+               is_safe_expr(*item.expr, p.variable, params_);
+    }
+    if (simple && !tail.projections.empty()) {
+      p.projection = &tail;
+      p.limit = tail.limit;
+      p.tail_begin = query.clauses.size();
+    }
+  }
+
+  p.planned = true;
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// EXPLAIN
+// ---------------------------------------------------------------------------
+
+PlanReport describe_plan(const Plan& plan) {
+  PlanReport report;
+  report.planned = plan.planned;
+  report.fallback_reason = plan.fallback_reason;
+  if (!plan.planned) return report;
+
+  PlanOpReport scan;
+  scan.op = "scan";
+  std::string detail(scan_kind_name(plan.scan));
+  switch (plan.scan) {
+    case ScanKind::kLabel:
+      detail += " " + plan.label;
+      break;
+    case ScanKind::kIndexEq:
+      detail += " " + plan.scan_key_name + " = " + value_to_text(plan.scan_eq);
+      break;
+    case ScanKind::kRange:
+    case ScanKind::kSegmentSkip:
+      detail += " " + plan.scan_key_name + " in " +
+                bounds_to_text(plan.range_lo, plan.range_hi);
+      break;
+    case ScanKind::kPatternProps: {
+      detail += " {";
+      if (plan.head != nullptr) {
+        for (std::size_t i = 0; i < plan.head->head.properties.size(); ++i) {
+          if (i > 0) detail += ", ";
+          detail += plan.head->head.properties[i].first;
+        }
+      }
+      detail += '}';
+      if (!plan.label.empty() && plan.label != "EVENT") {
+        detail += " :" + plan.label;
+      }
+      break;
+    }
+    case ScanKind::kAllNodes:
+      break;
+  }
+  if (plan.check_label) detail += " + label-check :" + plan.label;
+  if (plan.predicates_pushed > 0) {
+    detail += " (" + std::to_string(plan.predicates_pushed) +
+              " predicate" + (plan.predicates_pushed == 1 ? "" : "s") +
+              " pushed)";
+  }
+  scan.detail = std::move(detail);
+  scan.estimated_rows = plan.scan_estimate;
+  report.ops.push_back(std::move(scan));
+
+  double running = plan.scan_estimate;
+  for (const PlannedPredicate& pp : plan.predicates) {
+    running *= pp.selectivity;
+    PlanOpReport op;
+    op.op = "filter";
+    std::string kind;
+    switch (pp.kind) {
+      case PlannedPredicate::Kind::kInternedEq: kind = "interned-eq"; break;
+      case PlannedPredicate::Kind::kPropCompare: kind = "in-place"; break;
+      case PlannedPredicate::Kind::kGeneric: kind = "generic"; break;
+    }
+    if (!pp.reorderable) kind += ", pinned";
+    op.detail = expr_to_string(*pp.expr) + "  [" + kind + "]";
+    op.estimated_rows = running;
+    report.ops.push_back(std::move(op));
+  }
+
+  if (plan.projection != nullptr) {
+    PlanOpReport op;
+    op.op = "project";
+    std::string d = "RETURN ";
+    for (std::size_t i = 0; i < plan.projection->projections.size(); ++i) {
+      if (i > 0) d += ", ";
+      d += plan.projection->projections[i].alias;
+    }
+    if (plan.limit) d += " LIMIT " + std::to_string(*plan.limit);
+    op.detail = std::move(d);
+    op.estimated_rows = running;
+    report.ops.push_back(std::move(op));
+  }
+
+  if (plan.query != nullptr && plan.tail_begin < plan.query->clauses.size()) {
+    PlanOpReport op;
+    op.op = "tail";
+    std::string d = "legacy:";
+    for (std::size_t i = plan.tail_begin; i < plan.query->clauses.size(); ++i) {
+      d += " " + clause_name(plan.query->clauses[i]);
+    }
+    op.detail = std::move(d);
+    report.ops.push_back(std::move(op));
+  }
+  return report;
+}
+
+std::string PlanReport::to_text(bool include_timing) const {
+  if (!planned) {
+    return "plan: fallback — " + fallback_reason + " (legacy pipeline)\n";
+  }
+  std::string out = "plan:\n";
+  for (const PlanOpReport& op : ops) {
+    out += "  " + op.op + "[" + op.detail + "]";
+    if (op.estimated_rows >= 0) out += " est=" + format_rows(op.estimated_rows);
+    if (op.actual_rows >= 0) out += " act=" + format_rows(op.actual_rows);
+    if (include_timing && op.seconds >= 0) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), " t=%.3fms", op.seconds * 1e3);
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace horus::query

@@ -6,6 +6,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <variant>
@@ -14,6 +16,13 @@
 #include "graph/graph_store.h"
 
 namespace horus::query {
+
+class Value;
+
+/// Named query parameters ($name in the query text). Lives here (not in
+/// evaluator.h) so the planner can consume parameters without pulling in
+/// the engine.
+using QueryParams = std::map<std::string, Value, std::less<>>;
 
 struct NodeRef {
   graph::NodeId id = graph::kNoNode;

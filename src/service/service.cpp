@@ -6,6 +6,7 @@
 
 #include "common/diag.h"
 #include "core/segment_clocks.h"
+#include "query/parser.h"
 
 namespace horus::service {
 
@@ -59,6 +60,9 @@ HorusService::HorusService(queue::Broker& broker, ExecutionGraph& graph,
       "horus_service_active_sessions", "Concurrent admitted query sessions");
   query_seconds_ = &registry.histogram("horus_service_query_seconds",
                                        "Service-served causal query latency");
+  plan_cost_rejections_ = &registry.counter(
+      "horus_service_plan_cost_rejections_total",
+      "Queries rejected under overload by planner cost estimate");
 }
 
 HorusService::~HorusService() { stop(); }
@@ -279,6 +283,35 @@ CausalGraphResult HorusService::get_causal_graph(const Session&,
   QueryOptions query_options;
   query_options.guard = &guard;
   return daemon_.get_causal_graph(a, b, query_options);
+}
+
+query::QueryResult HorusService::run_query(const Session&,
+                                           std::string_view text) const {
+  const obs::Timer timer(*query_seconds_);
+  const query::Query parsed = query::parse_query(text);
+  // Admission by plan cost: the same estimate EXPLAIN reports gates entry
+  // while limits are tightened, so an expensive scan is bounced up front
+  // instead of timing out against the degraded deadline.
+  if (tighten_queries_.load(std::memory_order_relaxed) &&
+      options_.degraded_max_plan_rows > 0) {
+    const query::Plan plan = query::Planner(graph_, {}).plan(parsed);
+    if (plan.planned &&
+        plan.estimated_rows > options_.degraded_max_plan_rows) {
+      plan_cost_rejections_->inc();
+      throw OverloadError(
+          "service overloaded: query estimated at " +
+          std::to_string(static_cast<std::uint64_t>(plan.estimated_rows)) +
+          " rows exceeds the degraded plan budget (" +
+          std::to_string(
+              static_cast<std::uint64_t>(options_.degraded_max_plan_rows)) +
+          ")");
+    }
+  }
+  QueryGuard guard(current_limits());
+  QueryOptions query_options;
+  query_options.guard = &guard;
+  const query::QueryEngine engine(graph_, query_options);
+  return engine.run(parsed);
 }
 
 bool HorusService::sleep_unless_stopping(int ms) {

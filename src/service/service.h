@@ -42,6 +42,7 @@
 
 #include "common/query_guard.h"
 #include "common/thread_pool.h"
+#include "query/evaluator.h"
 #include "core/clock_daemon.h"
 #include "core/pipeline.h"
 #include "graph/segment.h"
@@ -77,6 +78,12 @@ struct ServiceOptions {
                              /*max_visited_nodes=*/1'000'000};
   QueryLimits degraded_limits{/*deadline_ms=*/250, /*max_rows=*/0,
                               /*max_visited_nodes=*/100'000};
+
+  /// Plan-cost admission for run_query(): at overload level >=
+  /// kTightenQueries, a text query whose planner estimate exceeds this many
+  /// rows is rejected with OverloadError *before* execution — cheaper than
+  /// letting it burn the whole degraded deadline. 0 disables the check.
+  double degraded_max_plan_rows = 50'000;
 
   OverloadThresholds thresholds;
   int checkpoint_keep_epochs = 2;
@@ -164,6 +171,15 @@ class HorusService {
                                                    graph::NodeId a,
                                                    graph::NodeId b) const;
 
+  /// Runs a text query against the live graph under this service's
+  /// per-query limits (degraded under overload). Under overload the query
+  /// is planned first and rejected by estimated cost — see
+  /// ServiceOptions::degraded_max_plan_rows. The horus.* procedures are not
+  /// registered here (they need a stable clock table; use the Q1/Q2 methods
+  /// above). The session proves admission.
+  [[nodiscard]] query::QueryResult run_query(const Session& session,
+                                             std::string_view text) const;
+
   // -- introspection --------------------------------------------------------
   [[nodiscard]] OverloadLevel overload_level() const noexcept {
     return static_cast<OverloadLevel>(
@@ -236,6 +252,7 @@ class HorusService {
 
   obs::Counter* sessions_admitted_;
   obs::Counter* sessions_rejected_;
+  obs::Counter* plan_cost_rejections_;
   obs::Counter* backpressure_waits_;
   obs::Gauge* active_sessions_gauge_;
   obs::Histogram* query_seconds_;

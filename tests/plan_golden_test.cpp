@@ -1,0 +1,122 @@
+// Golden-plan snapshots (ctest label `plan`): EXPLAIN output for a fixed
+// graph is compared byte-for-byte against committed fixtures, so any change
+// to scan selection, predicate pushdown, conjunct ordering or the report
+// format shows up as a reviewable fixture diff instead of a silent planner
+// regression.
+//
+// Regenerate after an intentional change with:
+//   HORUS_REGEN_GOLDENS=<repo>/tests/fixtures/plans ./build/tests/plan_golden_test
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/horus.h"
+#include "gen/topology.h"
+#include "query/evaluator.h"
+
+namespace horus {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct GoldenCase {
+  const char* name;  // fixture file stem under tests/fixtures/plans/
+  const char* query;
+};
+
+// Values are hard-coded (not probed from the store) so the fixture text is
+// reproducible from the query alone; the topology below is deterministic.
+const std::vector<GoldenCase>& cases() {
+  static const std::vector<GoldenCase> kCases{
+      {"all_nodes_project", "MATCH (n) RETURN n.eventId"},
+      {"label_scan", "MATCH (n:SND) RETURN n.eventId"},
+      {"index_eq", "MATCH (n) WHERE n.eventId = 4 RETURN n.eventId"},
+      {"index_eq_flipped", "MATCH (n) WHERE 4 = n.eventId RETURN n.eventId"},
+      {"lamport_range",
+       "MATCH (n) WHERE n.lamportLogicalTime >= 3 AND "
+       "n.lamportLogicalTime < 9 RETURN n.eventId"},
+      {"range_plus_interned",
+       "MATCH (n) WHERE n.lamportLogicalTime >= 2 AND n.host = \"svc0\" "
+       "RETURN n.eventId"},
+      {"reordered_conjuncts",
+       "MATCH (n) WHERE n.neverSetKey <> 1 AND n.eventType = \"SND\" "
+       "RETURN n.eventId"},
+      {"pinned_arithmetic",
+       "MATCH (n) WHERE n.eventId + 0 >= 0 AND n.host = \"svc0\" "
+       "RETURN n.eventId"},
+      {"limit_pushdown", "MATCH (n) RETURN n.eventId LIMIT 5"},
+      {"aggregate_tail", "MATCH (n) RETURN count(*) AS c"},
+      {"order_by_tail",
+       "MATCH (n:SND) RETURN n.eventId ORDER BY n.eventId DESC"},
+      {"pattern_props", "MATCH (n {lamportLogicalTime: 3}) RETURN n.eventId"},
+      {"fallback_relationship",
+       "MATCH (a:SND)-[:HB]->(b:RCV) RETURN a.eventId, b.eventId"},
+      {"fallback_no_match", "RETURN 1 AS one"},
+  };
+  return kCases;
+}
+
+class PlanGoldenTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    gen::TopologyOptions topology;
+    topology.num_services = 4;
+    topology.depth = 2;
+    topology.requests = 6;
+    horus_ = new Horus();
+    for (const Event& e : gen::microservice_topology(topology)) {
+      horus_->ingest(e);
+    }
+    horus_->seal();
+  }
+  static void TearDownTestSuite() {
+    delete horus_;
+    horus_ = nullptr;
+  }
+
+  static Horus* horus_;
+};
+
+Horus* PlanGoldenTest::horus_ = nullptr;
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST_F(PlanGoldenTest, ExplainMatchesCommittedGoldens) {
+  const query::QueryEngine engine(horus_->graph(), {});
+  const char* regen_dir = std::getenv("HORUS_REGEN_GOLDENS");
+  const fs::path fixture_dir =
+      regen_dir != nullptr ? fs::path(regen_dir)
+                           : fs::path(HORUS_TEST_FIXTURE_DIR) / "plans";
+  if (regen_dir != nullptr) fs::create_directories(fixture_dir);
+
+  for (const GoldenCase& c : cases()) {
+    // Timings vary run to run; est/act row counts do not (the graph is
+    // deterministic), so snapshot without timing.
+    const std::string got = engine.explain(c.query).plan_text(false);
+    const fs::path golden = fixture_dir / (std::string(c.name) + ".txt");
+    if (regen_dir != nullptr) {
+      std::ofstream out(golden, std::ios::binary);
+      out << got;
+      continue;
+    }
+    ASSERT_TRUE(fs::exists(golden))
+        << golden << " missing — regenerate with HORUS_REGEN_GOLDENS";
+    EXPECT_EQ(read_file(golden), got) << c.name << ": " << c.query;
+  }
+  if (regen_dir != nullptr) {
+    GTEST_SKIP() << "goldens regenerated into " << fixture_dir;
+  }
+}
+
+}  // namespace
+}  // namespace horus

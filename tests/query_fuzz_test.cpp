@@ -11,6 +11,12 @@
 // The deep-nesting tests pin the parser's recursion-depth limit: expression
 // nesting beyond kMaxExprDepth is rejected with QueryError instead of
 // overflowing the C++ call stack (found by exactly this fuzzer).
+//
+// The execution tests push every mutant that still parses through the full
+// engine — planner on AND planner off — over a small real graph under tight
+// QueryLimits. Contract: run() either returns or throws QueryError (never
+// crashes, never blows past the guard), and whenever both arms complete
+// untruncated they must agree row-for-row.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -18,6 +24,9 @@
 #include <string>
 #include <vector>
 
+#include "core/horus.h"
+#include "gen/topology.h"
+#include "query/evaluator.h"
 #include "query/parser.h"
 
 namespace horus::query {
@@ -163,6 +172,97 @@ TEST(QueryFuzzTest, RandomBytesNeverCrashTheLexer) {
     for (char& c : text) c = static_cast<char>(byte(rng));
     parse_survives(text);  // must not crash; outcome is irrelevant
   }
+}
+
+// ---------------------------------------------------------------------------
+// Plan + execute fuzzing
+// ---------------------------------------------------------------------------
+
+/// Small but real graph shared by the execution fuzz tests.
+const ExecutionGraph& fuzz_graph() {
+  static const Horus* horus = [] {
+    auto* h = new Horus();
+    gen::TopologyOptions topology;
+    topology.num_services = 4;
+    topology.depth = 2;
+    topology.requests = 6;
+    for (const Event& e : gen::microservice_topology(topology)) {
+      h->ingest(e);
+    }
+    h->seal();
+    return h;
+  }();
+  return horus->graph();
+}
+
+struct RunOutcome {
+  bool ok = false;         // completed without throwing
+  bool truncated = false;  // guard or LIMIT cut the result short
+  QueryResult result;
+};
+
+/// Runs `text` end to end (parse + plan + execute) under tight limits.
+/// The no-crash contract mirrors parse_survives(): QueryError is the only
+/// acceptable throw.
+RunOutcome run_survives(const std::string& text, bool planner) {
+  RunOutcome outcome;
+  horus::QueryLimits limits;
+  limits.max_rows = 50;
+  limits.max_visited_nodes = 5'000;
+  horus::QueryGuard guard(limits);
+  QueryOptions options;
+  options.use_planner = planner;
+  options.guard = &guard;
+  const QueryEngine engine(fuzz_graph(), options);
+  try {
+    outcome.result = engine.run(text);
+    outcome.ok = true;
+    outcome.truncated = outcome.result.truncated;
+  } catch (const QueryError&) {
+    outcome.ok = false;  // rejection is fine; crashing is not
+  }
+  return outcome;
+}
+
+/// Both engine arms over one input; equality asserted only when both
+/// completed untruncated (guard truncation admits rows at different stages,
+/// so truncated prefixes may legitimately differ).
+void expect_arms_agree(const std::string& text) {
+  const RunOutcome off = run_survives(text, /*planner=*/false);
+  const RunOutcome on = run_survives(text, /*planner=*/true);
+  if (off.ok && on.ok && !off.truncated && !on.truncated) {
+    EXPECT_EQ(off.result.columns, on.result.columns) << text;
+    EXPECT_EQ(off.result.rows, on.result.rows) << text;
+  }
+}
+
+TEST(QueryFuzzTest, CorpusExecutesIdenticallyPlannedAndLegacy) {
+  for (const std::string& text : corpus()) {
+    expect_arms_agree(text);
+  }
+}
+
+TEST(QueryFuzzTest, MutatedQueriesNeverCrashTheEngine) {
+  std::mt19937_64 rng(0xCAFE);
+  int executed = 0;
+  for (const std::string& base : corpus()) {
+    for (int round = 0; round < 40; ++round) {
+      std::string text = base;
+      const int stack = 1 + static_cast<int>(rng() % 3);
+      for (int i = 0; i < stack; ++i) text = mutate(text, rng);
+      SCOPED_TRACE("mutant of: " + base);
+      try {
+        (void)parse_query(text);
+      } catch (const QueryError&) {
+        continue;  // the parser suite owns reject-path coverage
+      }
+      expect_arms_agree(text);
+      ++executed;
+    }
+  }
+  // The mutator must not be degenerate: a healthy fraction of mutants still
+  // reaches the execution layer (~8% of 600 with this seed).
+  EXPECT_GE(executed, 30);
 }
 
 TEST(QueryFuzzTest, ModerateNestingStillParses) {

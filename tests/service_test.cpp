@@ -8,11 +8,13 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/error.h"
@@ -300,6 +302,52 @@ TEST(ServiceAdmissionTest, QueriesAnswerThroughAdmittedSessions) {
                                   *ref.node_of(events.back().id))) {
     EXPECT_FALSE(q2.nodes.empty());
   }
+  daemon.stop();
+}
+
+TEST(ServiceAdmissionTest, DegradedModeRejectsExpensivePlansUpFront) {
+  const std::string data_dir = temp_dir("plan-admission");
+  queue::Broker broker;
+  ExecutionGraph graph;
+  service::ServiceOptions options = fast_service_options(data_dir);
+  // Any completed query counts as "slow", and calm never accumulates, so
+  // the supervisor escalates one level per evaluation while we keep the
+  // latency window non-empty below.
+  options.thresholds.p99_high_seconds = 1e-9;
+  options.thresholds.recover_after = 1'000'000;
+  options.degraded_max_plan_rows = 10;
+  service::HorusService daemon(broker, graph, options);
+  daemon.start();
+
+  const auto events = workload();
+  for (const Event& e : events) daemon.publish(e);
+  ASSERT_TRUE(daemon.pipeline().drain());
+  daemon.clock_daemon().tick();
+
+  const service::HorusService::Session session = daemon.admit();
+  const std::string expensive = "MATCH (n) RETURN count(*) AS c";
+  const std::string cheap =
+      "MATCH (n) WHERE n.eventId = 1 RETURN n.eventId";
+
+  // Normal mode: the full scan answers.
+  const query::QueryResult full = daemon.run_query(session, expensive);
+  ASSERT_EQ(full.rows.size(), 1u);
+
+  // Keep the p99 window hot until the controller reaches kTightenQueries.
+  for (int i = 0; i < 500 && daemon.overload_level() <
+                                 service::OverloadLevel::kTightenQueries;
+       ++i) {
+    (void)daemon.run_query(session, cheap);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_GE(daemon.overload_level(),
+            service::OverloadLevel::kTightenQueries);
+
+  // Degraded: the expensive plan is rejected before execution with the
+  // typed error, while a cheap indexed probe still answers.
+  EXPECT_THROW((void)daemon.run_query(session, expensive),
+               service::OverloadError);
+  EXPECT_NO_THROW((void)daemon.run_query(session, cheap));
   daemon.stop();
 }
 

@@ -196,11 +196,14 @@ int usage() {
                        carves the graph into sealed segments and prints the
                        per-segment table and per-shard rollup)
   horus_cli validate  --graph FILE
-  horus_cli query     --graph FILE [--threads N] [--profile]
-                      [--deadline-ms N] [--max-rows N] [--max-visited N]
-                      'MATCH ... RETURN ...'
+  horus_cli query     --graph FILE [--threads N] [--profile] [--explain]
+                      [--no-planner] [--deadline-ms N] [--max-rows N]
+                      [--max-visited N] 'MATCH ... RETURN ...'
                       (query text also accepted on stdin; --profile prints a
-                       per-stage cost breakdown after the result)
+                       per-stage cost breakdown after the result; --explain
+                       prints the chosen plan — pushed predicates, estimated
+                       vs actual rows — before the result; --no-planner
+                       forces the legacy tuple-at-a-time pipeline)
   horus_cli shiviz    --graph FILE [--only-logs] [--out FILE]
   horus_cli dot       --graph FILE --from EVENTID --to EVENTID [--out FILE]
                       [--threads N] [--deadline-ms N] [--max-visited N]
@@ -458,6 +461,18 @@ int cmd_stats(const Args& args) {
        {"deadline", "max_rows", "max_visited_nodes", "cancelled"}) {
     limit_hits.with({{"limit", reason}});
   }
+  // Same idea for the planner counters: always visible, zero until a query
+  // runs in this process.
+  registry.counter("horus_query_plans_built_total",
+                   "Queries lowered into a logical plan (planned or fallback)");
+  registry.counter(
+      "horus_query_plan_fallbacks_total",
+      "Queries the planner declined, executed by the legacy pipeline");
+  registry.counter("horus_query_predicates_pushed_total",
+                   "WHERE conjuncts pushed into planned scans/filters");
+  registry.counter(
+      "horus_query_plan_segments_pruned_total",
+      "Sealed segments skipped by planned range scans via summaries");
 
   const std::string mode = args.get("metrics", "both");
   if (mode == "text" || mode == "both") {
@@ -512,6 +527,7 @@ int cmd_query(const Args& args) {
   if (limits.any()) options.guard = &guard;
   obs::QueryProfile profile;
   if (args.has("profile")) options.profile = &profile;
+  if (args.has("no-planner")) options.use_planner = false;
   query::QueryEngine engine(*graph, options);
   query::register_horus_procedures(engine, *graph, assigner->clocks(),
                                    options);
@@ -527,7 +543,14 @@ int cmd_query(const Args& args) {
     }
   }
   try {
-    const auto result = engine.run(text);
+    query::QueryResult result;
+    if (args.has("explain")) {
+      auto explained = engine.explain(text);
+      std::printf("%s", explained.plan_text(/*include_timing=*/true).c_str());
+      result = std::move(explained.result);
+    } else {
+      result = engine.run(text);
+    }
     std::printf("%s(%zu rows)\n", result.to_table().c_str(),
                 result.rows.size());
     if (result.truncated) {
