@@ -34,7 +34,7 @@ if [ "$expect_threads" = 1 ]; then
   exit 2
 fi
 
-benches="fig5_throughput fig6_logical_time fig7_q1 fig8_q2 table1_event_mix ablations encoders chaos service segments query_scan"
+benches="fig5_throughput fig6_logical_time fig7_q1 fig8_q2 table1_event_mix ablations encoders chaos service segments query_scan clocks"
 
 status=0
 for name in $benches; do
@@ -64,6 +64,17 @@ for name in $benches; do
       if ! grep -q "\"planner\": *\"$arm\"" "$out" && \
          ! grep -q "\"planner\":\"$arm\"" "$out"; then
         echo "FAILED: bench_query_scan produced $out without planner=$arm rows" >&2
+        status=1
+      fi
+    done
+  fi
+  # clocks is a paired A/B benchmark too: a report missing either storage
+  # mode means the ClockMode toggle silently stopped measuring.
+  if [ "$name" = "clocks" ]; then
+    for arm in flat sparse; do
+      if ! grep -q "\"mode\": *\"$arm\"" "$out" && \
+         ! grep -q "\"mode\":\"$arm\"" "$out"; then
+        echo "FAILED: bench_clocks produced $out without mode=$arm rows" >&2
         status=1
       fi
     done

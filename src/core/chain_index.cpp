@@ -1,0 +1,116 @@
+#include "core/chain_index.h"
+
+#include <algorithm>
+
+namespace horus {
+
+ChainIndex::ChainIndex(const ExecutionGraph& graph, const ClockTable& clocks)
+    : clocks_(clocks) {
+  const graph::GraphStore& store = graph.store();
+  const auto n = static_cast<graph::NodeId>(store.node_count());
+  const std::size_t timelines = clocks.timeline_count();
+  out_lists_.resize(timelines);
+  in_lists_.resize(timelines);
+
+  for (graph::NodeId v = 0; v < n; ++v) {
+    const std::int32_t st = clocks.timeline_of(v);
+    if (st < 0) continue;  // unassigned (ingested after the last tick)
+    const std::int32_t sp = clocks.position(v);
+    for (const graph::Edge& e : store.out_edges_snapshot(v)) {
+      if (e.to >= n) continue;
+      const std::int32_t dt = clocks.timeline_of(e.to);
+      if (dt < 0 || dt == st) continue;  // chain edges are implicit
+      const std::int32_t dp = clocks.position(e.to);
+      out_lists_[static_cast<std::size_t>(st)].push_back(
+          MergeEdge{sp, dt, dp});
+      in_lists_[static_cast<std::size_t>(dt)].push_back(
+          MergeEdgeIn{dp, st, sp});
+      ++merge_edges_;
+    }
+  }
+  for (auto& list : out_lists_) {
+    std::sort(list.begin(), list.end(),
+              [](const MergeEdge& x, const MergeEdge& y) {
+                return x.src_pos < y.src_pos;
+              });
+  }
+  for (auto& list : in_lists_) {
+    std::sort(list.begin(), list.end(),
+              [](const MergeEdgeIn& x, const MergeEdgeIn& y) {
+                return x.dst_pos < y.dst_pos;
+              });
+  }
+}
+
+void ChainIndex::forward_bounds(graph::NodeId a,
+                                std::vector<std::int32_t>& out) const {
+  const std::size_t timelines = out_lists_.size();
+  out.assign(timelines, kUnreachable);
+  const std::int32_t ta = clocks_.timeline_of(a);
+  if (ta < 0) return;
+  out[static_cast<std::size_t>(ta)] = clocks_.position(a);
+
+  // Worklist relaxation. scan_[t] marks how far down the suffix of t's
+  // out-list has been consumed; lowering fwd[t] later only extends the
+  // suffix, so every merge edge is relaxed at most once.
+  std::vector<std::size_t> scan(timelines);
+  for (std::size_t t = 0; t < timelines; ++t) scan[t] = out_lists_[t].size();
+  std::vector<std::int32_t> worklist{ta};
+  while (!worklist.empty()) {
+    const auto t = static_cast<std::size_t>(worklist.back());
+    worklist.pop_back();
+    const auto& list = out_lists_[t];
+    const std::int32_t bound = out[t];
+    while (scan[t] > 0 && list[scan[t] - 1].src_pos >= bound) {
+      const MergeEdge& e = list[--scan[t]];
+      const auto dt = static_cast<std::size_t>(e.dst_tl);
+      if (e.dst_pos < out[dt]) {
+        out[dt] = e.dst_pos;
+        worklist.push_back(e.dst_tl);
+      }
+    }
+  }
+}
+
+void ChainIndex::backward_bounds(graph::NodeId b,
+                                 std::vector<std::int32_t>& out) const {
+  const std::size_t timelines = in_lists_.size();
+  out.assign(timelines, 0);
+  const std::int32_t tb = clocks_.timeline_of(b);
+  if (tb < 0) return;
+  out[static_cast<std::size_t>(tb)] = clocks_.position(b);
+
+  std::vector<std::size_t> scan(timelines, 0);
+  std::vector<std::int32_t> worklist{tb};
+  while (!worklist.empty()) {
+    const auto t = static_cast<std::size_t>(worklist.back());
+    worklist.pop_back();
+    const auto& list = in_lists_[t];
+    const std::int32_t bound = out[t];
+    while (scan[t] < list.size() && list[scan[t]].dst_pos <= bound) {
+      const MergeEdgeIn& e = list[scan[t]++];
+      const auto st = static_cast<std::size_t>(e.src_tl);
+      if (e.src_pos > out[st]) {
+        out[st] = e.src_pos;
+        worklist.push_back(e.src_tl);
+      }
+    }
+  }
+}
+
+bool ChainIndex::happens_before(graph::NodeId a, graph::NodeId b) const {
+  if (a == b) return false;
+  const std::int32_t tb = clocks_.timeline_of(b);
+  if (tb < 0 || clocks_.timeline_of(a) < 0) return false;
+  std::vector<std::int32_t> fwd;
+  forward_bounds(a, fwd);
+  const std::int32_t bound = fwd[static_cast<std::size_t>(tb)];
+  const std::int32_t pb = clocks_.position(b);
+  // a itself does not count as "reaching b" when they coincide; a -> b on
+  // the same chain needs pos(b) strictly after pos(a), which the bound
+  // already encodes for every other node.
+  return bound != kUnreachable && pb >= bound &&
+         !(tb == clocks_.timeline_of(a) && pb == clocks_.position(a));
+}
+
+}  // namespace horus

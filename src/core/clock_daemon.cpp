@@ -10,7 +10,13 @@
 namespace horus {
 
 ClockDaemon::ClockDaemon(ExecutionGraph& graph, Options options)
-    : graph_(graph), options_(options), assigner_(graph) {}
+    : graph_(graph),
+      options_(options),
+      assigner_(graph,
+                LogicalClockAssigner::Options{
+                    .write_lamport_property = true,
+                    .mode = options.mode,
+                    .keyframe_interval = options.keyframe_interval}) {}
 
 ClockDaemon::~ClockDaemon() {
   if (running_.load()) stop();
@@ -98,7 +104,8 @@ std::size_t ClockDaemon::tick() {
   static obs::Gauge& assigned_nodes = obs::Registry::global().gauge(
       "horus_clock_assigned_nodes", "Nodes with logical clocks assigned");
   static obs::Gauge& arena_bytes = obs::Registry::global().gauge(
-      "horus_clock_vc_arena_bytes", "Resident size of the flat VC arena");
+      "horus_clock_vc_arena_bytes",
+      "Resident bytes of the VC store (flat arena+slots, or sparse lanes)");
 
   const obs::Timer timer(tick_seconds);
   const std::unique_lock lock(mutex_);
@@ -138,8 +145,7 @@ std::size_t ClockDaemon::tick() {
     update_segment_summaries(graph_.store(), assigner_.clocks(), healed);
   }
   assigned_nodes.set(static_cast<std::int64_t>(assigned_));
-  arena_bytes.set(static_cast<std::int64_t>(
-      assigner_.clocks().vc_arena_size() * sizeof(std::int32_t)));
+  arena_bytes.set(static_cast<std::int64_t>(assigner_.clocks().clock_bytes()));
   return assigned;
 }
 

@@ -18,6 +18,12 @@ namespace horus {
 /// ClockLookup view over a ClockTable. The table must outlive the returned
 /// function and must not be concurrently reassigned while summaries build
 /// (callers run it after a tick/seal, which holds the relevant lock).
+///
+/// The produced span is backed by a thread-local scratch (sparse tables
+/// reconstruct into it; flat tables hand out an arena view) — parallel
+/// summary builds share one lookup across pool threads, and the summary
+/// builder consumes each span before requesting the next node, so
+/// thread-local is exactly the required lifetime.
 [[nodiscard]] inline graph::ClockLookup segment_clock_lookup(
     const ClockTable& clocks) {
   return [&clocks](graph::NodeId node, std::int32_t& timeline,
@@ -26,7 +32,8 @@ namespace horus {
     if (!clocks.assigned(node)) return false;
     timeline = clocks.timeline_of(node);
     position = clocks.position(node);
-    vc = clocks.vc(node);
+    static thread_local std::vector<std::int32_t> scratch;
+    vc = clocks.vc_span(node, scratch);
     return timeline >= 0 && position > 0;
   };
 }

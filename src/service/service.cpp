@@ -44,7 +44,9 @@ HorusService::HorusService(queue::Broker& broker, ExecutionGraph& graph,
       options_(patched(std::move(options))),
       wal_dir_(options_.pipeline.wal_dir),
       pipeline_(broker, graph, options_.pipeline),
-      daemon_(graph, ClockDaemon::Options{options_.clock_interval_ms}),
+      daemon_(graph,
+              ClockDaemon::Options{.interval_ms = options_.clock_interval_ms,
+                                   .mode = options_.clock_mode}),
       checkpoints_(CheckpointOptions{options_.data_dir + "/checkpoints",
                                      options_.checkpoint_keep_epochs}),
       controller_(options_.thresholds) {

@@ -56,6 +56,7 @@ std::string export_events(const ExecutionGraph& graph, const ClockTable& clocks,
   };
 
   std::string out;
+  std::vector<std::int32_t> vc_scratch;
   for (const graph::NodeId node : ordered) {
     if (!clocks.assigned(node)) continue;
     const std::string& label = store.node_label(node);
@@ -65,7 +66,7 @@ std::string export_events(const ExecutionGraph& graph, const ClockTable& clocks,
     // for components must be resolvable even if no exported event shows
     // them; fall back to the stored timeline name.
     Json clock = Json::object();
-    const auto vc = clocks.vc(node);
+    const auto vc = clocks.vc_span(node, vc_scratch);
     for (std::size_t i = 0; i < vc.size(); ++i) {
       if (vc[i] == 0) continue;
       auto it = lanes.find(static_cast<std::int32_t>(i));

@@ -89,8 +89,10 @@ TEST(ClockTableSerializationTest, RoundTripPreservesEverything) {
     EXPECT_EQ(loaded.lamport(v), original.lamport(v));
     EXPECT_EQ(loaded.timeline_of(v), original.timeline_of(v));
     EXPECT_EQ(loaded.position(v), original.position(v));
-    const auto lv = loaded.vc(v);
-    const auto ov = original.vc(v);
+    std::vector<std::int32_t> lv_scratch;
+    std::vector<std::int32_t> ov_scratch;
+    const auto lv = loaded.vc_span(v, lv_scratch);
+    const auto ov = original.vc_span(v, ov_scratch);
     ASSERT_EQ(lv.size(), ov.size());
     for (std::size_t i = 0; i < ov.size(); ++i) EXPECT_EQ(lv[i], ov[i]);
   }
@@ -402,6 +404,98 @@ TEST(ServiceCheckpointTest, GracefulRestartRestoresTheFinalCheckpoint) {
     EXPECT_EQ(graph.store().node_count(), nodes_before);
     EXPECT_EQ(graph.store().edge_count(), edges_before);
     daemon.stop();
+  }
+}
+
+// PR 10: a sparse-mode daemon checkpoints a HORUSVC2 clock record; a
+// restarted incarnation (even one whose own default is flat) adopts the
+// sparse table and keeps serving identical clocks.
+TEST(ServiceCheckpointTest, SparseModeRestartRestoresSparseClocks) {
+  const std::string data_dir = temp_dir("sparse-restart");
+  const auto events = workload();
+  queue::Broker broker;
+  {
+    ExecutionGraph graph;
+    auto options = fast_service_options(data_dir);
+    options.clock_mode = ClockMode::kSparse;
+    service::HorusService daemon(broker, graph, options);
+    daemon.start();
+    for (const Event& e : events) daemon.publish(e);
+    ASSERT_TRUE(daemon.pipeline().drain());
+    daemon.clock_daemon().tick();
+    daemon.clock_daemon().with_clocks([](const ClockTable& clocks) {
+      EXPECT_EQ(clocks.mode(), ClockMode::kSparse);
+    });
+    daemon.stop();  // final checkpoint carries the sparse record
+  }
+  {
+    ExecutionGraph graph;
+    // Default (flat) options: the restored table's own mode must win.
+    service::HorusService daemon(broker, graph,
+                                 fast_service_options(data_dir));
+    daemon.start();
+    EXPECT_TRUE(daemon.restored_from_checkpoint());
+    ASSERT_TRUE(daemon.pipeline().drain());
+    daemon.clock_daemon().tick();
+
+    const auto reference = reference_run(events);
+    daemon.clock_daemon().with_clocks([&](const ClockTable& clocks) {
+      EXPECT_EQ(clocks.mode(), ClockMode::kSparse);
+      for (const Event& e : events) {
+        const auto v = graph.node_of(e.id);
+        const auto r = reference->node_of(e.id);
+        ASSERT_TRUE(v.has_value() && r.has_value());
+        EXPECT_EQ(clocks.lamport(*v), reference->clocks().lamport(*r));
+      }
+    });
+    daemon.stop();
+  }
+}
+
+// PR 10 satellite: a clock record from a future format version must fail
+// the restore with the *typed* ClockFormatError ("upgrade the binary"),
+// not a generic corruption error.
+TEST(ServiceCheckpointTest, FutureClockFormatVersionFailsTyped) {
+  const std::string data_dir = temp_dir("clock-version");
+  queue::Broker broker;
+  {
+    ExecutionGraph graph;
+    auto options = fast_service_options(data_dir);
+    options.clock_mode = ClockMode::kSparse;
+    service::HorusService daemon(broker, graph, options);
+    daemon.start();
+    for (const Event& e : workload(200)) daemon.publish(e);
+    ASSERT_TRUE(daemon.pipeline().drain());
+    daemon.stop();
+  }
+  // Bump the record's version digit ("HORUSVC2" -> "HORUSVC9"). The magic
+  // prefix stays valid, so only the version dispatch can reject it.
+  const auto info = service::CheckpointStore(
+                        service::CheckpointOptions{data_dir + "/checkpoints"})
+                        .latest();
+  ASSERT_TRUE(info.has_value());
+  const std::string clocks_path = info->path + "/clocks.bin";
+  std::string content;
+  {
+    std::ifstream in(clocks_path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    content = std::move(buf).str();
+  }
+  ASSERT_GT(content.size(), 8u);
+  ASSERT_EQ(content[7], '2');
+  content[7] = '9';
+  {
+    std::ofstream out(clocks_path, std::ios::binary | std::ios::trunc);
+    out << content;
+  }
+  ExecutionGraph graph;
+  service::HorusService daemon(broker, graph, fast_service_options(data_dir));
+  try {
+    daemon.start();
+    FAIL() << "future clock format accepted";
+  } catch (const ClockFormatError& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
   }
 }
 

@@ -178,6 +178,17 @@ Args parse_args(int argc, char** argv) {
   return args;
 }
 
+/// --clock-mode flat|sparse (default flat); anything else is a usage error.
+ClockMode parse_clock_mode_flag(const Args& args) {
+  const std::string text = args.get("clock-mode", "flat");
+  const std::optional<ClockMode> mode = parse_clock_mode(text);
+  if (!mode) {
+    throw UsageError("--clock-mode: expected 'flat' or 'sparse', got '" +
+                     text + "'");
+  }
+  return *mode;
+}
+
 int usage() {
   std::fprintf(stderr, R"(usage:
   horus_cli capture   --workload trainticket|synthetic [--seed N]
@@ -198,7 +209,8 @@ int usage() {
   horus_cli validate  --graph FILE
   horus_cli query     --graph FILE [--threads N] [--profile] [--explain]
                       [--no-planner] [--deadline-ms N] [--max-rows N]
-                      [--max-visited N] 'MATCH ... RETURN ...'
+                      [--max-visited N] [--clock-mode flat|sparse]
+                      'MATCH ... RETURN ...'
                       (query text also accepted on stdin; --profile prints a
                        per-stage cost breakdown after the result; --explain
                        prints the chosen plan — pushed predicates, estimated
@@ -216,12 +228,19 @@ int usage() {
                 deadline, per-clause row budget or visited-node budget is
                 exhausted and return the partial result with the tripped
                 limit named (counted in horus_query_limit_hits_total)
+  --clock-mode flat|sparse
+                vector-clock storage backend: dense per-event vectors in one
+                flat arena (default) or per-timeline delta lanes with
+                periodic keyframes (~O(churn) bytes/event at high timeline
+                counts; identical query results). Accepted by every
+                clock-deriving command (query/stats/validate/shiviz/dot/
+                capture/serve)
   horus_cli dlq       --broker DIR [--topic NAME]
   horus_cli serve     --data-dir DIR [--seed N] [--duration-s N]
                       [--partitions N] [--intra N] [--inter N]
                       [--checkpoint-ms N] [--requests N] [--out FILE]
                       [--segment-nodes N] [--segment-shards N]
-                      [--segment-budget-mb N]
+                      [--segment-budget-mb N] [--clock-mode flat|sparse]
                       (horusd: continuous ingestion with periodic atomic
                        checkpoints; runs until --duration-s or SIGINT/
                        SIGTERM, then a graceful final checkpoint; restarting
@@ -235,11 +254,12 @@ int usage() {
 
 /// Loads a snapshot and re-derives logical time (VCs are not persisted).
 std::pair<std::unique_ptr<ExecutionGraph>, std::unique_ptr<LogicalClockAssigner>>
-load_graph(const std::string& path) {
+load_graph(const std::string& path, ClockMode mode = ClockMode::kFlat) {
   auto graph = std::make_unique<ExecutionGraph>();
   graph->load(path);
   auto assigner = std::make_unique<LogicalClockAssigner>(
-      *graph, LogicalClockAssigner::Options{.write_lamport_property = true});
+      *graph, LogicalClockAssigner::Options{.write_lamport_property = true,
+                                            .mode = mode});
   assigner->assign();
   return {std::move(graph), std::move(assigner)};
 }
@@ -326,7 +346,8 @@ int cmd_capture_distributed(const Args& args) {
   pipeline.stop();
 
   LogicalClockAssigner assigner(
-      graph, LogicalClockAssigner::Options{.write_lamport_property = true});
+      graph, LogicalClockAssigner::Options{.write_lamport_property = true,
+                                           .mode = parse_clock_mode_flag(args)});
   assigner.assign();
   graph.save(out_path);
   std::printf("graph snapshot (%zu nodes, %zu relationships) -> %s\n",
@@ -400,7 +421,8 @@ int cmd_capture(const Args& args) {
 }
 
 int cmd_stats(const Args& args) {
-  auto [graph, assigner] = load_graph(args.get("graph"));
+  auto [graph, assigner] =
+      load_graph(args.get("graph"), parse_clock_mode_flag(args));
   const auto& store = graph->store();
   std::map<std::string, std::size_t> by_label;
   for (graph::NodeId v = 0; v < store.node_count(); ++v) {
@@ -485,7 +507,8 @@ int cmd_stats(const Args& args) {
 }
 
 int cmd_validate(const Args& args) {
-  auto [graph, assigner] = load_graph(args.get("graph"));
+  auto [graph, assigner] =
+      load_graph(args.get("graph"), parse_clock_mode_flag(args));
   const auto report = validate_graph(*graph, assigner->clocks());
   std::printf("%s\n", report.to_string().c_str());
   return report.ok() ? 0 : 1;
@@ -520,7 +543,8 @@ QueryLimits query_limits(const Args& args) {
 int cmd_query(const Args& args) {
   QueryOptions options = query_options(args);
   const QueryLimits limits = query_limits(args);
-  auto [graph, assigner] = load_graph(args.get("graph"));
+  auto [graph, assigner] =
+      load_graph(args.get("graph"), parse_clock_mode_flag(args));
   // Constructed after the snapshot load so the deadline covers query
   // execution only.
   QueryGuard guard(limits);
@@ -574,7 +598,8 @@ int cmd_query(const Args& args) {
 }
 
 int cmd_shiviz(const Args& args) {
-  auto [graph, assigner] = load_graph(args.get("graph"));
+  auto [graph, assigner] =
+      load_graph(args.get("graph"), parse_clock_mode_flag(args));
   shiviz::ExportOptions options;
   options.only_logs = args.has("only-logs");
   const std::string text =
@@ -590,7 +615,8 @@ int cmd_shiviz(const Args& args) {
 }
 
 int cmd_dot(const Args& args) {
-  auto [graph, assigner] = load_graph(args.get("graph"));
+  auto [graph, assigner] =
+      load_graph(args.get("graph"), parse_clock_mode_flag(args));
   const auto from = graph->node_of(
       static_cast<EventId>(args.get_int("from", -1)));
   const auto to =
@@ -656,6 +682,7 @@ int cmd_serve(const Args& args) {
   options.pipeline.relationship_flush_interval_ms = 15;
   options.checkpoint_interval_ms = static_cast<int>(
       args.get_int_in("checkpoint-ms", 500, 1, 3'600'000));
+  options.clock_mode = parse_clock_mode_flag(args);
   options.segment_nodes = static_cast<std::uint32_t>(
       args.get_int_in("segment-nodes", 0, 0, 1 << 24));
   options.segment_shards = static_cast<std::size_t>(
@@ -741,7 +768,8 @@ int cmd_serve(const Args& args) {
   }
   if (args.has("out")) {
     LogicalClockAssigner assigner(
-        graph, LogicalClockAssigner::Options{.write_lamport_property = true});
+        graph, LogicalClockAssigner::Options{.write_lamport_property = true,
+                                             .mode = options.clock_mode});
     assigner.assign();
     graph.save(args.get("out"));
     std::printf("graph snapshot -> %s\n", args.get("out").c_str());
